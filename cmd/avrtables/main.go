@@ -1,0 +1,71 @@
+// Command avrtables regenerates the paper's evaluation tables and
+// figures (Tables 3–4, Figures 9–15, plus the §4.2 overhead accounting)
+// by running the full benchmark × design matrix.
+//
+// Usage:
+//
+//	avrtables                 # every experiment at small scale
+//	avrtables -exp fig11      # one experiment
+//	avrtables -scale slice    # Table 1 slice configuration (slower)
+//	avrtables -csv out/       # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"avr/internal/experiments"
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+	scale := flag.String("scale", "small", "input scale: small or slice")
+	csvDir := flag.String("csv", "", "directory to write CSV files into (optional)")
+	flag.Parse()
+
+	sc := workloads.ScaleSmall
+	if *scale == "slice" {
+		sc = workloads.ScaleSlice
+	}
+	r := experiments.NewRunner(sc)
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	// Warm the matrix concurrently: every experiment shares the runs.
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running benchmark x design matrix (%s scale)...\n", *scale)
+	if err := r.Prefetch(experiments.Benchmarks(), sim.Designs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "matrix complete in %v\n\n", time.Since(start).Round(time.Second))
+
+	for _, id := range ids {
+		rep, err := r.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n", rep.Title, rep.Text)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, rep.ID+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

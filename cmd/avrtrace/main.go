@@ -1,0 +1,73 @@
+// Command avrtrace runs one benchmark and emits a CSV time series of the
+// memory system's behaviour — cycles, instructions, DRAM traffic, LLC
+// misses and (for AVR) compression activity — sampled every N demand
+// accesses. Useful for plotting how the designs diverge over a run.
+//
+// Usage:
+//
+//	avrtrace -bench heat -design AVR -every 100000 > heat_avr.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "heat", "benchmark name")
+	design := flag.String("design", "AVR", "memory-system design")
+	scale := flag.String("scale", "small", "input scale: small or slice")
+	every := flag.Uint64("every", 100000, "sample every N demand accesses")
+	flag.Parse()
+
+	var d sim.Design
+	found := false
+	for _, cand := range sim.Designs {
+		if strings.EqualFold(cand.String(), *design) {
+			d = cand
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	sc := workloads.ScaleSmall
+	cfg := sim.PresetSmall(d)
+	if *scale == "slice" {
+		sc = workloads.ScaleSlice
+		cfg = sim.PresetSlice(d)
+	}
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sys := sim.New(cfg)
+	fmt.Println("sample,cycles,instructions,dram_read_mb,dram_written_mb,compresses,decompresses")
+	n := 0
+	sys.SampleEvery = *every
+	sys.Sampler = func(s *sim.System) {
+		n++
+		ds := s.Dram.Stats()
+		var comp, decomp uint64
+		if a := s.AVRLLC(); a != nil {
+			st := a.Stats()
+			comp, decomp = st.Compresses, st.Decompresses
+		}
+		fmt.Printf("%d,%d,%d,%.3f,%.3f,%d,%d\n",
+			n, s.Core.Now(), s.Core.Instructions(),
+			float64(ds.BytesRead)/1e6, float64(ds.BytesWritten)/1e6,
+			comp, decomp)
+	}
+	w.Setup(sys, sc)
+	sys.Prime()
+	w.Run(sys)
+	sys.Finish(*bench)
+}

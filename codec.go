@@ -1,0 +1,135 @@
+package avr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"avr/internal/block"
+	"avr/internal/compress"
+)
+
+// Codec compresses float32 slices with the AVR downsampling scheme as a
+// standalone lossy codec: data is cut into 256-value blocks, each block
+// is downsampled to a 16-value summary plus outliers when it meets the
+// error thresholds, and stored raw otherwise.
+//
+// Wire format:
+//
+//	magic "AVR1" | uint32 value count | per-block records
+//	record: 1 header byte (bit 7 = compressed, bit 6 = method,
+//	        bits 0..3 = size in 64 B lines) | 1 bias byte |
+//	        payload (compressed lines, or 1024 B raw)
+//
+// The decoded output is the approximate reconstruction — the same values
+// an AVR memory system would deliver to the processor.
+type Codec struct {
+	comp *compress.Compressor
+}
+
+// NewCodec creates a codec with per-value relative error bound t1 (the
+// block-average bound is t1/2, following the paper's T1 = 2·T2).
+// Non-positive t1 selects the experiment default (1/32).
+func NewCodec(t1 float64) *Codec {
+	th := compress.DefaultThresholds()
+	if t1 > 0 {
+		th = compress.Thresholds{T1: t1, T2: t1 / 2}
+	}
+	return &Codec{comp: compress.NewCompressor(th)}
+}
+
+var codecMagic = [4]byte{'A', 'V', 'R', '1'}
+
+// errTruncated reports malformed input to Decode.
+var errTruncated = errors.New("avr: truncated codec stream")
+
+// Encode compresses vals. The trailing partial block, if any, is padded
+// internally with its last value (padding never decodes back).
+func (c *Codec) Encode(vals []float32) ([]byte, error) {
+	out := make([]byte, 0, len(vals)/2)
+	out = append(out, codecMagic[:]...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(vals)))
+	out = append(out, n[:]...)
+
+	var blk [compress.BlockValues]uint32
+	for off := 0; off < len(vals); off += compress.BlockValues {
+		for i := 0; i < compress.BlockValues; i++ {
+			j := off + i
+			if j >= len(vals) {
+				j = len(vals) - 1 // pad with the last value
+			}
+			blk[i] = math.Float32bits(vals[j])
+		}
+		res := c.comp.Compress(&blk, compress.Float32)
+		if res.OK {
+			payload, err := block.Encode(&res)
+			if err != nil {
+				return nil, err
+			}
+			hdr := byte(0x80) | byte(res.Method)<<6 | byte(res.SizeLines)
+			out = append(out, hdr, byte(res.Bias))
+			out = append(out, payload...)
+		} else {
+			out = append(out, 0, 0)
+			var raw [compress.BlockBytes]byte
+			block.ValuesToBytes(&blk, raw[:])
+			out = append(out, raw[:]...)
+		}
+	}
+	return out, nil
+}
+
+// Decode reconstructs the approximate values from an encoded stream.
+func (c *Codec) Decode(data []byte) ([]float32, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != codecMagic {
+		return nil, errors.New("avr: bad codec magic")
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	out := make([]float32, 0, count)
+	for len(out) < count {
+		if len(data) < 2 {
+			return nil, errTruncated
+		}
+		hdr, bias := data[0], int8(data[1])
+		data = data[2:]
+		var vals [compress.BlockValues]uint32
+		if hdr&0x80 != 0 {
+			size := int(hdr & 0x0F)
+			if size < 1 || size > compress.MaxCompressedLines {
+				return nil, fmt.Errorf("avr: bad block size %d", size)
+			}
+			if len(data) < size*compress.LineBytes {
+				return nil, errTruncated
+			}
+			summary, bm, outliers, err := block.Decode(data[:size*compress.LineBytes])
+			if err != nil {
+				return nil, err
+			}
+			data = data[size*compress.LineBytes:]
+			method := compress.Method(hdr >> 6 & 1)
+			vals = compress.Decompress(&summary, bm, outliers, method, bias, compress.Float32)
+		} else {
+			if len(data) < compress.BlockBytes {
+				return nil, errTruncated
+			}
+			block.BytesToValues(data[:compress.BlockBytes], &vals)
+			data = data[compress.BlockBytes:]
+		}
+		for i := 0; i < compress.BlockValues && len(out) < count; i++ {
+			out = append(out, math.Float32frombits(vals[i]))
+		}
+	}
+	return out, nil
+}
+
+// Ratio reports the compression ratio achieved by an encoded stream for
+// the given original value count.
+func Ratio(valueCount int, encoded []byte) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	return float64(4*valueCount) / float64(len(encoded))
+}

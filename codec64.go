@@ -1,0 +1,143 @@
+package avr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"avr/internal/compress"
+)
+
+// Encode64 compresses float64 data with the 64-bit extension of the AVR
+// scheme (128 doubles per block, 8-value summaries, 1D reconstruction).
+//
+// Wire format:
+//
+//	magic "AVR8" | uint32 value count | per-block records
+//	record: 1 header byte (bit 7 = compressed, bits 0..3 = lines) |
+//	        2 bias bytes (little-endian int16) |
+//	        payload (summary [+ bitmap + outliers], or 1024 B raw)
+func (c *Codec) Encode64(vals []float64) ([]byte, error) {
+	out := make([]byte, 0, len(vals)*2)
+	out = append(out, codec64Magic[:]...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(vals)))
+	out = append(out, n[:]...)
+
+	var blk [compress.BlockValues64]uint64
+	for off := 0; off < len(vals); off += compress.BlockValues64 {
+		for i := 0; i < compress.BlockValues64; i++ {
+			j := off + i
+			if j >= len(vals) {
+				j = len(vals) - 1
+			}
+			blk[i] = math.Float64bits(vals[j])
+		}
+		res := c.comp.Compress64(&blk)
+		if res.OK {
+			hdr := byte(0x80) | byte(res.SizeLines)
+			out = append(out, hdr)
+			out = binary.LittleEndian.AppendUint16(out, uint16(res.Bias))
+			payload := make([]byte, res.SizeLines*compress.LineBytes)
+			for i, v := range res.Summary {
+				binary.LittleEndian.PutUint64(payload[8*i:], uint64(v))
+			}
+			if len(res.Outliers) > 0 {
+				copy(payload[compress.LineBytes:], res.Bitmap[:])
+				p := compress.LineBytes + compress.BitmapBytes64
+				for _, o := range res.Outliers {
+					binary.LittleEndian.PutUint64(payload[p:], o)
+					p += 8
+				}
+			}
+			out = append(out, payload...)
+		} else {
+			out = append(out, 0, 0, 0)
+			var raw [compress.BlockBytes]byte
+			for i, v := range blk {
+				binary.LittleEndian.PutUint64(raw[8*i:], v)
+			}
+			out = append(out, raw[:]...)
+		}
+	}
+	return out, nil
+}
+
+var codec64Magic = [4]byte{'A', 'V', 'R', '8'}
+
+// Decode64 reconstructs the approximate doubles from an Encode64 stream.
+func (c *Codec) Decode64(data []byte) ([]float64, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != codec64Magic {
+		return nil, errors.New("avr: bad codec64 magic")
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	out := make([]float64, 0, count)
+	for len(out) < count {
+		if len(data) < 3 {
+			return nil, errTruncated
+		}
+		hdr := data[0]
+		bias := int16(binary.LittleEndian.Uint16(data[1:]))
+		data = data[3:]
+		var vals [compress.BlockValues64]uint64
+		if hdr&0x80 != 0 {
+			size := int(hdr & 0x0F)
+			if size < 1 || size > compress.MaxCompressedLines {
+				return nil, fmt.Errorf("avr: bad block size %d", size)
+			}
+			if len(data) < size*compress.LineBytes {
+				return nil, errTruncated
+			}
+			var summary [compress.SummaryValues64]int64
+			for i := range summary {
+				summary[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+			}
+			var bm *[compress.BitmapBytes64]byte
+			var outliers []uint64
+			if size > 1 {
+				var b [compress.BitmapBytes64]byte
+				copy(b[:], data[compress.LineBytes:])
+				bm = &b
+				k := 0
+				for _, x := range b {
+					for ; x != 0; x &= x - 1 {
+						k++
+					}
+				}
+				if compress.CompressedLines64(k) != size {
+					return nil, errors.New("avr: codec64 bitmap inconsistent with size")
+				}
+				p := compress.LineBytes + compress.BitmapBytes64
+				outliers = make([]uint64, k)
+				for i := range outliers {
+					outliers[i] = binary.LittleEndian.Uint64(data[p:])
+					p += 8
+				}
+			}
+			data = data[size*compress.LineBytes:]
+			vals = compress.Decompress64(&summary, bm, outliers, bias)
+		} else {
+			if len(data) < compress.BlockBytes {
+				return nil, errTruncated
+			}
+			for i := range vals {
+				vals[i] = binary.LittleEndian.Uint64(data[8*i:])
+			}
+			data = data[compress.BlockBytes:]
+		}
+		for i := 0; i < compress.BlockValues64 && len(out) < count; i++ {
+			out = append(out, math.Float64frombits(vals[i]))
+		}
+	}
+	return out, nil
+}
+
+// Ratio64 reports the compression ratio of an Encode64 stream.
+func Ratio64(valueCount int, encoded []byte) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	return float64(8*valueCount) / float64(len(encoded))
+}

@@ -1,0 +1,133 @@
+package avr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smooth64(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1e6 + 300*math.Sin(float64(i)/60)
+	}
+	return out
+}
+
+func TestCodec64RoundTripSmooth(t *testing.T) {
+	c := NewCodec(0)
+	in := smooth64(4096)
+	enc, err := c.Encode64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode64(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(in) {
+		t.Fatalf("decoded %d values", len(dec))
+	}
+	t1, _ := DefaultThresholds()
+	for i := range in {
+		re := math.Abs(dec[i]-in[i]) / math.Abs(in[i])
+		if re > t1 {
+			t.Fatalf("value %d error %v beyond T1", i, re)
+		}
+	}
+	if r := Ratio64(len(in), enc); r < 4 {
+		t.Errorf("ratio = %.1f, want > 4", r)
+	}
+}
+
+func TestCodec64RawFallbackExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]float64, 1024)
+	for i := range in {
+		in[i] = rng.NormFloat64() * math.Exp2(float64(rng.Intn(200)-100))
+	}
+	c := NewCodec(0)
+	enc, err := c.Encode64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode64(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if dec[i] != in[i] {
+			t.Fatalf("raw double %d altered", i)
+		}
+	}
+}
+
+func TestCodec64WithOutliers(t *testing.T) {
+	in := smooth64(512)
+	in[40] = -12345.678
+	in[300] = 9e12
+	c := NewCodec(0)
+	enc, err := c.Encode64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode64(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[40] != -12345.678 || dec[300] != 9e12 {
+		t.Errorf("outliers not exact: %v, %v", dec[40], dec[300])
+	}
+}
+
+func TestCodec64PartialBlock(t *testing.T) {
+	c := NewCodec(0)
+	in := smooth64(200) // 1 full block + 72 values
+	enc, _ := c.Encode64(in)
+	dec, err := c.Decode64(enc)
+	if err != nil || len(dec) != 200 {
+		t.Fatalf("decoded %d, err %v", len(dec), err)
+	}
+}
+
+func TestCodec64RejectsGarbage(t *testing.T) {
+	c := NewCodec(0)
+	if _, err := c.Decode64([]byte("AVR1....")); err == nil {
+		t.Error("32-bit magic accepted by 64-bit decoder")
+	}
+	enc, _ := c.Encode64(smooth64(256))
+	if _, err := c.Decode64(enc[:len(enc)-4]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestCodec64Property(t *testing.T) {
+	c := NewCodec(0)
+	t1, _ := DefaultThresholds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := 1 + rng.Float64()*1e9
+		in := make([]float64, 300)
+		for i := range in {
+			in[i] = base * (1 + 0.02*rng.NormFloat64())
+		}
+		enc, err := c.Encode64(in)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decode64(enc)
+		if err != nil || len(dec) != len(in) {
+			return false
+		}
+		for i := range in {
+			if math.Abs(dec[i]-in[i])/math.Abs(in[i]) > t1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

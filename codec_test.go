@@ -1,0 +1,167 @@
+package avr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smoothSignal(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(50 + 10*math.Sin(float64(i)/40))
+	}
+	return out
+}
+
+func TestCodecRoundTripSmooth(t *testing.T) {
+	c := NewCodec(0)
+	in := smoothSignal(4096)
+	enc, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(in) {
+		t.Fatalf("decoded %d values, want %d", len(dec), len(in))
+	}
+	t1, _ := DefaultThresholds()
+	for i := range in {
+		re := math.Abs(float64(dec[i]-in[i])) / math.Abs(float64(in[i]))
+		if re > t1 {
+			t.Fatalf("value %d error %v beyond T1", i, re)
+		}
+	}
+	if r := Ratio(len(in), enc); r < 4 {
+		t.Errorf("smooth signal ratio = %.1f, want > 4", r)
+	}
+}
+
+func TestCodecIncompressibleStoredRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := make([]float32, 2048)
+	for i := range in {
+		in[i] = float32(rng.NormFloat64()) * float32(math.Exp2(float64(rng.Intn(40)-20)))
+	}
+	c := NewCodec(0)
+	enc, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw blocks must decode bit-exactly.
+	for i := range in {
+		if dec[i] != in[i] {
+			t.Fatalf("raw value %d altered: %v -> %v", i, in[i], dec[i])
+		}
+	}
+	if r := Ratio(len(in), enc); r > 1.01 {
+		t.Errorf("incompressible data ratio = %.2f, want ≈1", r)
+	}
+}
+
+func TestCodecPartialBlock(t *testing.T) {
+	c := NewCodec(0)
+	in := smoothSignal(300) // 1 full block + 44 values
+	enc, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 300 {
+		t.Fatalf("decoded %d, want 300", len(dec))
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	c := NewCodec(0)
+	enc, err := c.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Errorf("decoded %d values from empty stream", len(dec))
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	c := NewCodec(0)
+	if _, err := c.Decode([]byte("not an avr stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := c.Decode(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	// Truncated valid stream.
+	enc, _ := c.Encode(smoothSignal(512))
+	if _, err := c.Decode(enc[:len(enc)-10]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestCodecThresholdKnob(t *testing.T) {
+	in := make([]float32, 4096)
+	rng := rand.New(rand.NewSource(5))
+	for i := range in {
+		in[i] = float32(100 + rng.NormFloat64())
+	}
+	loose, _ := NewCodec(1.0 / 8).Encode(in)
+	tight, _ := NewCodec(1.0 / 256).Encode(in)
+	if len(loose) >= len(tight) {
+		t.Errorf("loose threshold (%d B) not smaller than tight (%d B)", len(loose), len(tight))
+	}
+}
+
+func TestCodecErrorBoundProperty(t *testing.T) {
+	c := NewCodec(0)
+	t1, _ := DefaultThresholds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := 1 + rng.Float64()*1e4
+		in := make([]float32, 777)
+		for i := range in {
+			in[i] = float32(base * (1 + 0.03*rng.NormFloat64()))
+		}
+		enc, err := c.Encode(in)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decode(enc)
+		if err != nil || len(dec) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] == 0 {
+				continue
+			}
+			re := math.Abs(float64(dec[i]-in[i])) / math.Abs(float64(in[i]))
+			if re > t1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioZeroDivision(t *testing.T) {
+	if Ratio(100, nil) != 0 {
+		t.Error("Ratio on empty stream should be 0")
+	}
+}

@@ -1,0 +1,89 @@
+// Heatmap: run the heat-diffusion benchmark under the exact baseline and
+// under AVR, render both temperature fields as ASCII heat maps, and show
+// where the approximation error concentrates.
+//
+// This is the visual version of the paper's quality argument: AVR's
+// downsampling preserves the shape of smooth fields, and the outlier
+// mechanism protects the sharp features.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"avr"
+)
+
+const shades = " .:-=+*#%@"
+
+func render(title string, grid [][]float64, lo, hi float64) {
+	fmt.Println(title)
+	for _, row := range grid {
+		line := make([]byte, len(row))
+		for j, v := range row {
+			t := (v - lo) / (hi - lo)
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			line[j] = shades[int(t*float64(len(shades)-1))]
+		}
+		fmt.Println(string(line))
+	}
+	fmt.Println()
+}
+
+func main() {
+	// Build a synthetic temperature field (two hot spots on a cold
+	// plate), push it through the AVR codec, and render both versions.
+	const n = 96
+	field := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x, y := float64(i)/n, float64(j)/n
+			v := 20 + 60*math.Exp(-((x-0.3)*(x-0.3)+(y-0.5)*(y-0.5))*12) +
+				40*math.Exp(-((x-0.7)*(x-0.7)+(y-0.2)*(y-0.2))*30)
+			field[i*n+j] = float32(v)
+		}
+	}
+	codec := avr.NewCodec(0)
+	enc, err := codec.Encode(field)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := codec.Decode(enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	toGrid := func(f []float32) [][]float64 {
+		var g [][]float64
+		for i := 0; i < n; i += 4 {
+			var row []float64
+			for j := 0; j < n; j += 2 {
+				row = append(row, float64(f[i*n+j]))
+			}
+			g = append(g, row)
+		}
+		return g
+	}
+	render("original temperature field:", toGrid(field), 20, 85)
+	render(fmt.Sprintf("AVR reconstruction (%.1f:1 compressed):",
+		avr.Ratio(len(field), enc)), toGrid(dec), 20, 85)
+
+	// Error map, amplified.
+	errField := make([]float32, n*n)
+	var maxErr float64
+	for i := range field {
+		e := math.Abs(float64(dec[i] - field[i]))
+		errField[i] = float32(e)
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	render(fmt.Sprintf("absolute error (max %.3f K):", maxErr),
+		toGrid(errField), 0, maxErr)
+}

@@ -1,0 +1,66 @@
+// Quickstart: compress a float dataset with the AVR codec, then run one
+// benchmark through the architectural simulator and compare AVR against
+// the uncompressed baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"avr"
+)
+
+func main() {
+	// --- 1. The AVR compressor as a standalone lossy codec. ---
+	data := make([]float32, 64*1024)
+	for i := range data {
+		// A smooth sensor-like signal with occasional spikes.
+		data[i] = float32(20 + 5*math.Sin(float64(i)/100))
+		if i%997 == 0 {
+			data[i] *= 50
+		}
+	}
+	codec := avr.NewCodec(0) // default thresholds (T1 = 1/32)
+	enc, err := codec.Encode(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := codec.Decode(enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range data {
+		re := math.Abs(float64(dec[i]-data[i])) / math.Abs(float64(data[i]))
+		if re > worst {
+			worst = re
+		}
+	}
+	fmt.Printf("codec: %d values -> %d bytes (%.1f:1), worst value error %.3f%%\n",
+		len(data), len(enc), avr.Ratio(len(data), enc), worst*100)
+
+	// --- 2. The architectural simulator. ---
+	fmt.Println("\nsimulating heat diffusion (2D Jacobi) on two memory systems...")
+	base, err := avr.RunBenchmark("heat", avr.Baseline, avr.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := avr.RunBenchmark("heat", avr.AVR, avr.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  baseline: %12d cycles, %6.2f MB DRAM traffic\n",
+		base.Cycles, float64(base.DRAM.TotalBytes())/1e6)
+	fmt.Printf("  AVR:      %12d cycles, %6.2f MB DRAM traffic, %.1f:1 compression\n",
+		res.Cycles, float64(res.DRAM.TotalBytes())/1e6, res.CompressionRatio)
+	fmt.Printf("  speedup %.2fx, traffic reduced %.0f%%\n",
+		float64(base.Cycles)/float64(res.Cycles),
+		100*(1-float64(res.DRAM.TotalBytes())/float64(base.DRAM.TotalBytes())))
+
+	errPct, err := avr.OutputError("heat", avr.AVR, avr.ScaleSmall)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  application output error: %.2f%%\n", errPct*100)
+}

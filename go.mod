@@ -1,0 +1,3 @@
+module avr
+
+go 1.22

@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometry(t *testing.T) {
+	c := New(64*1024, 4, 64) // 64kB 4-way: 256 sets
+	if c.Sets() != 256 || c.Ways() != 4 || c.LineBytes() != 64 {
+		t.Errorf("geometry = %d sets %d ways %d B", c.Sets(), c.Ways(), c.LineBytes())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4, 64) },
+		func() { New(100*1000, 4, 64) }, // non-pow2 sets
+		func() { New(64*1024, 4, 60) },  // non-pow2 line
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(1024, 2, 64)
+	if c.Access(0x100, false) {
+		t.Fatal("cold access must miss")
+	}
+	c.Allocate(0x100, false)
+	if !c.Access(0x100, false) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x13F, false) {
+		t.Fatal("same-line access must hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(2*64, 2, 64) // 1 set, 2 ways
+	c.Allocate(0x000, false)
+	c.Allocate(0x040, false)
+	c.Access(0x000, false) // 0x000 is MRU
+	v := c.Allocate(0x080, false)
+	if !v.Valid || v.Addr != 0x040 {
+		t.Errorf("victim = %+v, want LRU line 0x040", v)
+	}
+	if !c.Probe(0x000) || c.Probe(0x040) || !c.Probe(0x080) {
+		t.Error("wrong lines present after replacement")
+	}
+}
+
+func TestDirtyVictim(t *testing.T) {
+	c := New(64, 1, 64) // direct-mapped single set
+	c.Allocate(0x000, false)
+	c.Access(0x000, true) // dirty it
+	v := c.Allocate(0x040, false)
+	if !v.Valid || !v.Dirty || v.Addr != 0x000 {
+		t.Errorf("victim = %+v, want dirty 0x000", v)
+	}
+	if c.Stats().DirtyEvictions != 1 {
+		t.Error("dirty eviction not counted")
+	}
+}
+
+func TestWriteAllocateDirty(t *testing.T) {
+	c := New(64, 1, 64)
+	c.Allocate(0x000, true)
+	v := c.Allocate(0x040, false)
+	if !v.Dirty {
+		t.Error("write-allocated line must be dirty")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(1024, 2, 64)
+	c.Allocate(0x100, true)
+	v := c.Invalidate(0x100)
+	if !v.Valid || !v.Dirty || v.Addr != 0x100 {
+		t.Errorf("invalidate victim = %+v", v)
+	}
+	if c.Probe(0x100) {
+		t.Error("line still present after invalidate")
+	}
+	if v := c.Invalidate(0x100); v.Valid {
+		t.Error("double invalidate returned a victim")
+	}
+}
+
+func TestMarkClean(t *testing.T) {
+	c := New(64, 1, 64)
+	c.Allocate(0x000, true)
+	c.MarkClean(0x000)
+	v := c.Allocate(0x040, false)
+	if v.Dirty {
+		t.Error("cleaned line evicted dirty")
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	c := New(1024, 2, 64)
+	c.Allocate(0x000, true)
+	c.Allocate(0x040, false)
+	c.Allocate(0x080, true)
+	var got []uint64
+	c.DirtyLines(func(a uint64) { got = append(got, a) })
+	if len(got) != 2 {
+		t.Fatalf("dirty lines = %v, want 2 entries", got)
+	}
+}
+
+func TestAddrReconstruction(t *testing.T) {
+	// Victim addresses must be exact line base addresses.
+	c := New(4*1024, 4, 64)
+	addrs := []uint64{0x0, 0x12340, 0xFFFC0, 0xABCDE00}
+	for _, a := range addrs {
+		c.Allocate(a, false)
+	}
+	for _, a := range addrs {
+		v := c.Invalidate(a)
+		if !v.Valid || v.Addr != c.LineAddr(a) {
+			t.Errorf("addr %#x reconstructed as %#x", a, v.Addr)
+		}
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(1024, 2, 64)
+	if c.LineAddr(0x13F) != 0x100 {
+		t.Errorf("LineAddr(0x13F) = %#x", c.LineAddr(0x13F))
+	}
+}
+
+func TestCapacityProperty(t *testing.T) {
+	// Property: after allocating K distinct lines into a cache of K
+	// lines with a perfectly conflict-free stride, all of them hit.
+	c := New(8*1024, 4, 64) // 128 lines
+	for i := uint64(0); i < 128; i++ {
+		c.Allocate(i*64, false)
+	}
+	for i := uint64(0); i < 128; i++ {
+		if !c.Access(i*64, false) {
+			t.Fatalf("line %d evicted prematurely", i)
+		}
+	}
+}
+
+func TestProbeDoesNotDisturbState(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Allocate(0x000, false)
+	c.Allocate(0x040, false)
+	before := c.Stats()
+	c.Probe(0x000)
+	c.Probe(0x999)
+	if c.Stats() != before {
+		t.Error("Probe changed statistics")
+	}
+	// LRU untouched: 0x000 is still LRU, so it is the victim.
+	v := c.Allocate(0x080, false)
+	if v.Addr != 0x000 {
+		t.Errorf("probe disturbed LRU: victim %#x", v.Addr)
+	}
+}
+
+func TestHitMissAccountingProperty(t *testing.T) {
+	f := func(seq []uint16) bool {
+		c := New(1024, 2, 64)
+		for _, a := range seq {
+			addr := uint64(a)
+			if !c.Access(addr, a%2 == 0) {
+				c.Allocate(addr, a%2 == 0)
+			}
+		}
+		s := c.Stats()
+		return s.Accesses == s.Hits+s.Misses && s.Accesses == uint64(len(seq))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictionConservationProperty(t *testing.T) {
+	// Property: valid lines never exceed capacity, and evictions =
+	// allocations - final valid lines.
+	f := func(seq []uint32) bool {
+		c := New(512, 2, 64) // 8 lines
+		allocs := 0
+		for _, a := range seq {
+			addr := uint64(a) &^ 63
+			if !c.Access(addr, false) {
+				c.Allocate(addr, false)
+				allocs++
+			}
+		}
+		return c.Stats().Evictions <= uint64(allocs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := New(1024, 2, 64)
+	c.Allocate(0x000, true)
+	c.Allocate(0x040, false)
+	c.Allocate(0x080, true)
+	var dirty []uint64
+	c.FlushAll(func(a uint64) { dirty = append(dirty, a) })
+	if len(dirty) != 2 {
+		t.Fatalf("flushed %d dirty lines, want 2", len(dirty))
+	}
+	for _, a := range []uint64{0x000, 0x040, 0x080} {
+		if c.Probe(a) {
+			t.Errorf("line %#x survived FlushAll", a)
+		}
+	}
+	// Nil callback must not panic even with dirty lines.
+	c.Allocate(0x100, true)
+	c.FlushAll(nil)
+}

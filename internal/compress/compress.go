@@ -1,0 +1,502 @@
+// Package compress implements the AVR downsampling compressor and
+// decompressor (ICPP'19 §3.3, Figs. 4–5).
+//
+// A memory block of 16 cachelines holds 256 32-bit values. Compression
+// divides the block into sub-blocks of 16 values and replaces each
+// sub-block with its average, yielding a 16-value (one cacheline) summary:
+// a 16:1 ratio before outliers. Two placement variants are attempted in
+// parallel — 1D (linear runs) and 2D (the block as a 16×16 grid with 4×4
+// sub-blocks) — and the better result wins. Values whose reconstruction
+// violates the per-value error threshold T1 are stored explicitly as
+// outliers together with a 256-bit location bitmap. A compression attempt
+// fails when the average error of non-outliers exceeds T2 or the
+// compressed block does not fit in 8 cachelines.
+//
+// The datapath is hardware-faithful: floats are exponent-biased, converted
+// to Q15.16 fixed point, averaged and interpolated with integer
+// arithmetic, converted back and unbiased. The error check compares sign
+// and exponent fields for equality and bounds the mantissa difference
+// below the Nth most significant bit (error < 1/2^N), as the paper's
+// single-cycle comparator does.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"avr/internal/fixed"
+)
+
+// Geometry of an AVR memory block.
+const (
+	LineBytes     = 64                         // cacheline size
+	BlockLines    = 16                         // cachelines per memory block
+	BlockBytes    = BlockLines * LineBytes     // 1 KiB
+	ValuesPerLine = LineBytes / 4              // 32-bit values per cacheline
+	BlockValues   = BlockLines * ValuesPerLine // 256
+	SubBlockSize  = 16                         // values averaged into one summary value
+	SummaryValues = BlockValues / SubBlockSize // 16, exactly one cacheline
+	// MaxCompressedLines is the largest compressed size still considered a
+	// success (2:1 worst case, §3.1).
+	MaxCompressedLines = 8
+	// BitmapBytes is the outlier bitmap size: one bit per 32-bit value.
+	BitmapBytes = BlockValues / 8 // 32 B, half a cacheline
+)
+
+// Pipeline latencies in processor cycles, from the paper's synthesis
+// results (§3.3): biasing 4, float↔fixed 1 each, downsampling 15,
+// reconstruction 10, error check + outlier compaction 16+16 overlapped,
+// unbias 1. Totals as reported.
+const (
+	CompressLatency   = 49
+	DecompressLatency = 12
+)
+
+// DataType identifies the value representation of an approximable region.
+type DataType uint8
+
+const (
+	// Float32 is IEEE-754 single precision.
+	Float32 DataType = iota
+	// Fixed32 is 32-bit two's-complement fixed point (integer data is the
+	// degenerate case with zero fraction bits).
+	Fixed32
+)
+
+// String returns the conventional name of the data type.
+func (d DataType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Fixed32:
+		return "fixed32"
+	}
+	return fmt.Sprintf("DataType(%d)", uint8(d))
+}
+
+// Method identifies the downsampling placement variant (2 bits in the CMT
+// together with the data type).
+type Method uint8
+
+const (
+	// Method1D treats the block as a linear array of 16 runs of 16 values.
+	Method1D Method = iota
+	// Method2D treats the block as a 16×16 grid of 4×4 sub-blocks.
+	Method2D
+)
+
+// String returns the variant name.
+func (m Method) String() string {
+	switch m {
+	case Method1D:
+		return "1D"
+	case Method2D:
+		return "2D"
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// VariantMask selects which placement variants the compressor attempts.
+// The shipped hardware runs both in parallel; the ablation experiments
+// restrict it.
+type VariantMask uint8
+
+const (
+	Variant1D   VariantMask = 1 << iota // attempt 1D downsampling
+	Variant2D                           // attempt 2D downsampling
+	VariantBoth = Variant1D | Variant2D
+)
+
+// Thresholds holds the two error knobs exposed by AVR (§3.3): T1 bounds
+// the relative error of each individual value, T2 the average relative
+// error of the non-outlier values of a block. The paper's experiments use
+// T1 = 2·T2.
+type Thresholds struct {
+	T1 float64
+	T2 float64
+}
+
+// DefaultThresholds returns the threshold setting used for the paper-shape
+// experiments: T1 = 1/32 (≈3.1% per value), T2 = T1/2.
+func DefaultThresholds() Thresholds { return Thresholds{T1: 1.0 / 32, T2: 1.0 / 64} }
+
+// MantissaBits returns N such that the per-value check "mantissa
+// difference below the Nth MSbit" guarantees relative error < 1/2^N ≤ T1.
+func (t Thresholds) MantissaBits() int {
+	if t.T1 <= 0 {
+		return 23
+	}
+	n := mantissaBitsFor(t.T1)
+	if n > 23 {
+		n = 23
+	}
+	return n
+}
+
+// mantissaBitsFor returns the smallest N with 1/2^N ≤ t1 (at least 1).
+func mantissaBitsFor(t1 float64) int {
+	n := int(math.Ceil(-math.Log2(t1)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Result is the outcome of one compression attempt on a block.
+type Result struct {
+	// OK reports whether compression succeeded (≤ MaxCompressedLines and
+	// average error ≤ T2). When false the block must be stored
+	// uncompressed and only AvgError/Outliers are meaningful diagnostics.
+	OK bool
+	// Method is the winning placement variant.
+	Method Method
+	// Type echoes the data type compressed.
+	Type DataType
+	// Bias is the exponent bias applied before fixed-point conversion
+	// (always 0 for Fixed32 and for blocks where biasing was skipped).
+	Bias int8
+	// Summary holds the 16 sub-block averages in Q15.16 fixed point.
+	Summary [SummaryValues]int32
+	// Bitmap marks outlier positions, one bit per value, LSB-first within
+	// each byte. Only meaningful when NumOutliers > 0.
+	Bitmap [BitmapBytes]byte
+	// Outliers are the exact 32-bit patterns of outlier values in block
+	// order.
+	Outliers []uint32
+	// SizeLines is the compressed size in cachelines (1..8) when OK.
+	SizeLines int
+	// AvgError is the average relative error across non-outlier values.
+	AvgError float64
+	// Reconstructed is the full approximate block as the processor will
+	// see it after decompression: interpolated values with exact outliers
+	// overlaid. Valid whenever the attempt produced a summary (even on
+	// failure, for diagnostics).
+	Reconstructed [BlockValues]uint32
+}
+
+// CompressedLines computes the size in cachelines of a compressed block
+// with k outliers: one summary line plus, when outliers exist, the 32 B
+// bitmap and 4 B per outlier packed into whole lines.
+func CompressedLines(k int) int {
+	if k == 0 {
+		return 1
+	}
+	return 1 + (BitmapBytes+4*k+LineBytes-1)/LineBytes
+}
+
+// MaxOutliers is the largest outlier count that still fits in
+// MaxCompressedLines.
+func MaxOutliers() int {
+	k := 0
+	for CompressedLines(k+1) <= MaxCompressedLines {
+		k++
+	}
+	return k
+}
+
+// Compressor performs block compression and decompression. It is
+// stateless apart from its configuration and scratch buffers, so one
+// instance per simulated AVR module suffices; it is not safe for
+// concurrent use.
+type Compressor struct {
+	thresholds Thresholds
+	variants   VariantMask
+
+	// scratch buffers reused across calls to avoid per-block allocation.
+	fx    [BlockValues]int32
+	recon [BlockValues]int32
+}
+
+// NewCompressor returns a compressor with the given error thresholds
+// attempting both placement variants.
+func NewCompressor(t Thresholds) *Compressor {
+	return &Compressor{thresholds: t, variants: VariantBoth}
+}
+
+// NewCompressorVariants returns a compressor restricted to the given
+// placement variants (used by the ablation experiments).
+func NewCompressorVariants(t Thresholds, v VariantMask) *Compressor {
+	if v == 0 {
+		v = VariantBoth
+	}
+	return &Compressor{thresholds: t, variants: v}
+}
+
+// Thresholds returns the configured error thresholds.
+func (c *Compressor) Thresholds() Thresholds { return c.thresholds }
+
+// Compress attempts to compress a 256-value block of the given data type
+// under the compressor's configured thresholds. vals holds the raw
+// 32-bit patterns (float bits for Float32, two's complement for Fixed32).
+func (c *Compressor) Compress(vals *[BlockValues]uint32, dt DataType) Result {
+	return c.CompressWith(vals, dt, c.thresholds)
+}
+
+// CompressWith is Compress with explicit error thresholds, supporting the
+// paper's per-region threshold extension (§3.1: a threshold field per
+// allocated memory region in the page table).
+func (c *Compressor) CompressWith(vals *[BlockValues]uint32, dt DataType, th Thresholds) Result {
+	var bias int8
+	if dt == Float32 {
+		bias, _ = fixed.ChooseBias(vals[:])
+	}
+
+	// Convert the block to fixed point once; both variants share it.
+	for i, b := range vals {
+		if dt == Float32 {
+			c.fx[i] = fixed.FloatToFixed(fixed.ApplyBias(b, bias))
+		} else {
+			c.fx[i] = int32(b)
+		}
+	}
+
+	var best Result
+	bestValid := false
+	for _, m := range []Method{Method1D, Method2D} {
+		if m == Method1D && c.variants&Variant1D == 0 {
+			continue
+		}
+		if m == Method2D && c.variants&Variant2D == 0 {
+			continue
+		}
+		r := c.attempt(vals, dt, bias, m, th)
+		if !bestValid || better(&r, &best) {
+			best = r
+			bestValid = true
+		}
+	}
+	return best
+}
+
+// better reports whether attempt a beats attempt b: success first, then
+// smaller compressed size, then fewer outliers, then lower average error.
+func better(a, b *Result) bool {
+	if a.OK != b.OK {
+		return a.OK
+	}
+	if a.SizeLines != b.SizeLines {
+		return a.SizeLines < b.SizeLines
+	}
+	if len(a.Outliers) != len(b.Outliers) {
+		return len(a.Outliers) < len(b.Outliers)
+	}
+	return a.AvgError < b.AvgError
+}
+
+// attempt runs one placement variant end to end: downsample, reconstruct,
+// error-check, select outliers.
+func (c *Compressor) attempt(vals *[BlockValues]uint32, dt DataType, bias int8, m Method, th Thresholds) Result {
+	r := Result{Method: m, Type: dt, Bias: bias}
+
+	downsample(&c.fx, &r.Summary, m)
+	interpolate(&r.Summary, &c.recon, m)
+
+	// Convert the reconstruction to output bit patterns and run the error
+	// check against the originals.
+	n := th.MantissaBits()
+	var errSum float64
+	var nonOutliers int
+	for i := 0; i < BlockValues; i++ {
+		var approx uint32
+		if dt == Float32 {
+			approx = fixed.RemoveBias(fixed.FixedToFloat(c.recon[i]), bias)
+		} else {
+			approx = uint32(c.recon[i])
+		}
+		relErr, outlier := valueError(vals[i], approx, dt, n, th.T1)
+		if outlier {
+			r.Bitmap[i>>3] |= 1 << (i & 7)
+			r.Outliers = append(r.Outliers, vals[i])
+			r.Reconstructed[i] = vals[i] // outliers are stored exactly
+		} else {
+			errSum += relErr
+			nonOutliers++
+			r.Reconstructed[i] = approx
+		}
+	}
+	if nonOutliers > 0 {
+		r.AvgError = errSum / float64(nonOutliers)
+	}
+	r.SizeLines = CompressedLines(len(r.Outliers))
+	r.OK = r.SizeLines <= MaxCompressedLines && r.AvgError <= th.T2
+	if !r.OK && r.SizeLines > MaxCompressedLines {
+		r.SizeLines = BlockLines // stored uncompressed
+	}
+	return r
+}
+
+// valueError classifies one value against its reconstruction. It returns
+// the relative error contribution (only meaningful for non-outliers) and
+// whether the value is an outlier.
+//
+// For floats this follows the paper's hardware comparator: an outlier has
+// a sign or exponent mismatch, or a mantissa difference at or above the
+// Nth most significant mantissa bit. The returned error for non-outliers
+// is mantissaDiff/2^23, the quantity the averaging tree accumulates.
+func valueError(orig, approx uint32, dt DataType, n int, t1 float64) (relErr float64, outlier bool) {
+	if dt == Fixed32 {
+		o, a := int64(int32(orig)), int64(int32(approx))
+		d := o - a
+		if d < 0 {
+			d = -d
+		}
+		if o == 0 {
+			return 0, d != 0
+		}
+		ao := o
+		if ao < 0 {
+			ao = -ao
+		}
+		re := float64(d) / float64(ao)
+		return re, re > t1
+	}
+
+	if fixed.IsSpecial(orig) {
+		// NaN/Inf can never be reconstructed from an average.
+		return 0, orig != approx
+	}
+	if fixed.IsDenormalOrZero(orig) {
+		// ±0/denormal: match iff the approximation is also (flushed) zero.
+		return 0, !fixed.IsDenormalOrZero(approx)
+	}
+	if fixed.IsDenormalOrZero(approx) || fixed.IsSpecial(approx) {
+		return 0, true
+	}
+	if orig>>31 != approx>>31 { // sign mismatch
+		return 0, true
+	}
+	if (orig>>23)&0xFF != (approx>>23)&0xFF { // exponent mismatch
+		return 0, true
+	}
+	mo, ma := orig&0x7FFFFF, approx&0x7FFFFF
+	var d uint32
+	if mo > ma {
+		d = mo - ma
+	} else {
+		d = ma - mo
+	}
+	// Outlier when the difference reaches the Nth MSbit of the mantissa,
+	// i.e. d >= 2^(23-n).
+	if bits.Len32(d) > 23-n {
+		return 0, true
+	}
+	return float64(d) / (1 << 23), false
+}
+
+// downsample computes the 16 sub-block averages for the given placement.
+func downsample(fx *[BlockValues]int32, sum *[SummaryValues]int32, m Method) {
+	switch m {
+	case Method1D:
+		for s := 0; s < SummaryValues; s++ {
+			sum[s] = fixed.Average16(fx[s*SubBlockSize : (s+1)*SubBlockSize])
+		}
+	case Method2D:
+		// 16×16 grid, row-major; sub-block (R,C) covers rows 4R..4R+3,
+		// cols 4C..4C+3; summary index R*4+C.
+		var tmp [SubBlockSize]int32
+		for R := 0; R < 4; R++ {
+			for C := 0; C < 4; C++ {
+				k := 0
+				for r := 4 * R; r < 4*R+4; r++ {
+					for col := 4 * C; col < 4*C+4; col++ {
+						tmp[k] = fx[r*16+col]
+						k++
+					}
+				}
+				sum[R*4+C] = fixed.Average16(tmp[:])
+			}
+		}
+	}
+}
+
+// interpolate reconstructs 256 fixed-point values from the 16 summary
+// values: linear interpolation between run centres for 1D, bilinear
+// between sub-block centres for 2D, clamping beyond the outermost centres
+// ("the average values are distributed evenly", §3.3).
+func interpolate(sum *[SummaryValues]int32, out *[BlockValues]int32, m Method) {
+	switch m {
+	case Method1D:
+		// Run i's centre sits at position 16i+7.5; work on a ×2 grid so
+		// centres fall on integers (32i+15). frac is in 32nds.
+		for j := 0; j < BlockValues; j++ {
+			p := 2*j - 15 // position relative to centre 0, ×2
+			if p <= 0 {
+				out[j] = sum[0]
+				continue
+			}
+			i0 := p >> 5
+			if i0 >= SummaryValues-1 {
+				out[j] = sum[SummaryValues-1]
+				continue
+			}
+			frac := int64(p & 31)
+			a, b := int64(sum[i0]), int64(sum[i0+1])
+			out[j] = int32(a + ((b-a)*frac)>>5)
+		}
+	case Method2D:
+		// Sub-block (R,C) centre at (4R+1.5, 4C+1.5); ×2 grid centres at
+		// 8R+3 with spacing 8; frac in 8ths.
+		for r := 0; r < 16; r++ {
+			pr := 2*r - 3
+			R0, fr := clampAxis(pr)
+			for col := 0; col < 16; col++ {
+				pc := 2*col - 3
+				C0, fc := clampAxis(pc)
+				// Bilinear with explicit neighbours; clamped axes return
+				// frac 0 so the redundant neighbour reads are harmless.
+				R1, C1 := R0, C0
+				if R0 < 3 {
+					R1 = R0 + 1
+				}
+				if C0 < 3 {
+					C1 = C0 + 1
+				}
+				a, b := int64(sum[R0*4+C0]), int64(sum[R0*4+C1])
+				c, d := int64(sum[R1*4+C0]), int64(sum[R1*4+C1])
+				top := a + ((b-a)*fc)>>3
+				bot := c + ((d-c)*fc)>>3
+				out[r*16+col] = int32(top + ((bot-top)*fr)>>3)
+			}
+		}
+	}
+}
+
+// clampAxis maps a ×2-grid coordinate to a base summary index and a
+// fractional offset in 8ths, clamping outside the outermost centres.
+func clampAxis(p int) (idx int, frac int64) {
+	if p <= 0 {
+		return 0, 0
+	}
+	i := p >> 3
+	if i >= 3 {
+		return 3, 0
+	}
+	return i, int64(p & 7)
+}
+
+// Decompress reconstructs a block from its compressed representation:
+// summary averages, outlier bitmap and packed outliers (nil when the block
+// compressed without outliers). It returns the 256 bit patterns the
+// processor observes.
+func Decompress(summary *[SummaryValues]int32, bitmap *[BitmapBytes]byte, outliers []uint32, m Method, bias int8, dt DataType) [BlockValues]uint32 {
+	var rec [BlockValues]int32
+	interpolate(summary, &rec, m)
+	var out [BlockValues]uint32
+	oi := 0
+	for i := 0; i < BlockValues; i++ {
+		if bitmap != nil && bitmap[i>>3]&(1<<(i&7)) != 0 {
+			if oi < len(outliers) {
+				out[i] = outliers[oi]
+				oi++
+			}
+			continue
+		}
+		if dt == Float32 {
+			out[i] = fixed.RemoveBias(fixed.FixedToFloat(rec[i]), bias)
+		} else {
+			out[i] = uint32(rec[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package compress
+
+import (
+	"math/bits"
+
+	"avr/internal/fixed"
+)
+
+// 64-bit block geometry: one 1 KiB memory block holds 128 doubles; the
+// 64 B summary then holds 8 sub-block averages (still a 16:1 ratio).
+// This implements the paper's §3.3 note that the compressor "can be
+// easily extended to support other representations" — the simulator and
+// the paper's experiments use the 32-bit path; this path serves the
+// standalone double-precision codec.
+const (
+	BlockValues64   = BlockBytes / 8    // 128
+	SummaryValues64 = LineBytes / 8     // 8
+	SubBlockSize64  = SubBlockSize      // 16 values averaged per summary value
+	BitmapBytes64   = BlockValues64 / 8 // 16 B
+)
+
+// Result64 is the outcome of a 64-bit compression attempt.
+type Result64 struct {
+	OK            bool
+	Bias          int16
+	Summary       [SummaryValues64]int64
+	Bitmap        [BitmapBytes64]byte
+	Outliers      []uint64
+	SizeLines     int
+	AvgError      float64
+	Reconstructed [BlockValues64]uint64
+}
+
+// CompressedLines64 is the size in cachelines of a 64-bit compressed
+// block with k outliers.
+func CompressedLines64(k int) int {
+	if k == 0 {
+		return 1
+	}
+	return 1 + (BitmapBytes64+8*k+LineBytes-1)/LineBytes
+}
+
+// Compress64 attempts to compress a 128-double block (1D downsampling;
+// the 2D variant does not apply to the non-square 64-bit geometry).
+func (c *Compressor) Compress64(vals *[BlockValues64]uint64) Result64 {
+	return c.Compress64With(vals, c.thresholds)
+}
+
+// Compress64With is Compress64 with explicit thresholds.
+func (c *Compressor) Compress64With(vals *[BlockValues64]uint64, th Thresholds) Result64 {
+	var r Result64
+	bias, _ := fixed.ChooseBias64(vals[:])
+	r.Bias = bias
+
+	var fx [BlockValues64]int64
+	for i, b := range vals {
+		fx[i] = fixed.FloatToFixed64(fixed.ApplyBias64(b, bias))
+	}
+	for s := 0; s < SummaryValues64; s++ {
+		r.Summary[s] = fixed.Average16x64(fx[s*SubBlockSize64 : (s+1)*SubBlockSize64])
+	}
+	var rec [BlockValues64]int64
+	interpolate64(&r.Summary, &rec)
+
+	n := th.MantissaBits64()
+	var errSum float64
+	var nonOutliers int
+	for i := 0; i < BlockValues64; i++ {
+		approx := fixed.RemoveBias64(fixed.FixedToFloat64(rec[i]), bias)
+		relErr, outlier := valueError64(vals[i], approx, n)
+		if outlier {
+			r.Bitmap[i>>3] |= 1 << (i & 7)
+			r.Outliers = append(r.Outliers, vals[i])
+			r.Reconstructed[i] = vals[i]
+		} else {
+			errSum += relErr
+			nonOutliers++
+			r.Reconstructed[i] = approx
+		}
+	}
+	if nonOutliers > 0 {
+		r.AvgError = errSum / float64(nonOutliers)
+	}
+	r.SizeLines = CompressedLines64(len(r.Outliers))
+	r.OK = r.SizeLines <= MaxCompressedLines && r.AvgError <= th.T2
+	if !r.OK && r.SizeLines > MaxCompressedLines {
+		r.SizeLines = BlockLines
+	}
+	return r
+}
+
+// Decompress64 reconstructs a 128-double block from its parts.
+func Decompress64(summary *[SummaryValues64]int64, bitmap *[BitmapBytes64]byte, outliers []uint64, bias int16) [BlockValues64]uint64 {
+	var rec [BlockValues64]int64
+	interpolate64(summary, &rec)
+	var out [BlockValues64]uint64
+	oi := 0
+	for i := 0; i < BlockValues64; i++ {
+		if bitmap != nil && bitmap[i>>3]&(1<<(i&7)) != 0 {
+			if oi < len(outliers) {
+				out[i] = outliers[oi]
+				oi++
+			}
+			continue
+		}
+		out[i] = fixed.RemoveBias64(fixed.FixedToFloat64(rec[i]), bias)
+	}
+	return out
+}
+
+// MantissaBits64 returns N for the 52-bit mantissa comparator such that
+// a mantissa difference below the Nth MSbit keeps relative error ≤ T1.
+func (t Thresholds) MantissaBits64() int {
+	if t.T1 <= 0 {
+		return 52
+	}
+	n := mantissaBitsFor(t.T1)
+	if n > 52 {
+		n = 52
+	}
+	return n
+}
+
+// valueError64 is the 64-bit outlier comparator: sign and exponent must
+// match exactly; the mantissa difference must stay below the Nth MSbit.
+func valueError64(orig, approx uint64, n int) (relErr float64, outlier bool) {
+	if fixed.IsSpecial64(orig) {
+		return 0, orig != approx
+	}
+	if fixed.IsDenormalOrZero64(orig) {
+		return 0, !fixed.IsDenormalOrZero64(approx)
+	}
+	if fixed.IsDenormalOrZero64(approx) || fixed.IsSpecial64(approx) {
+		return 0, true
+	}
+	if orig>>63 != approx>>63 {
+		return 0, true
+	}
+	if (orig>>52)&0x7FF != (approx>>52)&0x7FF {
+		return 0, true
+	}
+	mo, ma := orig&((1<<52)-1), approx&((1<<52)-1)
+	var d uint64
+	if mo > ma {
+		d = mo - ma
+	} else {
+		d = ma - mo
+	}
+	if bits.Len64(d) > 52-n {
+		return 0, true
+	}
+	return float64(d) / (1 << 52), false
+}
+
+// interpolate64 reconstructs 128 values from 8 run averages by linear
+// interpolation between run centres (centre of run i at 16i+7.5; ×2 grid
+// centres at 32i+15).
+func interpolate64(sum *[SummaryValues64]int64, out *[BlockValues64]int64) {
+	for j := 0; j < BlockValues64; j++ {
+		p := 2*j - 15
+		if p <= 0 {
+			out[j] = sum[0]
+			continue
+		}
+		i0 := p >> 5
+		if i0 >= SummaryValues64-1 {
+			out[j] = sum[SummaryValues64-1]
+			continue
+		}
+		frac := int64(p & 31)
+		a, b := sum[i0], sum[i0+1]
+		out[j] = a + (b-a)/32*frac
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"avr/internal/compress"
+	"avr/internal/dram"
+	"avr/internal/mem"
+)
+
+// checkInvariants validates the decoupled LLC's structural invariants
+// (Fig. 6): every back-pointer resolves to a valid tag, the per-tag UCL
+// and CMS counts match the entries that point at it, and a block's CMS
+// entries are exactly {0..cmsCount-1} at consecutive sets.
+func (l *LLC) checkInvariants() error {
+	type key struct {
+		ti  uint64
+		way uint8
+	}
+	uclSeen := map[key]int{}
+	cmsSeen := map[key]map[uint8]bool{}
+
+	for s := 0; s < l.sets; s++ {
+		for w := 0; w < l.cfg.Ways; w++ {
+			e := &l.bpa[s*l.cfg.Ways+w]
+			if !e.valid {
+				continue
+			}
+			var ti uint64
+			if e.isCMS {
+				ti = (uint64(s) - uint64(e.clID) + uint64(l.sets)) & uint64(l.sets-1)
+			} else {
+				ti = uint64(e.clID)<<(l.idxBits-4) | uint64(s)>>4
+			}
+			tag := &l.tags[int(ti)*l.cfg.Ways+int(e.tagWay)]
+			if !tag.valid {
+				return fmt.Errorf("set %d way %d: %v entry points to invalid tag (ti=%d way=%d)",
+					s, w, map[bool]string{true: "CMS", false: "UCL"}[e.isCMS], ti, e.tagWay)
+			}
+			k := key{ti, e.tagWay}
+			if e.isCMS {
+				if cmsSeen[k] == nil {
+					cmsSeen[k] = map[uint8]bool{}
+				}
+				if cmsSeen[k][e.clID] {
+					return fmt.Errorf("duplicate CMS %d for block ti=%d", e.clID, ti)
+				}
+				cmsSeen[k][e.clID] = true
+				if int(e.clID) >= int(tag.cmsCount) {
+					return fmt.Errorf("CMS %d beyond cmsCount %d (ti=%d)", e.clID, tag.cmsCount, ti)
+				}
+			} else {
+				uclSeen[k]++
+			}
+		}
+	}
+	for ti := 0; ti < l.sets; ti++ {
+		for w := 0; w < l.cfg.Ways; w++ {
+			tag := &l.tags[ti*l.cfg.Ways+w]
+			if !tag.valid {
+				continue
+			}
+			k := key{uint64(ti), uint8(w)}
+			if got := uclSeen[k]; got != int(tag.uclCount) {
+				return fmt.Errorf("tag ti=%d way=%d: uclCount=%d but %d UCL entries",
+					ti, w, tag.uclCount, got)
+			}
+			if got := len(cmsSeen[k]); got != int(tag.cmsCount) {
+				return fmt.Errorf("tag ti=%d way=%d: cmsCount=%d but %d CMS entries",
+					ti, w, tag.cmsCount, got)
+			}
+		}
+	}
+	return nil
+}
+
+// TestInvariantFuzz drives long random request/writeback streams through
+// the AVR LLC (across configurations) and validates the structural
+// invariants periodically and at the end.
+func TestInvariantFuzz(t *testing.T) {
+	configs := []func(*Config){
+		nil,
+		func(c *Config) { c.LazyEvictions = false },
+		func(c *Config) { c.SkipHistory = false },
+		func(c *Config) { c.PFEEnabled = false },
+		func(c *Config) { c.ApproxEnabled = false },
+		func(c *Config) { c.Thresholds = compress.Thresholds{T1: 1.0 / 512, T2: 1.0 / 1024} },
+	}
+	for ci, mod := range configs {
+		t.Run(fmt.Sprintf("config%d", ci), func(t *testing.T) {
+			space := mem.NewSpace(8 << 20)
+			approxBase := space.AllocApprox(2<<20, compress.Float32)
+			exactBase := space.Alloc(1<<20, 4096)
+			cfg := DefaultConfig(64 << 10)
+			cfg.CMTCachePages = 32
+			if mod != nil {
+				mod(&cfg)
+			}
+			llc := New(cfg, space, dram.New(dram.DDR4(1, 1)))
+
+			rng := rand.New(rand.NewSource(int64(ci + 1)))
+			// Mixed-quality data: some regions smooth, some noisy.
+			for off := uint64(0); off < 2<<20; off += 4 {
+				v := float32(100 + 0.001*float64(off%4096))
+				if (off>>14)%3 == 0 {
+					v = float32(rng.NormFloat64() * 1e4)
+				}
+				space.StoreF32(approxBase+off, v)
+			}
+
+			var now uint64
+			for op := 0; op < 60000; op++ {
+				var addr uint64
+				if rng.Intn(4) == 0 {
+					addr = exactBase + uint64(rng.Intn(1<<14))*64
+				} else {
+					addr = approxBase + uint64(rng.Intn(1<<15))*64
+				}
+				switch rng.Intn(3) {
+				case 0, 1:
+					now += llc.Access(now, addr)
+				default:
+					llc.WriteBack(now, addr)
+				}
+				if op%10000 == 9999 {
+					if err := llc.checkInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			llc.Flush(now)
+			if err := llc.checkInvariants(); err != nil {
+				t.Fatalf("after flush: %v", err)
+			}
+			// After a flush nothing may remain dirty.
+			for s := 0; s < llc.sets; s++ {
+				for w := 0; w < llc.cfg.Ways; w++ {
+					if e := &llc.bpa[s*llc.cfg.Ways+w]; e.valid && e.dirty && !e.isCMS {
+						t.Fatalf("dirty UCL survived flush at set %d", s)
+					}
+				}
+			}
+			for ti := 0; ti < llc.sets; ti++ {
+				for w := 0; w < llc.cfg.Ways; w++ {
+					if tg := &llc.tags[ti*llc.cfg.Ways+w]; tg.valid && tg.dirty && tg.cmsCount > 0 {
+						t.Fatalf("dirty compressed block survived flush at ti %d", ti)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAddressMappingProperty checks the Fig. 6 address-breakdown
+// relations the decoupled lookup relies on.
+func TestAddressMappingProperty(t *testing.T) {
+	space := mem.NewSpace(1 << 20)
+	llc := New(DefaultConfig(256<<10), space, dram.New(dram.DDR4(1, 1)))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		addr := uint64(rng.Int63()) &^ 63 & (1<<40 - 1)
+		ti := llc.tagIndex(addr)
+		bt := llc.blockTag(addr)
+		cl := (addr >> 6) & 0xF
+		// Reconstruction: tag fields + cl offset give back the address.
+		back := bt<<(10+llc.idxBits) | ti<<10 | cl<<6
+		if back != addr {
+			t.Fatalf("address %#x reconstructed as %#x", addr, back)
+		}
+		// The UCL set/suffix relations used by forEachUCL.
+		us := llc.uclSet(addr)
+		suf := llc.suffix(addr)
+		if uint64(suf) != ti>>(llc.idxBits-4) {
+			t.Fatalf("suffix %d != top bits of ti %d", suf, ti)
+		}
+		if us != ((ti&llc.lowMask)<<4 | cl) {
+			t.Fatalf("uclSet %d inconsistent with ti %d cl %d", us, ti, cl)
+		}
+	}
+}

@@ -1,0 +1,884 @@
+// Package core implements the AVR layer of the architecture (ICPP'19
+// §3.3–3.5, Figs. 1, 6, 7, 8): the decoupled last-level cache that
+// co-locates uncompressed cachelines (UCL) and compressed memory
+// subblocks (CMS), the decompressed-block buffer (DBUF) with its
+// prefetch engine (PFE), and the request/eviction state machines that
+// tie the compressor, the CMT and main memory together.
+//
+// Structure (Fig. 6). The tag array holds one entry per memory block
+// (16 cachelines); the back-pointer array (BPA) and data array hold one
+// entry per cacheline. A BPA entry points at its tag through the tag-way
+// field. CMS i of a block indexed at tag set ti lives at BPA set
+// (ti+i) mod sets with CL-id i; a UCL lives at its conventional set with
+// CL-id holding the 4-bit tag suffix. With n index bits, the suffix of
+// every UCL of a block is the top 4 bits of ti, and the UCLs occupy the
+// 16 consecutive sets starting at (ti mod 2^(n-4))·16.
+//
+// Functional data convention: the simulated address space always holds
+// the current reconstruction of every block (see internal/mem), so
+// "decompress and overlay dirty lines" is simply "read the block from the
+// space", and successful compression writes the new reconstruction back.
+// The one approximation this introduces is documented in DESIGN.md §5.4.
+package core
+
+import (
+	"fmt"
+
+	"avr/internal/cmt"
+	"avr/internal/compress"
+	"avr/internal/dram"
+	"avr/internal/lossless"
+	"avr/internal/mem"
+)
+
+// Config parameterises the AVR LLC.
+type Config struct {
+	// CapacityBytes, Ways and LineBytes define the data-array geometry.
+	CapacityBytes int
+	Ways          int
+	// HitCycles is the LLC access latency (Table 1: 15 cycles).
+	HitCycles int
+	// CMSReadCycles is the extra per-subblock latency when reading a
+	// compressed block out of the LLC.
+	CMSReadCycles int
+	// PrefetchThreshold is the PFE rule: prefetch a replaced DBUF block's
+	// remaining lines when at least this many were explicitly requested
+	// (the paper uses half the block, 8).
+	PrefetchThreshold int
+	// LazyEvictions enables lazy writeback of dirty UCLs into the free
+	// space of their compressed block in memory (§3.1). Ablation knob.
+	LazyEvictions bool
+	// SkipHistory enables the badly-compressing-block skip counters
+	// (§3.2). Ablation knob.
+	SkipHistory bool
+	// PFEEnabled enables the prefetch engine. Ablation knob; when false,
+	// replaced DBUF lines are simply dropped.
+	PFEEnabled bool
+	// ApproxEnabled globally gates approximation: false yields the
+	// ZeroAVR configuration (full AVR structures, nothing approximated).
+	ApproxEnabled bool
+	// LosslessLink compresses non-approximated lines on the memory link
+	// (the orthogonal lossless layer of §2); LosslessAlgo selects the
+	// algorithm.
+	LosslessLink bool
+	LosslessAlgo lossless.Algorithm
+	// Thresholds and Variants configure the compressor.
+	Thresholds compress.Thresholds
+	Variants   compress.VariantMask
+	// CMTCachePages sizes the on-chip CMT cache.
+	CMTCachePages int
+}
+
+// DefaultConfig returns an AVR LLC configuration for the given capacity,
+// with the paper's settings for everything else.
+func DefaultConfig(capacity int) Config {
+	return Config{
+		CapacityBytes:     capacity,
+		Ways:              16,
+		HitCycles:         15,
+		CMSReadCycles:     2,
+		PrefetchThreshold: compress.BlockLines / 2,
+		LazyEvictions:     true,
+		SkipHistory:       true,
+		PFEEnabled:        true,
+		ApproxEnabled:     true,
+		Thresholds:        compress.DefaultThresholds(),
+		Variants:          compress.VariantBoth,
+		CMTCachePages:     1024,
+	}
+}
+
+// Stats aggregates AVR LLC behaviour. Request categories follow Fig. 14,
+// eviction categories Fig. 15.
+type Stats struct {
+	Requests     uint64
+	DemandMisses uint64 // for MPKI
+
+	// Fig. 14: requests on approximate cachelines.
+	ApproxMiss      uint64
+	ApproxUncompHit uint64
+	ApproxDBUFHit   uint64
+	ApproxCompHit   uint64
+	// Non-approximate requests.
+	NonApproxHits   uint64
+	NonApproxMisses uint64
+
+	// Fig. 15: evictions of dirty approximate cachelines, classified by
+	// outcome.
+	EvRecompress      uint64 // block compressed in LLC, updated in place
+	EvLazyWB          uint64 // written uncompressed into block free space
+	EvFetchRecompress uint64 // block fetched from memory and recompacted
+	EvUncompWB        uint64 // written back uncompressed (failed/skipped)
+
+	Compresses   uint64
+	Decompresses uint64
+	Prefetches   uint64 // DBUF lines saved into the LLC by the PFE
+	Accesses     uint64 // array accesses, for the energy model
+}
+
+type tagEntry struct {
+	blockTag uint64
+	stamp    uint64
+	cmsCount uint8
+	uclCount uint8
+	valid    bool
+	dirty    bool // the compressed block copy is dirty
+}
+
+type bpaEntry struct {
+	stamp  uint64
+	clID   uint8 // UCL: tag suffix; CMS: subblock index
+	tagWay uint8
+	valid  bool
+	dirty  bool
+	isCMS  bool
+}
+
+type dbufState struct {
+	blockAddr uint64
+	valid     bool
+	dt        compress.DataType
+	requested [compress.BlockLines]bool
+	inLLC     [compress.BlockLines]bool
+}
+
+// LLC is the AVR last-level cache plus AVR layer. Not safe for
+// concurrent use.
+type LLC struct {
+	cfg      Config
+	sets     int
+	idxBits  uint
+	lowMask  uint64 // 2^(n-4)-1
+	tags     []tagEntry
+	bpa      []bpaEntry
+	clock    uint64
+	space    *mem.Space
+	dramCtrl *dram.DRAM
+	table    *cmt.Table
+	comp     *compress.Compressor
+	dbuf     dbufState
+	stats    Stats
+
+	scratch [compress.BlockValues]uint32
+}
+
+// New creates the AVR LLC over the given address space and DRAM model.
+func New(cfg Config, space *mem.Space, d *dram.DRAM) *LLC {
+	sets := cfg.CapacityBytes / (cfg.Ways * compress.LineBytes)
+	if sets < compress.BlockLines || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("core: %d sets invalid (need power of two ≥ 16)", sets))
+	}
+	n := uint(0)
+	for 1<<n < sets {
+		n++
+	}
+	if cfg.CMTCachePages < 1 {
+		cfg.CMTCachePages = 1
+	}
+	return &LLC{
+		cfg:      cfg,
+		sets:     sets,
+		idxBits:  n,
+		lowMask:  uint64(sets>>4) - 1,
+		tags:     make([]tagEntry, sets*cfg.Ways),
+		bpa:      make([]bpaEntry, sets*cfg.Ways),
+		space:    space,
+		dramCtrl: d,
+		table:    cmt.NewTable(compress.BlockBytes, cfg.CMTCachePages),
+		comp:     compress.NewCompressorVariants(cfg.Thresholds, cfg.Variants),
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (l *LLC) Stats() Stats { return l.stats }
+
+// CMT exposes the metadata table (for footprint/compression-ratio
+// reporting and tests).
+func (l *LLC) CMT() *cmt.Table { return l.table }
+
+// ---- address plumbing ----
+
+func (l *LLC) tagIndex(addr uint64) uint64 {
+	return (addr >> 10) & uint64(l.sets-1)
+}
+
+func (l *LLC) blockTag(addr uint64) uint64 {
+	return addr >> (10 + l.idxBits)
+}
+
+func (l *LLC) uclSet(addr uint64) uint64 {
+	return (addr >> 6) & uint64(l.sets-1)
+}
+
+func (l *LLC) suffix(addr uint64) uint8 {
+	return uint8((addr >> (6 + l.idxBits)) & 0xF)
+}
+
+// blockAddrOf reconstructs a block base address from a tag entry.
+func (l *LLC) blockAddrOf(ti uint64, t *tagEntry) uint64 {
+	return t.blockTag<<(10+l.idxBits) | ti<<10
+}
+
+func (l *LLC) tick() uint64 {
+	l.clock++
+	return l.clock
+}
+
+// approxInfo reports whether addr is approximable under this config.
+func (l *LLC) approxInfo(addr uint64) (bool, compress.DataType) {
+	if !l.cfg.ApproxEnabled {
+		return false, 0
+	}
+	info := l.space.Info(addr)
+	return info.Approx, info.Type
+}
+
+// ---- tag array ----
+
+func (l *LLC) findTag(ti uint64, bt uint64) int {
+	base := int(ti) * l.cfg.Ways
+	for w := 0; w < l.cfg.Ways; w++ {
+		t := &l.tags[base+w]
+		if t.valid && t.blockTag == bt {
+			return w
+		}
+	}
+	return -1
+}
+
+// allocTag returns a way for (ti, bt), evicting a victim tag (and every
+// line it owns) when the set is full.
+func (l *LLC) allocTag(now uint64, ti uint64, bt uint64) int {
+	base := int(ti) * l.cfg.Ways
+	victim, oldest := -1, ^uint64(0)
+	for w := 0; w < l.cfg.Ways; w++ {
+		t := &l.tags[base+w]
+		if !t.valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if t.stamp < oldest {
+			oldest = t.stamp
+			victim = w
+		}
+	}
+	t := &l.tags[base+victim]
+	if t.valid {
+		l.evictTag(now, ti, uint8(victim))
+	}
+	*t = tagEntry{blockTag: bt, valid: true, stamp: l.tick()}
+	return victim
+}
+
+// evictTag removes a tag entry and all lines pointing at it.
+func (l *LLC) evictTag(now uint64, ti uint64, way uint8) {
+	t := &l.tags[int(ti)*l.cfg.Ways+int(way)]
+	if t.cmsCount > 0 {
+		l.evictCompressedBlock(now, ti, way)
+	}
+	l.forEachUCL(ti, way, func(set int, w int, e *bpaEntry, clOff int) {
+		addr := l.blockAddrOf(ti, t) | uint64(clOff)<<6
+		if e.dirty {
+			l.evictDirtyUCL(now, addr, ti, way)
+		}
+		e.valid = false
+		e.dirty = false
+	})
+	t.valid = false
+	t.uclCount = 0
+}
+
+// forEachUCL visits every UCL entry of block (ti, way).
+func (l *LLC) forEachUCL(ti uint64, way uint8, fn func(set int, w int, e *bpaEntry, clOff int)) {
+	suffix := uint8(ti >> (l.idxBits - 4))
+	baseSet := (ti & l.lowMask) << 4
+	for cl := 0; cl < compress.BlockLines; cl++ {
+		s := int(baseSet) + cl
+		for w := 0; w < l.cfg.Ways; w++ {
+			e := &l.bpa[s*l.cfg.Ways+w]
+			if e.valid && !e.isCMS && e.tagWay == way && e.clID == suffix {
+				fn(s, w, e, cl)
+			}
+		}
+	}
+}
+
+// ---- BPA / UCL ----
+
+func (l *LLC) findUCL(addr uint64) (int, int, bool) {
+	ti := l.tagIndex(addr)
+	bt := l.blockTag(addr)
+	tw := l.findTag(ti, bt)
+	if tw < 0 {
+		return 0, 0, false
+	}
+	s := int(l.uclSet(addr))
+	suf := l.suffix(addr)
+	for w := 0; w < l.cfg.Ways; w++ {
+		e := &l.bpa[s*l.cfg.Ways+w]
+		if e.valid && !e.isCMS && e.clID == suf && int(e.tagWay) == tw {
+			return s, w, true
+		}
+	}
+	return 0, 0, false
+}
+
+// insertUCL installs addr's line as a UCL (allocating its tag if needed),
+// evicting a BPA victim when the set is full.
+func (l *LLC) insertUCL(now uint64, addr uint64, dirty bool) {
+	l.stats.Accesses++
+	ti := l.tagIndex(addr)
+	bt := l.blockTag(addr)
+	tw := l.findTag(ti, bt)
+	if tw < 0 {
+		tw = l.allocTag(now, ti, bt)
+	}
+	tag := &l.tags[int(ti)*l.cfg.Ways+tw]
+	tag.stamp = l.tick()
+	l.touchCMSLRU(ti, uint8(tw), tag.cmsCount)
+
+	s := int(l.uclSet(addr))
+	suf := l.suffix(addr)
+	// Already present?
+	for w := 0; w < l.cfg.Ways; w++ {
+		e := &l.bpa[s*l.cfg.Ways+w]
+		if e.valid && !e.isCMS && e.clID == suf && int(e.tagWay) == tw {
+			e.stamp = l.tick()
+			e.dirty = e.dirty || dirty
+			return
+		}
+	}
+	w := l.allocBPA(now, s)
+	// The victim handling in allocBPA may have moved tags around; the tag
+	// way of our block is stable (tags are only invalidated, never moved).
+	e := &l.bpa[s*l.cfg.Ways+w]
+	*e = bpaEntry{valid: true, dirty: dirty, isCMS: false, clID: suf, tagWay: uint8(tw), stamp: l.tick()}
+	tag.uclCount++
+}
+
+// allocBPA picks a victim way in BPA set s, runs its eviction flow, and
+// returns the now-free way.
+func (l *LLC) allocBPA(now uint64, s int) int {
+	victim, oldest := -1, ^uint64(0)
+	for w := 0; w < l.cfg.Ways; w++ {
+		e := &l.bpa[s*l.cfg.Ways+w]
+		if !e.valid {
+			return w
+		}
+		if e.stamp < oldest {
+			oldest = e.stamp
+			victim = w
+		}
+	}
+	l.evictBPAEntry(now, s, victim)
+	return victim
+}
+
+// evictBPAEntry runs the Fig. 8 flow for the entry at (s, w) and
+// invalidates it.
+func (l *LLC) evictBPAEntry(now uint64, s, w int) {
+	e := &l.bpa[s*l.cfg.Ways+w]
+	if !e.valid {
+		return
+	}
+	if e.isCMS {
+		// Evicting any CMS evicts the whole compressed block.
+		ti := (uint64(s) - uint64(e.clID) + uint64(l.sets)) & uint64(l.sets-1)
+		l.evictCompressedBlock(now, ti, e.tagWay)
+		return
+	}
+	// UCL.
+	ti := uint64(e.clID)<<(l.idxBits-4) | uint64(s)>>4
+	tag := &l.tags[int(ti)*l.cfg.Ways+int(e.tagWay)]
+	clOff := uint64(s) & 0xF
+	addr := l.blockAddrOf(ti, tag) | clOff<<6
+	dirty := e.dirty
+	e.valid = false
+	e.dirty = false
+	if tag.uclCount > 0 {
+		tag.uclCount--
+	}
+	if dirty {
+		l.evictDirtyUCL(now, addr, ti, e.tagWay)
+	}
+	if tag.uclCount == 0 && tag.cmsCount == 0 {
+		tag.valid = false
+	}
+}
+
+// ---- eviction flows (Fig. 8) ----
+
+// evictDirtyUCL handles the writeback of one dirty uncompressed line.
+func (l *LLC) evictDirtyUCL(now uint64, addr uint64, ti uint64, tagWay uint8) {
+	approx, dt := l.approxInfo(addr)
+	if !approx {
+		l.dramCtrl.AccessBytes(now, addr, l.linkBytes(addr), true, false)
+		return
+	}
+	blockAddr := mem.BlockAddr(addr)
+	tag := &l.tags[int(ti)*l.cfg.Ways+int(tagWay)]
+
+	if tag.valid && tag.cmsCount > 0 {
+		// Compressed block co-located in LLC: update and recompress in
+		// place (left branch of Fig. 8).
+		l.stats.Accesses += uint64(tag.cmsCount)
+		l.stats.Decompresses++
+		res := l.compressBlock(blockAddr, dt)
+		if res.OK {
+			l.stats.EvRecompress++
+			l.installRecompressed(now, ti, tagWay, blockAddr, res)
+		} else {
+			// The block no longer compresses: drop the stale CMSs and
+			// write the line back uncompressed.
+			l.stats.EvUncompWB++
+			l.dropCMSs(ti, tagWay)
+			e := l.table.Lookup(blockAddr)
+			e.RecordFailure()
+			l.table.MarkDirty(blockAddr)
+			l.dramCtrl.Access(now, addr, true, true)
+		}
+		return
+	}
+
+	e := l.table.Lookup(blockAddr)
+	switch {
+	case e.Compressed && l.cfg.LazyEvictions && e.FreeLazySlots() > 0:
+		// Lazy writeback into the block's free space.
+		l.stats.EvLazyWB++
+		e.Lazy++
+		l.table.MarkDirty(blockAddr)
+		l.dramCtrl.Access(now, addr, true, true)
+
+	case e.Compressed:
+		// Free space exhausted: fetch, recompact, write back.
+		l.dramCtrl.AccessLines(now, blockAddr, e.ReadLines(), false, true)
+		l.stats.Decompresses++
+		res := l.compressBlock(blockAddr, dt)
+		if res.OK {
+			l.stats.EvFetchRecompress++
+			e.RecordSuccess(&res)
+			l.table.MarkDirty(blockAddr)
+			l.writeReconstruction(blockAddr, &res)
+			l.foldDirtyUCLs(ti, tagWay)
+			l.dramCtrl.AccessLines(now, blockAddr, res.SizeLines, true, true)
+		} else {
+			l.stats.EvUncompWB++
+			e.RecordFailure()
+			l.table.MarkDirty(blockAddr)
+			l.dramCtrl.AccessLines(now, blockAddr, compress.BlockLines, true, true)
+		}
+
+	default:
+		// Block is uncompressed in memory; consult the skip history
+		// before burning a compression attempt (§3.5).
+		if l.cfg.SkipHistory && !e.ShouldAttempt() {
+			l.stats.EvUncompWB++
+			l.table.MarkDirty(blockAddr)
+			l.dramCtrl.Access(now, addr, true, true)
+			return
+		}
+		l.dramCtrl.AccessLines(now, blockAddr, compress.BlockLines, false, true)
+		res := l.compressBlock(blockAddr, dt)
+		if res.OK {
+			l.stats.EvFetchRecompress++
+			e.RecordSuccess(&res)
+			l.table.MarkDirty(blockAddr)
+			l.writeReconstruction(blockAddr, &res)
+			l.foldDirtyUCLs(ti, tagWay)
+			l.dramCtrl.AccessLines(now, blockAddr, res.SizeLines, true, true)
+		} else {
+			l.stats.EvUncompWB++
+			e.RecordFailure()
+			l.table.MarkDirty(blockAddr)
+			l.dramCtrl.Access(now, addr, true, true)
+		}
+	}
+}
+
+// evictCompressedBlock evicts a block's compressed copy from the LLC
+// (CMS victim or tag eviction): all CMSs are dropped and, when dirty, the
+// block is recompacted with its dirty UCLs and written to memory.
+func (l *LLC) evictCompressedBlock(now uint64, ti uint64, way uint8) {
+	tag := &l.tags[int(ti)*l.cfg.Ways+int(way)]
+	if tag.cmsCount == 0 {
+		return
+	}
+	blockAddr := l.blockAddrOf(ti, tag)
+	dirty := tag.dirty
+	l.dropCMSs(ti, way)
+	tag.dirty = false
+	if tag.uclCount == 0 {
+		tag.valid = false
+	}
+	if !dirty {
+		return
+	}
+	_, dt := l.approxInfo(blockAddr)
+	l.stats.Decompresses++
+	res := l.compressBlock(blockAddr, dt)
+	e := l.table.Lookup(blockAddr)
+	if res.OK {
+		l.stats.EvRecompress++
+		e.RecordSuccess(&res)
+		l.writeReconstruction(blockAddr, &res)
+		l.foldDirtyUCLs(ti, way)
+		l.dramCtrl.AccessLines(now, blockAddr, res.SizeLines, true, true)
+	} else {
+		l.stats.EvUncompWB++
+		e.RecordFailure()
+		l.dramCtrl.AccessLines(now, blockAddr, compress.BlockLines, true, true)
+	}
+	l.table.MarkDirty(blockAddr)
+}
+
+// dropCMSs invalidates every CMS entry of block (ti, way).
+func (l *LLC) dropCMSs(ti uint64, way uint8) {
+	tag := &l.tags[int(ti)*l.cfg.Ways+int(way)]
+	for i := 0; i < int(tag.cmsCount); i++ {
+		s := int((ti + uint64(i)) & uint64(l.sets-1))
+		for w := 0; w < l.cfg.Ways; w++ {
+			e := &l.bpa[s*l.cfg.Ways+w]
+			if e.valid && e.isCMS && e.tagWay == way && int(e.clID) == i {
+				e.valid = false
+				e.dirty = false
+				break
+			}
+		}
+	}
+	tag.cmsCount = 0
+}
+
+// foldDirtyUCLs marks all dirty UCLs of a block clean after their values
+// were folded into a successful recompaction.
+func (l *LLC) foldDirtyUCLs(ti uint64, way uint8) {
+	l.forEachUCL(ti, way, func(_ int, _ int, e *bpaEntry, _ int) {
+		e.dirty = false
+	})
+}
+
+// installRecompressed updates the block's in-LLC compressed copy after a
+// successful recompression: same or fewer CMSs are updated in place;
+// growth beyond the previous footprint is handled by writing the block to
+// memory instead (avoiding allocation recursion; see package comment).
+func (l *LLC) installRecompressed(now uint64, ti uint64, way uint8, blockAddr uint64, res compress.Result) {
+	tag := &l.tags[int(ti)*l.cfg.Ways+int(way)]
+	e := l.table.Lookup(blockAddr)
+	e.RecordSuccess(&res)
+	l.table.MarkDirty(blockAddr)
+	l.writeReconstruction(blockAddr, &res)
+	l.foldDirtyUCLs(ti, way)
+	if res.SizeLines <= int(tag.cmsCount) {
+		// Shrink in place: drop the surplus subblock entries.
+		for i := res.SizeLines; i < int(tag.cmsCount); i++ {
+			s := int((ti + uint64(i)) & uint64(l.sets-1))
+			for w := 0; w < l.cfg.Ways; w++ {
+				be := &l.bpa[s*l.cfg.Ways+w]
+				if be.valid && be.isCMS && be.tagWay == way && int(be.clID) == i {
+					be.valid = false
+					break
+				}
+			}
+		}
+		tag.cmsCount = uint8(res.SizeLines)
+		tag.dirty = true
+		l.stats.Accesses += uint64(res.SizeLines)
+		return
+	}
+	// Grew: push the fresh copy to memory and drop the LLC copy.
+	l.dropCMSs(ti, way)
+	if tag.uclCount == 0 {
+		tag.valid = false
+	}
+	l.dramCtrl.AccessLines(now, blockAddr, res.SizeLines, true, true)
+}
+
+// ---- compression helpers ----
+
+// linkBytes returns the memory-link transfer size for a non-approximated
+// line: 64 B normally, or its BDI-compressed size when the lossless link
+// layer is enabled (1-byte form tag included).
+func (l *LLC) linkBytes(addr uint64) int {
+	if !l.cfg.LosslessLink {
+		return compress.LineBytes
+	}
+	n := lossless.SizeOf(l.cfg.LosslessAlgo, l.space.Line(addr)) + 1
+	if n > compress.LineBytes {
+		n = compress.LineBytes
+	}
+	return n
+}
+
+// compressBlock compresses the current (space-resident) content of a
+// block, honouring the region's own error thresholds when the page
+// carries them (§3.1 extension).
+func (l *LLC) compressBlock(blockAddr uint64, dt compress.DataType) compress.Result {
+	l.stats.Compresses++
+	l.space.ReadBlock(blockAddr, &l.scratch)
+	if th := l.space.Info(blockAddr).Thresholds; th != nil {
+		return l.comp.CompressWith(&l.scratch, dt, *th)
+	}
+	return l.comp.Compress(&l.scratch, dt)
+}
+
+// writeReconstruction commits a successful compression's approximate
+// values to the space, so every later read observes them.
+func (l *LLC) writeReconstruction(blockAddr uint64, res *compress.Result) {
+	l.space.WriteBlock(blockAddr, &res.Reconstructed)
+}
+
+// ---- DBUF / PFE ----
+
+// loadDBUF replaces the DBUF content with blockAddr, first letting the
+// PFE decide whether to save the old block's unfetched lines (§3.3).
+func (l *LLC) loadDBUF(now uint64, blockAddr uint64, dt compress.DataType) {
+	if l.dbuf.valid && l.cfg.PFEEnabled {
+		req := 0
+		for _, r := range l.dbuf.requested {
+			if r {
+				req++
+			}
+		}
+		if req >= l.cfg.PrefetchThreshold {
+			for cl := 0; cl < compress.BlockLines; cl++ {
+				if !l.dbuf.inLLC[cl] {
+					l.stats.Prefetches++
+					l.insertUCL(now, l.dbuf.blockAddr|uint64(cl)<<6, false)
+				}
+			}
+		}
+	}
+	l.dbuf = dbufState{blockAddr: blockAddr, valid: true, dt: dt}
+}
+
+// dbufHit reports whether addr is currently held in the DBUF.
+func (l *LLC) dbufHit(addr uint64) bool {
+	return l.dbuf.valid && l.dbuf.blockAddr == mem.BlockAddr(addr)
+}
+
+// ---- request handling (Fig. 7) ----
+
+// Access serves a demand request (an L2 miss) for the line containing
+// addr at time now and returns the latency seen by the requester.
+func (l *LLC) Access(now uint64, addr uint64) uint64 {
+	l.stats.Requests++
+	l.stats.Accesses++
+	approx, dt := l.approxInfo(addr)
+	hit := uint64(l.cfg.HitCycles)
+	cl := int((addr >> 6) & 0xF)
+
+	// 1. DBUF lookup (in parallel with the tag array).
+	if approx && l.dbufHit(addr) {
+		l.stats.ApproxDBUFHit++
+		l.dbuf.requested[cl] = true
+		l.dbuf.inLLC[cl] = true
+		l.insertUCL(now, addr, false)
+		return hit
+	}
+
+	ti := l.tagIndex(addr)
+	bt := l.blockTag(addr)
+	tw := l.findTag(ti, bt)
+	if tw >= 0 {
+		tag := &l.tags[int(ti)*l.cfg.Ways+tw]
+		// 2. UCL lookup. Accessing any UCL of a block refreshes the tag
+		// LRU and the block's CMS LRU bits (§3.4), keeping a co-located
+		// compressed copy alive while the block is hot.
+		if _, w, ok := l.findUCL(addr); ok {
+			s := int(l.uclSet(addr))
+			l.bpa[s*l.cfg.Ways+w].stamp = l.tick()
+			tag.stamp = l.tick()
+			l.touchCMSLRU(ti, uint8(tw), tag.cmsCount)
+			if approx {
+				l.stats.ApproxUncompHit++
+			} else {
+				l.stats.NonApproxHits++
+			}
+			return hit
+		}
+		// 3. CMS lookup.
+		if approx && tag.cmsCount > 0 {
+			l.stats.ApproxCompHit++
+			l.stats.Decompresses++
+			l.stats.Accesses += uint64(tag.cmsCount)
+			lat := hit + uint64(int(tag.cmsCount)*l.cfg.CMSReadCycles) + compress.DecompressLatency
+			tag.stamp = l.tick()
+			l.touchCMSLRU(ti, uint8(tw), tag.cmsCount)
+			l.loadDBUF(now, mem.BlockAddr(addr), dt)
+			l.dbuf.requested[cl] = true
+			l.dbuf.inLLC[cl] = true
+			l.insertUCL(now, addr, false)
+			return lat
+		}
+	}
+
+	// 4. Miss.
+	l.stats.DemandMisses++
+	if !approx {
+		l.stats.NonApproxMisses++
+		done := l.dramCtrl.AccessBytes(now, addr, l.linkBytes(addr), false, false)
+		l.insertUCL(now, addr, false)
+		return done - now + hit
+	}
+
+	l.stats.ApproxMiss++
+	blockAddr := mem.BlockAddr(addr)
+	e := l.table.Lookup(blockAddr)
+	if !e.Compressed {
+		// Uncompressed block: fetch just the requested line (Fig. 7).
+		done := l.dramCtrl.Access(now, addr, false, true)
+		l.insertUCL(now, addr, false)
+		return done - now + hit
+	}
+
+	// Compressed block: fetch summary+outliers (+ lazy lines), decompress.
+	done := l.dramCtrl.AccessLines(now, blockAddr, e.ReadLines(), false, true)
+	l.stats.Decompresses++
+	lat := done - now + compress.DecompressLatency + hit
+
+	if e.Lazy > 0 {
+		// Fold the lazily evicted lines in and recompress immediately;
+		// the block enters the LLC dirty (§3.5).
+		res := l.compressBlock(blockAddr, dt)
+		if res.OK {
+			e.RecordSuccess(&res)
+			l.table.MarkDirty(blockAddr)
+			l.writeReconstruction(blockAddr, &res)
+			l.installCMSs(now, blockAddr, res.SizeLines, true)
+		} else {
+			// The updated block no longer compresses: it becomes
+			// uncompressed in memory.
+			e.RecordFailure()
+			l.table.MarkDirty(blockAddr)
+			l.dramCtrl.AccessLines(now, blockAddr, compress.BlockLines, true, true)
+		}
+	} else {
+		l.installCMSs(now, blockAddr, int(e.SizeLines), false)
+	}
+
+	l.loadDBUF(now, blockAddr, dt)
+	l.dbuf.requested[cl] = true
+	l.dbuf.inLLC[cl] = true
+	l.insertUCL(now, addr, false)
+	return lat
+}
+
+// WriteBack receives a dirty line written back from the L2: the line is
+// installed (or updated) as a dirty UCL.
+func (l *LLC) WriteBack(now uint64, addr uint64) {
+	l.stats.Accesses++
+	if s, w, ok := l.findUCL(addr); ok {
+		e := &l.bpa[s*l.cfg.Ways+w]
+		e.dirty = true
+		e.stamp = l.tick()
+		// A writeback is an access to a UCL of the block: refresh the tag
+		// and CMS LRU bits (§3.4) so the co-located compressed copy
+		// outlives its dirty lines and absorbs them by recompression.
+		ti := l.tagIndex(addr)
+		tag := &l.tags[int(ti)*l.cfg.Ways+int(e.tagWay)]
+		tag.stamp = l.tick()
+		l.touchCMSLRU(ti, e.tagWay, tag.cmsCount)
+		return
+	}
+	l.insertUCL(now, addr, true)
+}
+
+// touchCMSLRU refreshes the LRU stamps of a block's CMS entries ("the CMS
+// LRU bits are updated when any UCL of the block is accessed").
+func (l *LLC) touchCMSLRU(ti uint64, way uint8, count uint8) {
+	for i := 0; i < int(count); i++ {
+		s := int((ti + uint64(i)) & uint64(l.sets-1))
+		for w := 0; w < l.cfg.Ways; w++ {
+			e := &l.bpa[s*l.cfg.Ways+w]
+			if e.valid && e.isCMS && e.tagWay == way && int(e.clID) == i {
+				e.stamp = l.tick()
+				break
+			}
+		}
+	}
+}
+
+// installCMSs stores a compressed block's subblocks into the LLC at
+// consecutive sets starting from the tag index (§3.4).
+func (l *LLC) installCMSs(now uint64, blockAddr uint64, size int, dirty bool) {
+	ti := l.tagIndex(blockAddr)
+	bt := l.blockTag(blockAddr)
+	tw := l.findTag(ti, bt)
+	if tw < 0 {
+		tw = l.allocTag(now, ti, bt)
+	}
+	tag := &l.tags[int(ti)*l.cfg.Ways+tw]
+	if tag.cmsCount > 0 {
+		l.dropCMSs(ti, uint8(tw))
+	}
+	// While installing, the block is treated as absent (count 0) so any
+	// victim flows triggered below cannot alias the half-installed copy.
+	tag.cmsCount = 0
+	for i := 0; i < size; i++ {
+		s := int((ti + uint64(i)) & uint64(l.sets-1))
+		w := l.allocBPA(now, s)
+		l.bpa[s*l.cfg.Ways+w] = bpaEntry{
+			valid: true, isCMS: true, clID: uint8(i), tagWay: uint8(tw), stamp: l.tick(),
+		}
+		l.stats.Accesses++
+	}
+	// The tag may have been invalidated by a victim flow that emptied the
+	// block (it cannot: CMS entries above point at it), but refresh state.
+	tag.valid = true
+	tag.blockTag = bt
+	tag.cmsCount = uint8(size)
+	tag.dirty = dirty
+	tag.stamp = l.tick()
+}
+
+// Prime compresses every approximable block currently in the space,
+// updating the CMT and committing reconstructions, without generating
+// traffic or timing. It models input data having been written through
+// the memory hierarchy before the measured region of the program (the
+// paper's benchmarks load their inputs through ordinary stores).
+// Blocks that fail to compress stay uncompressed with a clean history.
+func (l *LLC) Prime() {
+	if !l.cfg.ApproxEnabled {
+		return
+	}
+	l.space.ApproxBlocks(func(blockAddr uint64, dt compress.DataType) {
+		l.space.ReadBlock(blockAddr, &l.scratch)
+		var res compress.Result
+		if th := l.space.Info(blockAddr).Thresholds; th != nil {
+			res = l.comp.CompressWith(&l.scratch, dt, *th)
+		} else {
+			res = l.comp.Compress(&l.scratch, dt)
+		}
+		if !res.OK {
+			return
+		}
+		e := l.table.Lookup(blockAddr)
+		e.RecordSuccess(&res)
+		l.writeReconstruction(blockAddr, &res)
+	})
+}
+
+// Flush drains every dirty line and dirty compressed block to memory
+// (used at end of run and by tests; not a hardware operation).
+func (l *LLC) Flush(now uint64) {
+	// Dirty UCLs drain first: evicting one may recompress its co-located
+	// block in place, re-marking that block dirty — the block pass below
+	// then writes it out. The reverse order would leave such blocks
+	// dirty in the LLC.
+	for s := 0; s < l.sets; s++ {
+		for w := 0; w < l.cfg.Ways; w++ {
+			e := &l.bpa[s*l.cfg.Ways+w]
+			if e.valid && !e.isCMS && e.dirty {
+				l.evictBPAEntry(now, s, w)
+			}
+		}
+	}
+	for ti := 0; ti < l.sets; ti++ {
+		for w := 0; w < l.cfg.Ways; w++ {
+			t := &l.tags[ti*l.cfg.Ways+w]
+			if t.valid && t.cmsCount > 0 && t.dirty {
+				l.evictCompressedBlock(now, uint64(ti), uint8(w))
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"avr/internal/compress"
+	"avr/internal/dram"
+	"avr/internal/mem"
+)
+
+// TestPerRegionThresholds exercises the §3.1 extension: two regions with
+// identical (mildly noisy) contents but different per-region thresholds
+// must compress differently — the loose region compresses, the tight one
+// fails.
+func TestPerRegionThresholds(t *testing.T) {
+	space := mem.NewSpace(8 << 20)
+	loose := &compress.Thresholds{T1: 1.0 / 4, T2: 1.0 / 8}
+	tight := &compress.Thresholds{T1: 1.0 / 4096, T2: 1.0 / 8192}
+	looseBase := space.AllocApproxThresholds(64<<10, compress.Float32, loose)
+	tightBase := space.AllocApproxThresholds(64<<10, compress.Float32, tight)
+
+	// Identical noisy content in both regions.
+	fill := func(base uint64) {
+		r := uint64(12345)
+		for off := uint64(0); off < 64<<10; off += 4 {
+			r ^= r << 13
+			r ^= r >> 7
+			r ^= r << 17
+			noise := float32(r%1000)/1000*6 - 3 // ±3 around 100: ~3% variation
+			space.StoreF32(base+off, 100+noise)
+		}
+	}
+	fill(looseBase)
+	fill(tightBase)
+
+	d := dram.New(dram.DDR4(1, 1))
+	llc := New(DefaultConfig(64<<10), space, d)
+	llc.Prime()
+
+	le := llc.CMT().Lookup(looseBase)
+	te := llc.CMT().Lookup(tightBase)
+	if !le.Compressed {
+		t.Error("loose-threshold region did not compress")
+	}
+	if te.Compressed {
+		t.Error("tight-threshold region compressed despite 3% noise vs 0.02% bound")
+	}
+}
+
+// TestPerRegionThresholdsOnWriteback checks the region thresholds are
+// honoured on the eviction/recompression path, not just priming.
+func TestPerRegionThresholdsOnWriteback(t *testing.T) {
+	space := mem.NewSpace(8 << 20)
+	tight := &compress.Thresholds{T1: 1.0 / 4096, T2: 1.0 / 8192}
+	base := space.AllocApproxThresholds(64<<10, compress.Float32, tight)
+	d := dram.New(dram.DDR4(1, 1))
+	llc := New(DefaultConfig(64<<10), space, d)
+
+	// Noisy block written through the hierarchy.
+	r := uint64(777)
+	for off := uint64(0); off < compress.BlockBytes; off += 4 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		space.StoreF32(base+off, 100+float32(r%1000)/500)
+		// ~±1% variation: compressible under defaults, not under tight.
+	}
+	for cl := uint64(0); cl < compress.BlockBytes; cl += 64 {
+		llc.WriteBack(0, base+cl)
+	}
+	llc.Flush(0)
+	if llc.CMT().Lookup(base).Compressed {
+		t.Error("tight region compressed on writeback")
+	}
+	if llc.Stats().EvUncompWB == 0 {
+		t.Error("expected uncompressed writebacks for the tight region")
+	}
+}
+
+// TestNilRegionThresholdsUseGlobal confirms the default path is
+// untouched by the extension.
+func TestNilRegionThresholdsUseGlobal(t *testing.T) {
+	space := mem.NewSpace(4 << 20)
+	base := space.AllocApprox(compress.BlockBytes, compress.Float32)
+	for off := uint64(0); off < compress.BlockBytes; off += 4 {
+		space.StoreF32(base+off, 42)
+	}
+	d := dram.New(dram.DDR4(1, 1))
+	llc := New(DefaultConfig(64<<10), space, d)
+	llc.Prime()
+	if !llc.CMT().Lookup(base).Compressed {
+		t.Error("constant region with default thresholds did not compress")
+	}
+}

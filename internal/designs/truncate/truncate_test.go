@@ -1,0 +1,123 @@
+package truncate
+
+import (
+	"math"
+	"testing"
+
+	"avr/internal/compress"
+	"avr/internal/dram"
+	"avr/internal/mem"
+)
+
+type rig struct {
+	space *mem.Space
+	d     *dram.DRAM
+	llc   *LLC
+	base  uint64
+}
+
+func newRig() *rig {
+	space := mem.NewSpace(4 << 20)
+	base := space.AllocApprox(1<<20, compress.Float32)
+	d := dram.New(dram.DDR4(1, 1))
+	return &rig{space: space, d: d, llc: New(64<<10, 16, 15, space, d), base: base}
+}
+
+func TestHitMiss(t *testing.T) {
+	r := newRig()
+	lat1 := r.llc.Access(0, r.base)
+	if lat1 <= 15 {
+		t.Errorf("miss latency = %d", lat1)
+	}
+	lat2 := r.llc.Access(lat1, r.base)
+	if lat2 != 15 {
+		t.Errorf("hit latency = %d", lat2)
+	}
+}
+
+func TestApproxFetchHalvesTraffic(t *testing.T) {
+	r := newRig()
+	r.llc.Access(0, r.base) // approx: 32 B
+	if got := r.d.Stats().BytesRead; got != 32 {
+		t.Errorf("approx fetch read %d bytes, want 32", got)
+	}
+	na := r.space.Alloc(4096, 64)
+	r.llc.Access(0, na) // exact: 64 B
+	if got := r.d.Stats().BytesRead; got != 32+64 {
+		t.Errorf("total read = %d, want 96", got)
+	}
+}
+
+func TestTruncationError(t *testing.T) {
+	r := newRig()
+	orig := float32(3.14159265)
+	r.space.StoreF32(r.base, orig)
+	r.llc.Access(0, r.base)
+	got := r.space.LoadF32(r.base)
+	if got == orig {
+		t.Error("value not truncated on fetch")
+	}
+	rel := math.Abs(float64(got-orig)) / float64(orig)
+	if rel > 1.0/256 {
+		t.Errorf("truncation error %v exceeds 2^-8", rel)
+	}
+}
+
+func TestTruncationIdempotent(t *testing.T) {
+	r := newRig()
+	r.space.StoreF32(r.base, 2.7182818)
+	r.llc.truncateLine(r.base)
+	once := r.space.Load32(r.base)
+	r.llc.truncateLine(r.base)
+	if r.space.Load32(r.base) != once {
+		t.Error("truncation not idempotent")
+	}
+	if once&0xFFFF != 0 {
+		t.Errorf("low bits survived: %#x", once)
+	}
+}
+
+func TestNonApproxExact(t *testing.T) {
+	r := newRig()
+	na := r.space.Alloc(4096, 64)
+	r.space.StoreF32(na, 1.2345678)
+	r.llc.Access(0, na)
+	if r.space.LoadF32(na) != 1.2345678 {
+		t.Error("non-approx data altered")
+	}
+}
+
+func TestWriteBackTruncatesOnEviction(t *testing.T) {
+	r := newRig()
+	r.space.StoreF32(r.base, 9.87654321)
+	r.llc.WriteBack(0, r.base)
+	r.llc.Flush(0)
+	got := r.space.LoadF32(r.base)
+	if math.Float32bits(got)&0xFFFF != 0 {
+		t.Error("dirty approx line not truncated on writeback")
+	}
+	if r.d.Stats().BytesWritten != 32 {
+		t.Errorf("writeback bytes = %d, want 32", r.d.Stats().BytesWritten)
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	r := newRig()
+	r.llc.WriteBack(0, r.base)
+	r.llc.Flush(0)
+	w := r.d.Stats().BytesWritten
+	r.llc.Flush(0)
+	if r.d.Stats().BytesWritten != w {
+		t.Error("second flush wrote again")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r := newRig()
+	r.llc.Access(0, r.base)
+	r.llc.Access(0, r.base)
+	s := r.llc.Stats()
+	if s.Requests != 2 || s.DemandMisses != 1 || s.ApproxFetches != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

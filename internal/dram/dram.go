@@ -1,0 +1,222 @@
+// Package dram implements a DDR4 main-memory timing model, the repo's
+// substitute for DRAMSim2 (paper §4.1). It models channels, ranks and
+// banks with open-page row-buffer policy, the first-order DDR timing
+// constraints (tRCD/tRP/CL/tRAS) and per-channel data-bus occupancy, all
+// expressed in CPU cycles so the rest of the simulator works in a single
+// clock domain.
+//
+// The model is intentionally at the abstraction level AVR exercises:
+// fewer and shorter bursts must translate into lower queueing delay and
+// lower bus occupancy; sequential lines of a memory block must enjoy
+// row-buffer hits.
+package dram
+
+import "fmt"
+
+// Config describes the memory system geometry and timing.
+type Config struct {
+	// Channels is the number of independent channels.
+	Channels int
+	// BanksPerChannel is the number of banks (across ranks) per channel.
+	BanksPerChannel int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// LineBytes is the transfer granularity (one burst).
+	LineBytes int
+
+	// CPUPerDRAMCycle converts DRAM command cycles to CPU cycles
+	// (3.2 GHz CPU / 800 MHz DDR4-1600 command clock = 4).
+	CPUPerDRAMCycle int
+	// CL, TRCD, TRP, TRAS are the usual DDR timings in DRAM cycles.
+	CL, TRCD, TRP, TRAS int
+	// BurstCycles is the data-bus occupancy of one 64 B burst in DRAM
+	// cycles (BL8 on a 64-bit channel = 4).
+	BurstCycles int
+}
+
+// DDR4 returns the configuration used by the paper's Table 1 (DDR4-1600,
+// 2 channels) scaled to one CMP core slice when sliceDiv > 1: the slice
+// sees 1/sliceDiv of the channel's bandwidth, modelled by stretching the
+// burst occupancy.
+func DDR4(channels, sliceDiv int) Config {
+	if sliceDiv < 1 {
+		sliceDiv = 1
+	}
+	return Config{
+		Channels:        channels,
+		BanksPerChannel: 16,
+		RowBytes:        2048,
+		LineBytes:       64,
+		CPUPerDRAMCycle: 4,
+		CL:              11,
+		TRCD:            11,
+		TRP:             11,
+		TRAS:            28,
+		BurstCycles:     4 * sliceDiv,
+	}
+}
+
+// Stats aggregates DRAM activity.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	RowHits      uint64
+	RowMisses    uint64
+	Activations  uint64
+	Precharges   uint64
+	// ApproxBytes counts traffic flagged as belonging to approximable
+	// data (both directions), for the Figure 11 split.
+	ApproxBytes uint64
+	// BusyCycles accumulates data-bus occupancy (CPU cycles) across
+	// channels, for bandwidth-utilisation reporting.
+	BusyCycles uint64
+}
+
+type bank struct {
+	openRow  int64 // -1 when closed
+	readyAt  uint64
+	rasUntil uint64
+}
+
+// DRAM is the timing model. It is not safe for concurrent use.
+type DRAM struct {
+	cfg      Config
+	banks    []bank   // Channels × BanksPerChannel
+	busFree  []uint64 // per channel
+	stats    Stats
+	lineMask uint64
+}
+
+// New creates a DRAM model from cfg.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 {
+		panic("dram: non-positive geometry")
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("dram: bad line size %d", cfg.LineBytes))
+	}
+	d := &DRAM{
+		cfg:      cfg,
+		banks:    make([]bank, cfg.Channels*cfg.BanksPerChannel),
+		busFree:  make([]uint64, cfg.Channels),
+		lineMask: uint64(cfg.LineBytes) - 1,
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d
+}
+
+// Config returns the model's configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+func (d *DRAM) cpu(dramCycles int) uint64 {
+	return uint64(dramCycles * d.cfg.CPUPerDRAMCycle)
+}
+
+// route maps a line address to (channel, bank, row). Lines interleave
+// across channels, then columns within a row, then banks.
+func (d *DRAM) route(addr uint64) (ch, bk int, row int64) {
+	line := addr / uint64(d.cfg.LineBytes)
+	ch = int(line % uint64(d.cfg.Channels))
+	line /= uint64(d.cfg.Channels)
+	linesPerRow := uint64(d.cfg.RowBytes / d.cfg.LineBytes)
+	rowGlobal := line / linesPerRow
+	bk = int(rowGlobal % uint64(d.cfg.BanksPerChannel))
+	row = int64(rowGlobal / uint64(d.cfg.BanksPerChannel))
+	return ch, bk, row
+}
+
+// Access schedules one full-line burst for the line containing addr at
+// CPU time now and returns its completion time. Writes are posted (the
+// returned completion is when the bus transfer ends; callers typically
+// ignore it). approx flags the traffic for the Figure 11 split.
+func (d *DRAM) Access(now uint64, addr uint64, write bool, approx bool) uint64 {
+	return d.AccessBytes(now, addr, d.cfg.LineBytes, write, approx)
+}
+
+// AccessBytes schedules a burst moving only bytes of the line containing
+// addr — used by designs that transfer compressed lines (e.g. Truncate's
+// 32 B half-lines). Bus occupancy scales with the fraction of the line
+// moved.
+func (d *DRAM) AccessBytes(now uint64, addr uint64, bytes int, write bool, approx bool) uint64 {
+	ch, bk, row := d.route(addr)
+	b := &d.banks[ch*d.cfg.BanksPerChannel+bk]
+
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var cmdLat uint64
+	switch {
+	case b.openRow == row:
+		d.stats.RowHits++
+		cmdLat = d.cpu(d.cfg.CL)
+	case b.openRow == -1:
+		d.stats.RowMisses++
+		d.stats.Activations++
+		cmdLat = d.cpu(d.cfg.TRCD + d.cfg.CL)
+	default:
+		d.stats.RowMisses++
+		d.stats.Activations++
+		d.stats.Precharges++
+		// Respect tRAS before the precharge can issue.
+		if b.rasUntil > start {
+			start = b.rasUntil
+		}
+		cmdLat = d.cpu(d.cfg.TRP + d.cfg.TRCD + d.cfg.CL)
+	}
+	if b.openRow != row {
+		b.openRow = row
+		b.rasUntil = start + d.cpu(d.cfg.TRAS)
+	}
+
+	dataStart := start + cmdLat
+	if d.busFree[ch] > dataStart {
+		dataStart = d.busFree[ch]
+	}
+	if bytes <= 0 || bytes > d.cfg.LineBytes {
+		bytes = d.cfg.LineBytes
+	}
+	burst := uint64((d.cfg.BurstCycles*bytes + d.cfg.LineBytes - 1) / d.cfg.LineBytes * d.cfg.CPUPerDRAMCycle)
+	done := dataStart + burst
+	d.busFree[ch] = done
+	b.readyAt = done
+	d.stats.BusyCycles += burst
+
+	n := uint64(bytes)
+	if write {
+		d.stats.Writes++
+		d.stats.BytesWritten += n
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += n
+	}
+	if approx {
+		d.stats.ApproxBytes += n
+	}
+	return done
+}
+
+// AccessLines schedules count consecutive line bursts starting at addr
+// (an AVR block fetch or compressed-block writeback) and returns the
+// completion of the last burst. Consecutive lines mostly land in the same
+// row, so the block transfer enjoys row-buffer locality.
+func (d *DRAM) AccessLines(now uint64, addr uint64, count int, write bool, approx bool) uint64 {
+	done := now
+	a := addr &^ d.lineMask
+	for i := 0; i < count; i++ {
+		done = d.Access(now, a, write, approx)
+		a += uint64(d.cfg.LineBytes)
+	}
+	return done
+}
+
+// Stats returns a copy of the accumulated counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// TotalBytes returns total bytes moved in both directions.
+func (s Stats) TotalBytes() uint64 { return s.BytesRead + s.BytesWritten }

@@ -1,0 +1,228 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCfg() Config {
+	c := DDR4(1, 1)
+	c.BanksPerChannel = 4
+	return c
+}
+
+func TestColdAccessLatency(t *testing.T) {
+	d := New(testCfg())
+	done := d.Access(0, 0, false, false)
+	want := uint64((11 + 11 + 4) * 4) // tRCD+CL+burst in CPU cycles
+	if done != want {
+		t.Errorf("cold read completion = %d, want %d", done, want)
+	}
+	s := d.Stats()
+	if s.RowMisses != 1 || s.Activations != 1 || s.Precharges != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	d := New(testCfg())
+	t1 := d.Access(0, 0, false, false)
+	// Same row, next line: row hit.
+	t2 := d.Access(t1, 64, false, false)
+	hitLat := t2 - t1
+	missLat := t1 - 0
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %d not faster than miss %d", hitLat, missLat)
+	}
+	if d.Stats().RowHits != 1 {
+		t.Errorf("row hits = %d", d.Stats().RowHits)
+	}
+}
+
+func TestRowConflictRequiresPrecharge(t *testing.T) {
+	cfg := testCfg()
+	d := New(cfg)
+	t1 := d.Access(0, 0, false, false)
+	// Same bank, different row: with 4 banks and 2 KiB rows, rows of one
+	// bank are 4×2 KiB apart.
+	conflictAddr := uint64(cfg.RowBytes * cfg.BanksPerChannel)
+	d.Access(t1, conflictAddr, false, false)
+	s := d.Stats()
+	if s.Precharges != 1 {
+		t.Errorf("precharges = %d, want 1", s.Precharges)
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	cfg := DDR4(2, 1)
+	d := New(cfg)
+	// Consecutive lines alternate channels.
+	c0, _, _ := d.route(0)
+	c1, _, _ := d.route(64)
+	c2, _, _ := d.route(128)
+	if c0 == c1 || c0 != c2 {
+		t.Errorf("channel routing = %d,%d,%d", c0, c1, c2)
+	}
+}
+
+func TestBusSerialisation(t *testing.T) {
+	// Two back-to-back row hits on the same channel cannot overlap their
+	// data transfers.
+	d := New(testCfg())
+	d.Access(0, 0, false, false)
+	warm := d.Access(0, 64, false, false)
+	burst := uint64(d.cfg.BurstCycles * d.cfg.CPUPerDRAMCycle)
+	third := d.Access(0, 128, false, false)
+	if third-warm < burst {
+		t.Errorf("bursts overlapped: %d then %d", warm, third)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	d := New(testCfg())
+	d.Access(0, 0, false, true)
+	d.Access(0, 64, true, false)
+	s := d.Stats()
+	if s.BytesRead != 64 || s.BytesWritten != 64 {
+		t.Errorf("bytes = %d read %d written", s.BytesRead, s.BytesWritten)
+	}
+	if s.ApproxBytes != 64 {
+		t.Errorf("approx bytes = %d", s.ApproxBytes)
+	}
+	if s.TotalBytes() != 128 {
+		t.Errorf("total = %d", s.TotalBytes())
+	}
+}
+
+func TestAccessLines(t *testing.T) {
+	d := New(testCfg())
+	done := d.AccessLines(0, 0, 16, false, true)
+	s := d.Stats()
+	if s.Reads != 16 || s.BytesRead != 1024 {
+		t.Errorf("block read stats = %+v", s)
+	}
+	// 16 consecutive lines in 2 KiB rows: at most 1 row miss.
+	if s.RowMisses != 1 {
+		t.Errorf("row misses = %d, want 1 for a sequential block", s.RowMisses)
+	}
+	// Completion must cover at least 16 serialized bursts.
+	minBurst := uint64(16 * d.cfg.BurstCycles * d.cfg.CPUPerDRAMCycle)
+	if done < minBurst {
+		t.Errorf("block read completed too fast: %d < %d", done, minBurst)
+	}
+}
+
+func TestAccessLinesAlignsAddress(t *testing.T) {
+	d := New(testCfg())
+	d.AccessLines(0, 37, 2, true, false)
+	if d.Stats().Writes != 2 {
+		t.Error("unaligned AccessLines wrong burst count")
+	}
+}
+
+func TestSliceDivStretchesBurst(t *testing.T) {
+	full := New(DDR4(1, 1))
+	slice := New(DDR4(1, 4))
+	tFull := full.AccessLines(0, 0, 16, false, false)
+	tSlice := slice.AccessLines(0, 0, 16, false, false)
+	if tSlice <= tFull {
+		t.Errorf("sliced bandwidth not slower: %d vs %d", tSlice, tFull)
+	}
+}
+
+func TestMonotonicCompletionProperty(t *testing.T) {
+	// Property: issuing accesses at non-decreasing times yields
+	// completions no earlier than issue time.
+	f := func(addrs []uint32) bool {
+		d := New(testCfg())
+		now := uint64(0)
+		for _, a := range addrs {
+			done := d.Access(now, uint64(a), a%3 == 0, false)
+			if done < now {
+				return false
+			}
+			now = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentionSlowsCompletion(t *testing.T) {
+	// The same burst issued when the bank is busy completes later.
+	d := New(testCfg())
+	d.Access(0, 0, false, false)
+	d2 := New(testCfg())
+	first := d2.Access(0, 4096, false, false)
+	_ = first
+	busy := d.Access(0, 0, false, false) // bank still busy from first access
+	fresh := New(testCfg()).Access(0, 0, false, false)
+	if busy <= fresh {
+		t.Errorf("busy-bank access %d not slower than fresh %d", busy, fresh)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Channels: 0, BanksPerChannel: 1, LineBytes: 64},
+		{Channels: 1, BanksPerChannel: 1, LineBytes: 60},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestRouteCoversAllBanks(t *testing.T) {
+	cfg := testCfg()
+	d := New(cfg)
+	seen := map[int]bool{}
+	for a := uint64(0); a < uint64(cfg.RowBytes*cfg.BanksPerChannel*2); a += uint64(cfg.RowBytes) {
+		_, bk, _ := d.route(a)
+		seen[bk] = true
+	}
+	if len(seen) != cfg.BanksPerChannel {
+		t.Errorf("only %d banks used of %d", len(seen), cfg.BanksPerChannel)
+	}
+}
+
+func TestAccessBytesPartialBurst(t *testing.T) {
+	d := New(testCfg())
+	d.AccessBytes(0, 0, 32, false, true)
+	s := d.Stats()
+	if s.BytesRead != 32 {
+		t.Errorf("partial burst read %d bytes, want 32", s.BytesRead)
+	}
+	// Half a line occupies half the burst cycles.
+	full := New(testCfg())
+	full.Access(0, 0, false, false)
+	if s.BusyCycles*2 != full.Stats().BusyCycles {
+		t.Errorf("32 B burst busy %d, 64 B busy %d", s.BusyCycles, full.Stats().BusyCycles)
+	}
+}
+
+func TestAccessBytesClamped(t *testing.T) {
+	d := New(testCfg())
+	d.AccessBytes(0, 0, 0, false, false)   // clamped up to a full line
+	d.AccessBytes(0, 64, 999, true, false) // clamped down to a full line
+	s := d.Stats()
+	if s.BytesRead != 64 || s.BytesWritten != 64 {
+		t.Errorf("clamping failed: %+v", s)
+	}
+}
+
+func TestAccessBytesRoundsUpBusCycles(t *testing.T) {
+	// 1 byte still occupies at least one DRAM cycle of bus time.
+	d := New(testCfg())
+	d.AccessBytes(0, 0, 1, false, false)
+	if d.Stats().BusyCycles == 0 {
+		t.Error("tiny burst occupied no bus time")
+	}
+}

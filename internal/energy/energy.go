@@ -1,0 +1,107 @@
+// Package energy implements the per-event energy model, the repo's
+// substitute for McPAT and CACTI at 32 nm (paper §4.1). System energy is
+// the sum of dynamic event energies (per instruction, per cache access,
+// per DRAM operation, per compressor block operation) plus leakage power
+// integrated over execution time.
+//
+// The constants are ballpark figures for a 32 nm CMP; the evaluation only
+// relies on the relative shape of the Figure 10 breakdown (core-dominated,
+// with DRAM the main memory-side consumer), not on absolute joules.
+package energy
+
+// Params holds per-event energies in picojoules and leakage in watts.
+type Params struct {
+	ClockGHz float64 // to convert cycles to seconds
+
+	// Dynamic energy per event (pJ).
+	PerInstruction float64
+	L1Access       float64
+	L2Access       float64
+	LLCAccess      float64
+	DRAMActivate   float64
+	DRAMReadBurst  float64 // per 64 B burst
+	DRAMWriteBurst float64
+	CompressBlock  float64 // AVR compressor, per block operation
+	DecompressBlk  float64
+
+	// Leakage/background power (W).
+	CoreLeakage float64 // per core
+	CacheLeak   float64 // L1+L2+LLC combined
+	DRAMBackgnd float64
+}
+
+// Default32nm returns the parameter set used by all experiments: values
+// in the range published for 32 nm cores (≈20–40 pJ/instruction), CACTI
+// SRAM access energies and DDR4 device currents, scaled to one core slice.
+func Default32nm() Params {
+	return Params{
+		ClockGHz:       3.2,
+		PerInstruction: 25,
+		L1Access:       10,
+		L2Access:       25,
+		LLCAccess:      80,
+		DRAMActivate:   900,
+		DRAMReadBurst:  1300,
+		DRAMWriteBurst: 1300,
+		CompressBlock:  250,
+		DecompressBlk:  120,
+		CoreLeakage:    0.9,
+		CacheLeak:      0.45,
+		DRAMBackgnd:    0.7,
+	}
+}
+
+// Counts are the activity totals of a run.
+type Counts struct {
+	// Cores scales the leakage terms (0 is treated as 1).
+	Cores        int
+	Instructions uint64
+	L1Accesses   uint64
+	L2Accesses   uint64
+	LLCAccesses  uint64
+	DRAMActs     uint64
+	DRAMReads    uint64
+	DRAMWrites   uint64
+	Compresses   uint64
+	Decompresses uint64
+	Cycles       uint64
+}
+
+// Breakdown is the Figure 10 energy split, in joules.
+type Breakdown struct {
+	Core       float64
+	L1L2       float64
+	LLC        float64
+	DRAM       float64
+	Compressor float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.Core + b.L1L2 + b.LLC + b.DRAM + b.Compressor
+}
+
+// Compute evaluates the model for the given activity counts.
+func (p Params) Compute(c Counts) Breakdown {
+	const pJ = 1e-12
+	cores := float64(c.Cores)
+	if cores < 1 {
+		cores = 1
+	}
+	seconds := float64(c.Cycles) / (p.ClockGHz * 1e9)
+	return Breakdown{
+		Core: float64(c.Instructions)*p.PerInstruction*pJ +
+			p.CoreLeakage*seconds*cores,
+		L1L2: (float64(c.L1Accesses)*p.L1Access+
+			float64(c.L2Accesses)*p.L2Access)*pJ +
+			p.CacheLeak*seconds*0.4*cores,
+		LLC: float64(c.LLCAccesses)*p.LLCAccess*pJ +
+			p.CacheLeak*seconds*0.6,
+		DRAM: (float64(c.DRAMActs)*p.DRAMActivate+
+			float64(c.DRAMReads)*p.DRAMReadBurst+
+			float64(c.DRAMWrites)*p.DRAMWriteBurst)*pJ +
+			p.DRAMBackgnd*seconds,
+		Compressor: (float64(c.Compresses)*p.CompressBlock +
+			float64(c.Decompresses)*p.DecompressBlk) * pJ,
+	}
+}

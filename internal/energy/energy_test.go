@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroCountsOnlyLeakage(t *testing.T) {
+	p := Default32nm()
+	b := p.Compute(Counts{Cycles: 3_200_000_000}) // 1 second
+	if b.Compressor != 0 {
+		t.Error("idle compressor consumed energy")
+	}
+	if b.Core < 0.89 || b.Core > 0.91 {
+		t.Errorf("1s idle core leakage = %v J, want ≈0.9", b.Core)
+	}
+	if b.DRAM < 0.69 || b.DRAM > 0.71 {
+		t.Errorf("1s DRAM background = %v J, want ≈0.7", b.DRAM)
+	}
+}
+
+func TestDynamicEnergyScales(t *testing.T) {
+	p := Default32nm()
+	small := p.Compute(Counts{Instructions: 1e6, Cycles: 1e6})
+	large := p.Compute(Counts{Instructions: 2e6, Cycles: 1e6})
+	if large.Core <= small.Core {
+		t.Error("core energy must grow with instruction count")
+	}
+	deltaJ := large.Core - small.Core
+	wantJ := 1e6 * 25 * 1e-12
+	if deltaJ < wantJ*0.99 || deltaJ > wantJ*1.01 {
+		t.Errorf("marginal instruction energy = %v J, want %v", deltaJ, wantJ)
+	}
+}
+
+func TestDRAMTrafficDominatesWhenHeavy(t *testing.T) {
+	p := Default32nm()
+	b := p.Compute(Counts{
+		Instructions: 1e6,
+		DRAMReads:    1e6,
+		DRAMWrites:   1e6,
+		DRAMActs:     2e5,
+		Cycles:       1e7,
+	})
+	if b.DRAM <= b.Core {
+		t.Errorf("heavy DRAM traffic should dominate: DRAM %v vs core %v", b.DRAM, b.Core)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{Core: 1, L1L2: 2, LLC: 3, DRAM: 4, Compressor: 5}
+	if b.Total() != 15 {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+func TestComputeNonNegativeProperty(t *testing.T) {
+	p := Default32nm()
+	f := func(i, l1, l2, llc, r, w, cy uint32) bool {
+		b := p.Compute(Counts{
+			Instructions: uint64(i),
+			L1Accesses:   uint64(l1),
+			L2Accesses:   uint64(l2),
+			LLCAccesses:  uint64(llc),
+			DRAMReads:    uint64(r),
+			DRAMWrites:   uint64(w),
+			Cycles:       uint64(cy),
+		})
+		return b.Core >= 0 && b.L1L2 >= 0 && b.LLC >= 0 && b.DRAM >= 0 &&
+			b.Compressor >= 0 && b.Total() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInCountsProperty(t *testing.T) {
+	p := Default32nm()
+	f := func(base uint32, extra uint16) bool {
+		c1 := Counts{Instructions: uint64(base), DRAMReads: uint64(base), Cycles: uint64(base)}
+		c2 := c1
+		c2.DRAMReads += uint64(extra)
+		return p.Compute(c2).Total() >= p.Compute(c1).Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressorEnergyCounted(t *testing.T) {
+	p := Default32nm()
+	b := p.Compute(Counts{Compresses: 1000, Decompresses: 2000})
+	want := (1000*250 + 2000*120) * 1e-12
+	if b.Compressor < want*0.99 || b.Compressor > want*1.01 {
+		t.Errorf("compressor energy = %v, want %v", b.Compressor, want)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"avr/internal/compress"
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// ablationVariant is one AVR configuration with a single mechanism
+// changed, for the design-choice ablations DESIGN.md calls out.
+type ablationVariant struct {
+	name   string
+	mutate func(*sim.Config)
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"full-AVR", func(*sim.Config) {}},
+		{"no-lazy-evict", func(c *sim.Config) { c.LazyEvictions = false }},
+		{"no-skip-history", func(c *sim.Config) { c.SkipHistory = false }},
+		{"no-PFE", func(c *sim.Config) { c.PFEEnabled = false }},
+		{"1D-only", func(c *sim.Config) { c.Variants = compress.Variant1D }},
+		{"2D-only", func(c *sim.Config) { c.Variants = compress.Variant2D }},
+		{"tight-T1/128", func(c *sim.Config) {
+			c.Thresholds = compress.Thresholds{T1: 1.0 / 128, T2: 1.0 / 256}
+		}},
+		{"loose-T1/8", func(c *sim.Config) {
+			c.Thresholds = compress.Thresholds{T1: 1.0 / 8, T2: 1.0 / 16}
+		}},
+	}
+}
+
+// ablationBenchmarks are the workloads the ablations run on: one where
+// every AVR mechanism is exercised heavily (heat) and one with mixed
+// compressibility (lattice).
+var ablationBenchmarks = []string{"heat", "lattice"}
+
+// Ablation runs the AVR design-choice ablations and reports execution
+// time and traffic normalised to the baseline design, plus compression
+// ratio and output error per variant.
+func (r *Runner) Ablation() (Report, error) {
+	header := []string{"benchmark", "variant", "exec", "traffic", "ratio", "error"}
+	var rows [][]string
+	for _, bench := range ablationBenchmarks {
+		base, err := r.Run(bench, sim.Baseline)
+		if err != nil {
+			return Report{}, err
+		}
+		baseTraffic := float64(base.Result.DRAM.TotalBytes())
+		for _, v := range ablationVariants() {
+			e, err := r.runVariant(bench, v)
+			if err != nil {
+				return Report{}, err
+			}
+			outErr := MeanRelativeError(base.Output, e.Output)
+			rows = append(rows, []string{
+				bench, v.name,
+				fmt.Sprintf("%.3f", float64(e.Result.Cycles)/float64(base.Result.Cycles)),
+				fmt.Sprintf("%.3f", float64(e.Result.DRAM.TotalBytes())/baseTraffic),
+				fmt.Sprintf("%.1fx", e.Result.CompressionRatio),
+				fmt.Sprintf("%.2f%%", outErr*100),
+			})
+		}
+	}
+	text, csv := renderTable(header, rows)
+	return Report{
+		ID:    "ablation",
+		Title: "Ablation: AVR mechanisms on/off (normalised to baseline)",
+		Text:  text,
+		CSV:   csv,
+	}, nil
+}
+
+// runVariant runs one benchmark under a mutated AVR configuration
+// (memoised under a variant-specific key).
+func (r *Runner) runVariant(bench string, v ablationVariant) (*Entry, error) {
+	k := bench + "/ablation/" + v.name
+	r.mu.Lock()
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.ConfigFor(sim.AVR)
+	v.mutate(&cfg)
+	sys := sim.New(cfg)
+	w.Setup(sys, r.Scale)
+	sys.Prime()
+	w.Run(sys)
+	res := sys.Finish(bench)
+	e := &Entry{Result: res, Output: w.Output(sys)}
+
+	r.mu.Lock()
+	r.cache[k] = e
+	r.mu.Unlock()
+	return e, nil
+}

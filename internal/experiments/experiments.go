@@ -1,0 +1,504 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.3): it runs the benchmark × design matrix, measures
+// application output error against the exact baseline run, and renders
+// each experiment as an aligned text table plus CSV.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// Entry is one completed simulation run.
+type Entry struct {
+	Result sim.Result
+	Output []float64
+}
+
+// Runner executes and memoises the benchmark × design matrix.
+type Runner struct {
+	// Scale selects the input scale for all runs.
+	Scale workloads.Scale
+	// ConfigFor builds the system configuration per design; defaults to
+	// PresetSmall/PresetSlice according to Scale.
+	ConfigFor func(d sim.Design) sim.Config
+
+	mu         sync.Mutex
+	cache      map[string]*Entry
+	multiCache map[string]sim.MultiResult
+}
+
+// NewRunner creates a runner at the given scale.
+func NewRunner(sc workloads.Scale) *Runner {
+	r := &Runner{Scale: sc, cache: make(map[string]*Entry)}
+	r.ConfigFor = func(d sim.Design) sim.Config {
+		if sc == workloads.ScaleSmall {
+			return sim.PresetSmall(d)
+		}
+		return sim.PresetSlice(d)
+	}
+	return r
+}
+
+func key(bench string, d sim.Design) string { return bench + "/" + d.String() }
+
+// Run executes one benchmark on one design (memoised).
+func (r *Runner) Run(bench string, d sim.Design) (*Entry, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[key(bench, d)]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	sys := sim.New(r.ConfigFor(d))
+	w.Setup(sys, r.Scale)
+	sys.Prime()
+	w.Run(sys)
+	res := sys.Finish(bench)
+	e := &Entry{Result: res, Output: w.Output(sys)}
+
+	r.mu.Lock()
+	r.cache[key(bench, d)] = e
+	r.mu.Unlock()
+	return e, nil
+}
+
+// Prefetch runs the given benchmarks × designs concurrently (bounded by
+// GOMAXPROCS) to warm the memo cache.
+func (r *Runner) Prefetch(benches []string, designs []sim.Design) error {
+	type job struct {
+		b string
+		d sim.Design
+	}
+	jobs := make(chan job)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := r.Run(j.b, j.d); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, b := range benches {
+		for _, d := range designs {
+			jobs <- job{b, d}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// OutputError computes the paper's quality metric — the mean of the
+// relative errors of each output value — for a design against the exact
+// baseline run of the same benchmark.
+func (r *Runner) OutputError(bench string, d sim.Design) (float64, error) {
+	base, err := r.Run(bench, sim.Baseline)
+	if err != nil {
+		return 0, err
+	}
+	e, err := r.Run(bench, d)
+	if err != nil {
+		return 0, err
+	}
+	return MeanRelativeError(base.Output, e.Output), nil
+}
+
+// MeanRelativeError is the quality metric: mean over output values of
+// |approx−exact| / max(|exact|, floor), where the floor is a small
+// fraction of the output's mean magnitude so near-zero outputs do not
+// produce spurious infinite errors.
+func MeanRelativeError(exact, approx []float64) float64 {
+	n := len(exact)
+	if len(approx) < n {
+		n = len(approx)
+	}
+	if n == 0 {
+		return 0
+	}
+	var magSum float64
+	for i := 0; i < n; i++ {
+		magSum += math.Abs(exact[i])
+	}
+	floor := 1e-3 * magSum / float64(n)
+	if floor == 0 {
+		floor = 1e-12
+	}
+	var errSum float64
+	for i := 0; i < n; i++ {
+		den := math.Abs(exact[i])
+		if den < floor {
+			den = floor
+		}
+		errSum += math.Abs(approx[i]-exact[i]) / den
+	}
+	return errSum / float64(n)
+}
+
+// Benchmarks lists the benchmark names in the paper's order.
+func Benchmarks() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
+// Report is a rendered experiment: the paper artefact it reproduces, an
+// aligned text table, and the same data as CSV.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+	CSV   string
+}
+
+// renderTable aligns a header row and data rows into a text table and
+// CSV.
+func renderTable(header []string, rows [][]string) (string, string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var text, csv strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				text.WriteString("  ")
+				csv.WriteString(",")
+			}
+			fmt.Fprintf(&text, "%-*s", widths[i], c)
+			csv.WriteString(c)
+		}
+		text.WriteString("\n")
+		csv.WriteString("\n")
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return text.String(), csv.String()
+}
+
+// geomean computes the geometric mean of positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		if v <= 0 {
+			v = 1e-9
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// comparisonDesigns are the non-baseline designs shown in the figures.
+var comparisonDesigns = []sim.Design{sim.Dganger, sim.Truncate, sim.ZeroAVR, sim.AVR}
+
+// normalisedFigure renders one "normalised to baseline" figure (Figs. 9,
+// 11, 12, 13): metric(design)/metric(baseline) per benchmark plus the
+// geometric mean.
+func (r *Runner) normalisedFigure(id, title string, metric func(*Entry) float64) (Report, error) {
+	benches := Benchmarks()
+	header := append([]string{"design"}, append(append([]string{}, benches...), "geomean")...)
+	var rows [][]string
+	for _, d := range comparisonDesigns {
+		row := []string{d.String()}
+		var vals []float64
+		for _, b := range benches {
+			base, err := r.Run(b, sim.Baseline)
+			if err != nil {
+				return Report{}, err
+			}
+			e, err := r.Run(b, d)
+			if err != nil {
+				return Report{}, err
+			}
+			v := 1.0
+			if m := metric(base); m != 0 {
+				v = metric(e) / m
+			}
+			vals = append(vals, v)
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		row = append(row, fmt.Sprintf("%.3f", geomean(vals)))
+		rows = append(rows, row)
+	}
+	text, csv := renderTable(header, rows)
+	return Report{ID: id, Title: title, Text: text, CSV: csv}, nil
+}
+
+// Table3 reproduces "Application output error".
+func (r *Runner) Table3() (Report, error) {
+	benches := Benchmarks()
+	header := append([]string{"design"}, benches...)
+	var rows [][]string
+	for _, d := range []sim.Design{sim.Dganger, sim.Truncate, sim.AVR} {
+		row := []string{d.String()}
+		for _, b := range benches {
+			e, err := r.OutputError(b, d)
+			if err != nil {
+				return Report{}, err
+			}
+			switch {
+			case e < 0.0005:
+				row = append(row, "<0.05%")
+			case e > 1:
+				row = append(row, ">100%")
+			default:
+				row = append(row, fmt.Sprintf("%.1f%%", e*100))
+			}
+		}
+		rows = append(rows, row)
+	}
+	text, csv := renderTable(header, rows)
+	return Report{ID: "table3", Title: "Table 3: Application output error", Text: text, CSV: csv}, nil
+}
+
+// Table4 reproduces "AVR compression ratio and footprint reduction".
+func (r *Runner) Table4() (Report, error) {
+	benches := Benchmarks()
+	header := append([]string{"metric"}, benches...)
+	ratio := []string{"Compr. Ratio"}
+	foot := []string{"Mem. Footprint"}
+	for _, b := range benches {
+		e, err := r.Run(b, sim.AVR)
+		if err != nil {
+			return Report{}, err
+		}
+		ratio = append(ratio, fmt.Sprintf("%.1fx", e.Result.CompressionRatio))
+		foot = append(foot, fmt.Sprintf("%.1f%%", e.Result.FootprintFraction*100))
+	}
+	text, csv := renderTable(header, [][]string{ratio, foot})
+	return Report{ID: "table4", Title: "Table 4: AVR compression ratio and memory footprint", Text: text, CSV: csv}, nil
+}
+
+// Fig9 reproduces execution time normalised to baseline.
+func (r *Runner) Fig9() (Report, error) {
+	return r.normalisedFigure("fig9", "Figure 9: Execution time (normalised to baseline)",
+		func(e *Entry) float64 { return float64(e.Result.Cycles) })
+}
+
+// Fig10 reproduces the system energy breakdown normalised to baseline.
+func (r *Runner) Fig10() (Report, error) {
+	benches := Benchmarks()
+	header := []string{"benchmark", "design", "core", "L1+L2", "LLC", "DRAM", "compressor", "total"}
+	var rows [][]string
+	for _, b := range benches {
+		base, err := r.Run(b, sim.Baseline)
+		if err != nil {
+			return Report{}, err
+		}
+		bt := base.Result.Energy.Total()
+		for _, d := range sim.Designs {
+			e, err := r.Run(b, d)
+			if err != nil {
+				return Report{}, err
+			}
+			en := e.Result.Energy
+			rows = append(rows, []string{
+				b, d.String(),
+				fmt.Sprintf("%.3f", en.Core/bt),
+				fmt.Sprintf("%.3f", en.L1L2/bt),
+				fmt.Sprintf("%.3f", en.LLC/bt),
+				fmt.Sprintf("%.3f", en.DRAM/bt),
+				fmt.Sprintf("%.3f", en.Compressor/bt),
+				fmt.Sprintf("%.3f", en.Total()/bt),
+			})
+		}
+	}
+	text, csv := renderTable(header, rows)
+	return Report{ID: "fig10", Title: "Figure 10: System energy (normalised to baseline, by component)", Text: text, CSV: csv}, nil
+}
+
+// Fig11 reproduces DRAM traffic normalised to baseline, with the
+// approx/non-approx split.
+func (r *Runner) Fig11() (Report, error) {
+	benches := Benchmarks()
+	header := []string{"benchmark", "design", "total", "approx", "non-approx"}
+	var rows [][]string
+	for _, b := range benches {
+		base, err := r.Run(b, sim.Baseline)
+		if err != nil {
+			return Report{}, err
+		}
+		baseTotal := float64(base.Result.DRAM.TotalBytes() + base.Result.CMTTrafficBytes)
+		for _, d := range comparisonDesigns {
+			e, err := r.Run(b, d)
+			if err != nil {
+				return Report{}, err
+			}
+			total := float64(e.Result.DRAM.TotalBytes() + e.Result.CMTTrafficBytes)
+			approx := float64(e.Result.DRAM.ApproxBytes)
+			rows = append(rows, []string{
+				b, d.String(),
+				fmt.Sprintf("%.3f", total/baseTotal),
+				fmt.Sprintf("%.3f", approx/baseTotal),
+				fmt.Sprintf("%.3f", (total-approx)/baseTotal),
+			})
+		}
+	}
+	text, csv := renderTable(header, rows)
+	return Report{ID: "fig11", Title: "Figure 11: Memory traffic (normalised to baseline)", Text: text, CSV: csv}, nil
+}
+
+// Fig12 reproduces average memory access time normalised to baseline.
+func (r *Runner) Fig12() (Report, error) {
+	return r.normalisedFigure("fig12", "Figure 12: Average memory access time (normalised to baseline)",
+		func(e *Entry) float64 { return e.Result.AMAT })
+}
+
+// Fig13 reproduces LLC MPKI normalised to baseline.
+func (r *Runner) Fig13() (Report, error) {
+	return r.normalisedFigure("fig13", "Figure 13: LLC misses per kilo-instruction (normalised to baseline)",
+		func(e *Entry) float64 { return e.Result.MPKI })
+}
+
+// Fig14 reproduces the AVR LLC request breakdown on approximate
+// cachelines.
+func (r *Runner) Fig14() (Report, error) {
+	header := []string{"benchmark", "miss", "uncompressed-hit", "dbuf-hit", "compressed-hit"}
+	var rows [][]string
+	for _, b := range Benchmarks() {
+		e, err := r.Run(b, sim.AVR)
+		if err != nil {
+			return Report{}, err
+		}
+		st := e.Result.AVRStats
+		total := float64(st.ApproxMiss + st.ApproxUncompHit + st.ApproxDBUFHit + st.ApproxCompHit)
+		if total == 0 {
+			total = 1
+		}
+		rows = append(rows, []string{
+			b,
+			fmt.Sprintf("%.1f%%", 100*float64(st.ApproxMiss)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.ApproxUncompHit)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.ApproxDBUFHit)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.ApproxCompHit)/total),
+		})
+	}
+	text, csv := renderTable(header, rows)
+	return Report{ID: "fig14", Title: "Figure 14: AVR LLC requests on approximate cachelines", Text: text, CSV: csv}, nil
+}
+
+// Fig15 reproduces the AVR LLC eviction breakdown.
+func (r *Runner) Fig15() (Report, error) {
+	header := []string{"benchmark", "recompress", "lazy-writeback", "fetch+recompress", "uncompressed-wb"}
+	var rows [][]string
+	for _, b := range Benchmarks() {
+		e, err := r.Run(b, sim.AVR)
+		if err != nil {
+			return Report{}, err
+		}
+		st := e.Result.AVRStats
+		total := float64(st.EvRecompress + st.EvLazyWB + st.EvFetchRecompress + st.EvUncompWB)
+		if total == 0 {
+			total = 1
+		}
+		rows = append(rows, []string{
+			b,
+			fmt.Sprintf("%.1f%%", 100*float64(st.EvRecompress)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.EvLazyWB)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.EvFetchRecompress)/total),
+			fmt.Sprintf("%.1f%%", 100*float64(st.EvUncompWB)/total),
+		})
+	}
+	text, csv := renderTable(header, rows)
+	return Report{ID: "fig15", Title: "Figure 15: AVR LLC evictions of approximate cachelines", Text: text, CSV: csv}, nil
+}
+
+// Overhead reproduces the §4.2 hardware overhead accounting.
+func (r *Runner) Overhead() (Report, error) {
+	cfg := r.ConfigFor(sim.AVR)
+	llcLines := cfg.LLCBytes / 64
+	extraBits := llcLines * 18 // tag-array + BPA additions per entry
+	header := []string{"structure", "overhead"}
+	rows := [][]string{
+		{"CMT + TLB bit per page", "93 bits (4×23 + 1)"},
+		{"LLC tag+BPA additions", fmt.Sprintf("%d kB (18 b/entry, %.1f%% of LLC)",
+			extraBits/8/1024, 100*float64(extraBits/8)/float64(cfg.LLCBytes))},
+		{"Compressor module", "~200k cells (synthesis, from paper)"},
+	}
+	text, csv := renderTable(header, rows)
+	return Report{ID: "overhead", Title: "Section 4.2: AVR hardware overhead", Text: text, CSV: csv}, nil
+}
+
+// ByID runs one experiment by its identifier.
+func (r *Runner) ByID(id string) (Report, error) {
+	switch strings.ToLower(id) {
+	case "table3":
+		return r.Table3()
+	case "table4":
+		return r.Table4()
+	case "fig9":
+		return r.Fig9()
+	case "fig10":
+		return r.Fig10()
+	case "fig11":
+		return r.Fig11()
+	case "fig12":
+		return r.Fig12()
+	case "fig13":
+		return r.Fig13()
+	case "fig14":
+		return r.Fig14()
+	case "fig15":
+		return r.Fig15()
+	case "overhead":
+		return r.Overhead()
+	case "ablation":
+		return r.Ablation()
+	case "llcsweep":
+		return r.LLCSweep()
+	case "multicore":
+		return r.Multicore()
+	case "lossless":
+		return r.Lossless()
+	case "thresholds":
+		return r.ThresholdSweep()
+	}
+	return Report{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// IDs lists all experiment identifiers.
+func IDs() []string {
+	ids := []string{"table3", "table4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "overhead", "ablation", "llcsweep", "multicore", "lossless", "thresholds"}
+	sort.Strings(ids)
+	return ids
+}

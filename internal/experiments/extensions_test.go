@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"avr/internal/lossless"
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// TestLLCSweepReport exercises the capacity sweep end to end and checks
+// its core claim: AVR's normalised traffic stays below 1 at every
+// capacity.
+func TestLLCSweepReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := NewRunner(workloads.ScaleSmall)
+	rep, err := r.LLCSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "64kB") || !strings.Contains(rep.Text, "1024kB") {
+		t.Errorf("sweep missing capacities:\n%s", rep.Text)
+	}
+	for _, line := range strings.Split(rep.CSV, "\n") {
+		cells := strings.Split(line, ",")
+		if len(cells) < 3 || cells[0] == "LLC" || cells[0] == "" {
+			continue
+		}
+		if !strings.HasPrefix(cells[2], "0.") {
+			t.Errorf("AVR traffic not below baseline at %s: %s", cells[0], cells[2])
+		}
+	}
+}
+
+// TestMulticoreReport checks the scaling experiment produces all rows
+// and that AVR at 2 cores beats AVR at 1 core.
+func TestMulticoreReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multicore")
+	}
+	r := NewRunner(workloads.ScaleSmall)
+	rep, err := r.Multicore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Count(rep.CSV, "\n") - 1
+	if rows != len(multicoreCounts)*2 {
+		t.Errorf("multicore rows = %d, want %d:\n%s", rows, len(multicoreCounts)*2, rep.Text)
+	}
+	one, err := r.runMulticore("heat", sim.AVR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := r.runMulticore("heat", sim.AVR, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Cycles >= one.Cycles {
+		t.Errorf("2-core AVR (%d) not faster than 1-core (%d)", two.Cycles, one.Cycles)
+	}
+}
+
+// TestLosslessReport checks the BDI stacking experiment: BDI must help
+// the baseline on wrf (mostly exact data), and AVR+BDI must beat plain
+// AVR there.
+func TestLosslessReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lossless")
+	}
+	r := NewRunner(workloads.ScaleSmall)
+	if _, err := r.Lossless(); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := r.runLossless("wrf", sim.Baseline, false, lossless.BDI)
+	bdi, _ := r.runLossless("wrf", sim.Baseline, true, lossless.BDI)
+	avr, _ := r.runLossless("wrf", sim.AVR, false, lossless.BDI)
+	stacked, _ := r.runLossless("wrf", sim.AVR, true, lossless.BDI)
+	if bdi.Result.DRAM.TotalBytes() >= base.Result.DRAM.TotalBytes() {
+		t.Error("BDI did not reduce wrf baseline traffic")
+	}
+	if stacked.Result.DRAM.TotalBytes() >= avr.Result.DRAM.TotalBytes() {
+		t.Error("BDI stacked on AVR did not reduce wrf traffic further")
+	}
+}
+
+// TestAblationReport checks the ablation table renders with every
+// variant present.
+func TestAblationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation")
+	}
+	r := NewRunner(workloads.ScaleSmall)
+	rep, err := r.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ablationVariants() {
+		if !strings.Contains(rep.Text, v.name) {
+			t.Errorf("ablation missing variant %s", v.name)
+		}
+	}
+}

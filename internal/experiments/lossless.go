@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"avr/internal/lossless"
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// Lossless evaluates the §2 claim that lossless compression is
+// orthogonal to AVR: BDI or FPC on the memory link for non-approximated
+// lines, alone and stacked on AVR. wrf is the interesting case — 85% of
+// its traffic is exact data AVR cannot touch; bscholes and heat bound
+// the effect from both sides. FPC's integer-oriented patterns do little
+// for float-heavy lines, bounding what any lossless scheme can add.
+func (r *Runner) Lossless() (Report, error) {
+	benches := []string{"wrf", "bscholes", "heat"}
+	type variant struct {
+		name   string
+		design sim.Design
+		link   bool
+		algo   lossless.Algorithm
+	}
+	variants := []variant{
+		{"baseline", sim.Baseline, false, lossless.BDI},
+		{"baseline+BDI", sim.Baseline, true, lossless.BDI},
+		{"baseline+FPC", sim.Baseline, true, lossless.FPC},
+		{"AVR", sim.AVR, false, lossless.BDI},
+		{"AVR+BDI", sim.AVR, true, lossless.BDI},
+		{"AVR+FPC", sim.AVR, true, lossless.FPC},
+	}
+	header := []string{"benchmark", "variant", "exec", "traffic", "non-approx traffic"}
+	var rows [][]string
+	for _, b := range benches {
+		base, err := r.runLossless(b, sim.Baseline, false, lossless.BDI)
+		if err != nil {
+			return Report{}, err
+		}
+		baseTotal := float64(base.Result.DRAM.TotalBytes())
+		baseNA := float64(base.Result.DRAM.TotalBytes() - base.Result.DRAM.ApproxBytes)
+		for _, v := range variants {
+			e, err := r.runLossless(b, v.design, v.link, v.algo)
+			if err != nil {
+				return Report{}, err
+			}
+			na := float64(e.Result.DRAM.TotalBytes() - e.Result.DRAM.ApproxBytes)
+			naCell := "-"
+			if baseNA > 0 {
+				naCell = fmt.Sprintf("%.3f", na/baseNA)
+			}
+			rows = append(rows, []string{
+				b, v.name,
+				fmt.Sprintf("%.3f", float64(e.Result.Cycles)/float64(base.Result.Cycles)),
+				fmt.Sprintf("%.3f", float64(e.Result.DRAM.TotalBytes())/baseTotal),
+				naCell,
+			})
+		}
+	}
+	text, csv := renderTable(header, rows)
+	return Report{
+		ID:    "lossless",
+		Title: "Lossless link layer (BDI/FPC) alone and stacked on AVR (normalised to baseline)",
+		Text:  text,
+		CSV:   csv,
+	}, nil
+}
+
+// runLossless runs one benchmark with the lossless link knob (memoised).
+func (r *Runner) runLossless(bench string, d sim.Design, link bool, algo lossless.Algorithm) (*Entry, error) {
+	k := fmt.Sprintf("%s/%s/link-%v", bench, d, algo)
+	if !link {
+		return r.Run(bench, d) // identical to the plain matrix run
+	}
+	r.mu.Lock()
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.ConfigFor(d)
+	cfg.LosslessLink = true
+	cfg.LosslessAlgo = algo
+	sys := sim.New(cfg)
+	w.Setup(sys, r.Scale)
+	sys.Prime()
+	w.Run(sys)
+	res := sys.Finish(bench)
+	e := &Entry{Result: res, Output: w.Output(sys)}
+
+	r.mu.Lock()
+	r.cache[k] = e
+	r.mu.Unlock()
+	return e, nil
+}

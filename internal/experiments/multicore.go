@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// multicoreCounts are the CMP sizes of the scaling experiment.
+var multicoreCounts = []int{1, 2, 4, 8}
+
+// multicoreConfig derives a shared-resource configuration from the
+// scale's per-slice preset: the LLC and DRAM are no longer sliced
+// per-core (all cores contend for them, as in the paper's Table 1 CMP).
+func (r *Runner) multicoreConfig(d sim.Design) sim.Config {
+	cfg := r.ConfigFor(d)
+	cfg.LLCBytes *= 4 // shared capacity instead of a per-core slice
+	cfg.DRAMChannels = 2
+	cfg.DRAMSliceDiv = 1
+	return cfg
+}
+
+// Multicore runs the true N-core simulation (shared LLC and DRAM,
+// barrier-flush coherence, deterministic scheduling) on the parallel
+// heat decomposition and reports scaling for Baseline vs AVR — the
+// paper's bandwidth-wall argument: as cores contend for pins, AVR's
+// traffic reduction buys more than it does on one core.
+func (r *Runner) Multicore() (Report, error) {
+	const bench = "heat"
+	header := []string{"cores", "design", "cycles", "speedup", "traffic-MB", "IPC"}
+	var rows [][]string
+	base1 := map[sim.Design]uint64{}
+	for _, n := range multicoreCounts {
+		for _, d := range []sim.Design{sim.Baseline, sim.AVR} {
+			res, err := r.runMulticore(bench, d, n)
+			if err != nil {
+				return Report{}, err
+			}
+			if n == 1 {
+				base1[d] = res.Cycles
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", n),
+				d.String(),
+				fmt.Sprintf("%d", res.Cycles),
+				fmt.Sprintf("%.2fx", float64(base1[d])/float64(res.Cycles)),
+				fmt.Sprintf("%.1f", float64(res.Result.DRAM.TotalBytes())/1e6),
+				fmt.Sprintf("%.2f", res.Result.IPC),
+			})
+		}
+	}
+	text, csv := renderTable(header, rows)
+	return Report{
+		ID:    "multicore",
+		Title: "Multicore scaling: heat on a shared-LLC CMP (speedup vs same design at 1 core)",
+		Text:  text,
+		CSV:   csv,
+	}, nil
+}
+
+// runMulticore executes one parallel benchmark on an n-core system
+// (memoised).
+func (r *Runner) runMulticore(bench string, d sim.Design, n int) (sim.MultiResult, error) {
+	k := fmt.Sprintf("%s/%s/cores%d", bench, d, n)
+	r.mu.Lock()
+	if r.multiCache == nil {
+		r.multiCache = map[string]sim.MultiResult{}
+	}
+	if e, ok := r.multiCache[k]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workloads.ParallelByName(bench)
+	if err != nil {
+		return sim.MultiResult{}, err
+	}
+	m := sim.NewMulti(r.multicoreConfig(d), n)
+	w.Setup(m.Shared(), r.Scale)
+	m.Prime()
+	m.Run(w.RunShard)
+	res := m.Finish(bench)
+
+	r.mu.Lock()
+	r.multiCache[k] = res
+	r.mu.Unlock()
+	return res, nil
+}

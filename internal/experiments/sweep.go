@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// sweepCapacities are the LLC slice sizes of the capacity sensitivity
+// study, around the preset's default.
+var sweepCapacities = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+
+// LLCSweep runs heat under Baseline and AVR across LLC capacities and
+// reports AVR's normalised execution time and traffic at each point —
+// the capacity sensitivity the paper's fixed 8 MB configuration cannot
+// show. AVR's advantage shrinks as the LLC approaches the working set
+// (the baseline stops missing), and grows when capacity is scarce.
+func (r *Runner) LLCSweep() (Report, error) {
+	const bench = "heat"
+	header := []string{"LLC", "exec", "traffic", "AMAT", "ratio"}
+	var rows [][]string
+	for _, capBytes := range sweepCapacities {
+		base, err := r.runWithLLC(bench, sim.Baseline, capBytes)
+		if err != nil {
+			return Report{}, err
+		}
+		a, err := r.runWithLLC(bench, sim.AVR, capBytes)
+		if err != nil {
+			return Report{}, err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%dkB", capBytes>>10),
+			fmt.Sprintf("%.3f", float64(a.Result.Cycles)/float64(base.Result.Cycles)),
+			fmt.Sprintf("%.3f", float64(a.Result.DRAM.TotalBytes())/float64(base.Result.DRAM.TotalBytes())),
+			fmt.Sprintf("%.3f", a.Result.AMAT/base.Result.AMAT),
+			fmt.Sprintf("%.1fx", a.Result.CompressionRatio),
+		})
+	}
+	text, csv := renderTable(header, rows)
+	return Report{
+		ID:    "llcsweep",
+		Title: "LLC capacity sweep: AVR vs baseline on heat (normalised per capacity)",
+		Text:  text,
+		CSV:   csv,
+	}, nil
+}
+
+// runWithLLC runs one benchmark at an explicit LLC capacity (memoised).
+func (r *Runner) runWithLLC(bench string, d sim.Design, capBytes int) (*Entry, error) {
+	k := fmt.Sprintf("%s/%s/llc%d", bench, d, capBytes)
+	r.mu.Lock()
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.ConfigFor(d)
+	cfg.LLCBytes = capBytes
+	sys := sim.New(cfg)
+	w.Setup(sys, r.Scale)
+	sys.Prime()
+	w.Run(sys)
+	res := sys.Finish(bench)
+	e := &Entry{Result: res, Output: w.Output(sys)}
+
+	r.mu.Lock()
+	r.cache[k] = e
+	r.mu.Unlock()
+	return e, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"avr/internal/compress"
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// thresholdPoints are the T1 settings of the knob sweep (T2 = T1/2
+// throughout, as in the paper's experiments).
+var thresholdPoints = []float64{1.0 / 8, 1.0 / 16, 1.0 / 32, 1.0 / 64, 1.0 / 128, 1.0 / 256}
+
+// thresholdBenchmarks cover the three compressibility regimes.
+var thresholdBenchmarks = []string{"heat", "lattice", "kmeans"}
+
+// ThresholdSweep renders the error-threshold knob (§3.3: "error
+// thresholds are exposed as a tunable knob"): output error, compression
+// ratio and traffic as T1 sweeps over two orders of magnitude. This is
+// the quality/performance trade-off curve behind Table 3.
+func (r *Runner) ThresholdSweep() (Report, error) {
+	header := []string{"benchmark", "T1", "error", "ratio", "traffic", "exec"}
+	var rows [][]string
+	for _, bench := range thresholdBenchmarks {
+		base, err := r.Run(bench, sim.Baseline)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, t1 := range thresholdPoints {
+			e, err := r.runThreshold(bench, t1)
+			if err != nil {
+				return Report{}, err
+			}
+			rows = append(rows, []string{
+				bench,
+				fmt.Sprintf("1/%.0f", 1/t1),
+				fmt.Sprintf("%.3f%%", 100*MeanRelativeError(base.Output, e.Output)),
+				fmt.Sprintf("%.1fx", e.Result.CompressionRatio),
+				fmt.Sprintf("%.3f", float64(e.Result.DRAM.TotalBytes())/float64(base.Result.DRAM.TotalBytes())),
+				fmt.Sprintf("%.3f", float64(e.Result.Cycles)/float64(base.Result.Cycles)),
+			})
+		}
+	}
+	text, csv := renderTable(header, rows)
+	return Report{
+		ID:    "thresholds",
+		Title: "Error-threshold knob: AVR quality vs compression as T1 sweeps (T2 = T1/2)",
+		Text:  text,
+		CSV:   csv,
+	}, nil
+}
+
+// runThreshold runs a benchmark under AVR with explicit thresholds
+// (memoised).
+func (r *Runner) runThreshold(bench string, t1 float64) (*Entry, error) {
+	k := fmt.Sprintf("%s/AVR/t1=%g", bench, t1)
+	r.mu.Lock()
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.ConfigFor(sim.AVR)
+	cfg.Thresholds = compress.Thresholds{T1: t1, T2: t1 / 2}
+	sys := sim.New(cfg)
+	w.Setup(sys, r.Scale)
+	sys.Prime()
+	w.Run(sys)
+	res := sys.Finish(bench)
+	e := &Entry{Result: res, Output: w.Output(sys)}
+
+	r.mu.Lock()
+	r.cache[k] = e
+	r.mu.Unlock()
+	return e, nil
+}

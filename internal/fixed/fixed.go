@@ -1,0 +1,150 @@
+// Package fixed implements the float/fixed-point conversions and exponent
+// biasing used by the AVR compressor (ICPP'19, §3.3).
+//
+// The AVR compression core operates on 32-bit two's-complement fixed-point
+// numbers so that sub-block averaging reduces to integer adds and a shift.
+// Blocks of IEEE-754 single-precision floats are first exponent-biased to
+// bring their magnitudes into the representable fixed-point range, then
+// converted value by value. Decompression applies the inverse conversion
+// and removes the bias.
+package fixed
+
+import "math"
+
+// FracBits is the number of fractional bits in the Q15.16 fixed-point
+// format used by the compressor datapath.
+const FracBits = 16
+
+// IntBits is the number of integer (non-sign) bits in the fixed format.
+const IntBits = 31 - FracBits
+
+// TargetExp is the unbiased IEEE exponent the largest magnitude of a block
+// is steered to by biasing. 2^TargetExp must fit comfortably in the fixed
+// format's integer range (|v| < 2^IntBits) with headroom for sub-block sums.
+const TargetExp = IntBits - 3
+
+// ieeeExpBits extracts the raw (biased) 8-bit exponent field.
+func ieeeExpBits(bits uint32) int { return int(bits>>23) & 0xFF }
+
+// IsSpecial reports whether the float bit pattern encodes NaN or ±Inf.
+func IsSpecial(bits uint32) bool { return ieeeExpBits(bits) == 0xFF }
+
+// IsDenormalOrZero reports whether the bit pattern encodes ±0 or a denormal.
+// The AVR datapath flushes denormals to zero.
+func IsDenormalOrZero(bits uint32) bool { return ieeeExpBits(bits) == 0 }
+
+// ChooseBias selects the exponent bias for a block of float bit patterns,
+// following §3.3 of the paper: the bias steers the block's largest exponent
+// to TargetExp so the conversion to fixed point loses as little precision as
+// possible. Biasing is skipped (bias 0, ok false) when
+//
+//   - the block contains NaN/Inf (adding a bias could create or destroy
+//     special values), or
+//   - the bias would overflow or underflow the 8-bit exponent field of any
+//     value in the block, or
+//   - the block holds only zeros/denormals (nothing to steer).
+//
+// A zero bias with ok=true is returned when the block is already in range.
+func ChooseBias(bits []uint32) (bias int8, ok bool) {
+	minE, maxE := 0xFF, 0
+	for _, b := range bits {
+		e := ieeeExpBits(b)
+		if e == 0xFF {
+			return 0, false
+		}
+		if e == 0 {
+			continue // ±0 / denormal: unaffected by biasing
+		}
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	if maxE == 0 {
+		return 0, false
+	}
+	// Raw exponent field value corresponding to unbiased exponent TargetExp.
+	target := TargetExp + 127
+	d := target - maxE
+	if d == 0 {
+		return 0, true
+	}
+	// The bias is an 8-bit signed quantity in hardware.
+	if d > 127 || d < -128 {
+		return 0, false
+	}
+	// Every value's exponent must stay inside the normal range [1, 254].
+	if minE+d < 1 || maxE+d > 254 {
+		return 0, false
+	}
+	return int8(d), true
+}
+
+// ApplyBias returns the float bit pattern with its exponent shifted by
+// bias, i.e. the value multiplied by 2^bias. Zeros and denormals pass
+// through unchanged. The caller guarantees (via ChooseBias) that the shift
+// cannot overflow or underflow.
+func ApplyBias(bits uint32, bias int8) uint32 {
+	if bias == 0 || IsDenormalOrZero(bits) || IsSpecial(bits) {
+		return bits
+	}
+	e := ieeeExpBits(bits) + int(bias)
+	return bits&^(0xFF<<23) | uint32(e)<<23
+}
+
+// RemoveBias is the inverse of ApplyBias (an 8-bit exponent addition in
+// hardware, one cycle).
+func RemoveBias(bits uint32, bias int8) uint32 { return ApplyBias(bits, -bias) }
+
+// FloatToFixed converts a biased float bit pattern to Q15.16 fixed point
+// with round-to-nearest. Values whose magnitude exceeds the fixed range
+// saturate; the compressor marks them as outliers via the error check, so
+// saturation only has to be safe, not precise. Denormals flush to zero.
+func FloatToFixed(bits uint32) int32 {
+	if IsDenormalOrZero(bits) {
+		return 0
+	}
+	f := math.Float32frombits(bits)
+	v := float64(f) * (1 << FracBits)
+	switch {
+	case v >= math.MaxInt32:
+		return math.MaxInt32
+	case v <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(math.RoundToEven(v))
+}
+
+// FixedToFloat converts a Q15.16 fixed-point value back to a float bit
+// pattern (still biased; callers apply RemoveBias afterwards).
+func FixedToFloat(v int32) uint32 {
+	f := float32(float64(v) / (1 << FracBits))
+	return math.Float32bits(f)
+}
+
+// Average16 returns the fixed-point average of exactly 16 fixed-point
+// values: an integer sum followed by an arithmetic shift, as in the AVR
+// downsampling datapath.
+func Average16(vals []int32) int32 {
+	var sum int64
+	for _, v := range vals {
+		sum += int64(v)
+	}
+	return int32(sum >> 4)
+}
+
+// AverageN averages an arbitrary number of fixed-point values. The
+// hardware only ever averages 16 (Average16); this generalisation is used
+// by ablation variants with different sub-block sizes.
+func AverageN(vals []int32) int32 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += int64(v)
+	}
+	return int32(sum / int64(len(vals)))
+}

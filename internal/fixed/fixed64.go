@@ -1,0 +1,104 @@
+package fixed
+
+import "math"
+
+// 64-bit datapath: the paper's compressor handles 32-bit values; this is
+// the "easily extended to support other representations" path (§3.3),
+// used by the double-precision codec. Q31.32 fixed point.
+const (
+	// FracBits64 is the number of fractional bits of the 64-bit format.
+	FracBits64 = 32
+	// IntBits64 is the number of integer (non-sign) bits.
+	IntBits64 = 63 - FracBits64
+	// TargetExp64 is the unbiased IEEE-754 double exponent the largest
+	// block magnitude is steered to.
+	TargetExp64 = IntBits64 - 3
+)
+
+func ieeeExpBits64(bits uint64) int { return int(bits>>52) & 0x7FF }
+
+// IsSpecial64 reports whether the double bit pattern encodes NaN or ±Inf.
+func IsSpecial64(bits uint64) bool { return ieeeExpBits64(bits) == 0x7FF }
+
+// IsDenormalOrZero64 reports whether the pattern encodes ±0 or a
+// denormal.
+func IsDenormalOrZero64(bits uint64) bool { return ieeeExpBits64(bits) == 0 }
+
+// ChooseBias64 selects the exponent bias for a block of double bit
+// patterns, with the same skip rules as ChooseBias.
+func ChooseBias64(bits []uint64) (bias int16, ok bool) {
+	minE, maxE := 0x7FF, 0
+	for _, b := range bits {
+		e := ieeeExpBits64(b)
+		if e == 0x7FF {
+			return 0, false
+		}
+		if e == 0 {
+			continue
+		}
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	if maxE == 0 {
+		return 0, false
+	}
+	target := TargetExp64 + 1023
+	d := target - maxE
+	if d == 0 {
+		return 0, true
+	}
+	if d > 1023 || d < -1024 {
+		return 0, false
+	}
+	if minE+d < 1 || maxE+d > 2046 {
+		return 0, false
+	}
+	return int16(d), true
+}
+
+// ApplyBias64 shifts a double's exponent by bias (multiplies by 2^bias).
+func ApplyBias64(bits uint64, bias int16) uint64 {
+	if bias == 0 || IsDenormalOrZero64(bits) || IsSpecial64(bits) {
+		return bits
+	}
+	e := ieeeExpBits64(bits) + int(bias)
+	return bits&^(uint64(0x7FF)<<52) | uint64(e)<<52
+}
+
+// RemoveBias64 is the inverse of ApplyBias64.
+func RemoveBias64(bits uint64, bias int16) uint64 { return ApplyBias64(bits, -bias) }
+
+// FloatToFixed64 converts a biased double to Q31.32 with saturation.
+func FloatToFixed64(bits uint64) int64 {
+	if IsDenormalOrZero64(bits) {
+		return 0
+	}
+	f := math.Float64frombits(bits)
+	v := f * (1 << FracBits64)
+	switch {
+	case v >= math.MaxInt64:
+		return math.MaxInt64
+	case v <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(math.RoundToEven(v))
+}
+
+// FixedToFloat64 converts Q31.32 back to a (biased) double bit pattern.
+func FixedToFloat64(v int64) uint64 {
+	return math.Float64bits(float64(v) / (1 << FracBits64))
+}
+
+// Average16x64 averages exactly 16 Q31.32 values. The sum of 16 Q31.32
+// values fits in Int64 plus 4 bits of headroom guaranteed by TargetExp64.
+func Average16x64(vals []int64) int64 {
+	var sum int64
+	for _, v := range vals {
+		sum += v >> 4 // pre-shift to avoid overflow; loses 4 LSBs
+	}
+	return sum
+}

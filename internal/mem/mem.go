@@ -1,0 +1,188 @@
+// Package mem implements the simulated physical address space: a flat
+// byte-addressable memory with a bump allocator, a page table carrying the
+// paper's per-page approximable bit and value datatype (§3.1), and
+// functional 32-bit access helpers used by the workloads.
+//
+// The paper annotates approximable regions through a malloc wrapper and an
+// OS call that marks pages approximate; AllocApprox plays both roles here.
+//
+// The byte array always holds the *current reconstruction* of every
+// block: when a design compresses (or truncates, or dedups) data on its
+// way to memory, the design writes the approximate values back into the
+// space, so subsequent reads — and the final program output — observe
+// exactly what the modelled hardware would deliver.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"avr/internal/compress"
+)
+
+// Page geometry.
+const (
+	PageBits  = 12
+	PageBytes = 1 << PageBits
+)
+
+// PageInfo is the per-page annotation: the extra page-table/TLB bit, the
+// region's datatype, and — implementing the paper's proposed extension
+// (§3.1) — optional per-region error thresholds (nil selects the global
+// knob).
+type PageInfo struct {
+	Approx     bool
+	Type       compress.DataType
+	Thresholds *compress.Thresholds
+}
+
+// Space is a simulated physical address space. Address 0 is reserved (the
+// allocator starts at one page) so 0 can act as a nil address.
+type Space struct {
+	data  []byte
+	brk   uint64
+	pages []PageInfo
+}
+
+// NewSpace creates an address space of the given capacity (rounded up to
+// whole pages).
+func NewSpace(capacity int) *Space {
+	if capacity <= 0 {
+		panic("mem: non-positive capacity")
+	}
+	np := (capacity + PageBytes - 1) / PageBytes
+	return &Space{
+		data:  make([]byte, np*PageBytes),
+		brk:   PageBytes, // reserve page 0
+		pages: make([]PageInfo, np),
+	}
+}
+
+// Capacity returns the space's size in bytes.
+func (s *Space) Capacity() uint64 { return uint64(len(s.data)) }
+
+// Footprint returns the bytes allocated so far (excluding the reserved
+// first page).
+func (s *Space) Footprint() uint64 { return s.brk - PageBytes }
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the base address. It panics when the space is exhausted — simulated
+// workloads size their inputs to fit.
+func (s *Space) Alloc(size, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d not a power of two", align))
+	}
+	base := (s.brk + align - 1) &^ (align - 1)
+	if base+size > uint64(len(s.data)) {
+		panic(fmt.Sprintf("mem: out of simulated memory (%d + %d > %d)", base, size, len(s.data)))
+	}
+	s.brk = base + size
+	return base
+}
+
+// AllocApprox reserves a page-aligned approximable region of the given
+// datatype, marking every covered page (the paper's malloc wrapper +
+// approximation system call).
+func (s *Space) AllocApprox(size uint64, dt compress.DataType) uint64 {
+	return s.AllocApproxThresholds(size, dt, nil)
+}
+
+// AllocApproxThresholds is AllocApprox with per-region error thresholds —
+// the paper's §3.1 extension ("thresholds per allocated memory region,
+// adding a respective field to the page table"). A nil th uses the
+// system-wide knob.
+func (s *Space) AllocApproxThresholds(size uint64, dt compress.DataType, th *compress.Thresholds) uint64 {
+	base := s.Alloc((size+PageBytes-1)&^uint64(PageBytes-1), PageBytes)
+	for p := base >> PageBits; p < (base+size+PageBytes-1)>>PageBits; p++ {
+		s.pages[p] = PageInfo{Approx: true, Type: dt, Thresholds: th}
+	}
+	return base
+}
+
+// Info returns the page annotation covering addr.
+func (s *Space) Info(addr uint64) PageInfo {
+	p := addr >> PageBits
+	if p >= uint64(len(s.pages)) {
+		return PageInfo{}
+	}
+	return s.pages[p]
+}
+
+// ApproxBlocks calls fn for every memory block (1 KiB) lying in an
+// approximable page that has been allocated so far.
+func (s *Space) ApproxBlocks(fn func(blockAddr uint64, dt compress.DataType)) {
+	end := (s.brk + PageBytes - 1) >> PageBits
+	for p := uint64(0); p < end && p < uint64(len(s.pages)); p++ {
+		if !s.pages[p].Approx {
+			continue
+		}
+		base := p << PageBits
+		for b := uint64(0); b < PageBytes/compress.BlockBytes; b++ {
+			fn(base+b*compress.BlockBytes, s.pages[p].Type)
+		}
+	}
+}
+
+// ApproxBytes returns the total bytes of pages marked approximable.
+func (s *Space) ApproxBytes() uint64 {
+	var n uint64
+	for _, p := range s.pages {
+		if p.Approx {
+			n += PageBytes
+		}
+	}
+	return n
+}
+
+// Load32 reads the raw 32-bit pattern at addr (must be 4-aligned).
+func (s *Space) Load32(addr uint64) uint32 {
+	return binary.LittleEndian.Uint32(s.data[addr:])
+}
+
+// Store32 writes the raw 32-bit pattern at addr.
+func (s *Space) Store32(addr uint64, v uint32) {
+	binary.LittleEndian.PutUint32(s.data[addr:], v)
+}
+
+// LoadF32 reads an IEEE-754 float at addr.
+func (s *Space) LoadF32(addr uint64) float32 {
+	return math.Float32frombits(s.Load32(addr))
+}
+
+// StoreF32 writes an IEEE-754 float at addr.
+func (s *Space) StoreF32(addr uint64, v float32) {
+	s.Store32(addr, math.Float32bits(v))
+}
+
+// Line returns the 64-byte slice backing the cacheline at addr.
+func (s *Space) Line(addr uint64) []byte {
+	base := addr &^ 63
+	return s.data[base : base+64]
+}
+
+// ReadBlock copies the 256 values of the 1 KiB memory block containing
+// addr into vals.
+func (s *Space) ReadBlock(addr uint64, vals *[compress.BlockValues]uint32) {
+	base := addr &^ (compress.BlockBytes - 1)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(s.data[base+uint64(4*i):])
+	}
+}
+
+// WriteBlock overwrites the memory block containing addr with vals.
+func (s *Space) WriteBlock(addr uint64, vals *[compress.BlockValues]uint32) {
+	base := addr &^ (compress.BlockBytes - 1)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(s.data[base+uint64(4*i):], v)
+	}
+}
+
+// BlockAddr returns the base address of the memory block containing addr.
+func BlockAddr(addr uint64) uint64 { return addr &^ (compress.BlockBytes - 1) }
+
+// LineAddr returns the base address of the cacheline containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ 63 }

@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"testing"
+
+	"avr/internal/compress"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	s := NewSpace(1 << 20)
+	a := s.Alloc(100, 64)
+	if a%64 != 0 {
+		t.Errorf("allocation not aligned: %#x", a)
+	}
+	b := s.Alloc(100, 64)
+	if b < a+100 {
+		t.Errorf("allocations overlap: %#x after %#x", b, a)
+	}
+	if a == 0 {
+		t.Error("address 0 must stay reserved")
+	}
+}
+
+func TestAllocPanicsWhenExhausted(t *testing.T) {
+	s := NewSpace(PageBytes * 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on exhaustion")
+		}
+	}()
+	s.Alloc(PageBytes*4, 1)
+}
+
+func TestAllocPanicsOnBadAlign(t *testing.T) {
+	s := NewSpace(1 << 20)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-pow2 align")
+		}
+	}()
+	s.Alloc(8, 3)
+}
+
+func TestAllocApproxMarksPages(t *testing.T) {
+	s := NewSpace(1 << 20)
+	base := s.AllocApprox(3*PageBytes+5, compress.Float32)
+	if base%PageBytes != 0 {
+		t.Errorf("approx region not page aligned: %#x", base)
+	}
+	for off := uint64(0); off < 3*PageBytes+5; off += PageBytes {
+		info := s.Info(base + off)
+		if !info.Approx || info.Type != compress.Float32 {
+			t.Errorf("page at +%#x not marked: %+v", off, info)
+		}
+	}
+	// Page after the region must be unmarked.
+	if s.Info(base + 4*PageBytes).Approx {
+		t.Error("page beyond region marked approx")
+	}
+}
+
+func TestInfoOutOfRange(t *testing.T) {
+	s := NewSpace(PageBytes)
+	if s.Info(1 << 40).Approx {
+		t.Error("out-of-range info must be zero")
+	}
+}
+
+func TestApproxBytes(t *testing.T) {
+	s := NewSpace(1 << 20)
+	s.AllocApprox(2*PageBytes, compress.Float32)
+	s.Alloc(PageBytes, PageBytes)
+	if got := s.ApproxBytes(); got != 2*PageBytes {
+		t.Errorf("ApproxBytes = %d, want %d", got, 2*PageBytes)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	s := NewSpace(1 << 20)
+	a := s.Alloc(64, 64)
+	s.Store32(a, 0xDEADBEEF)
+	if got := s.Load32(a); got != 0xDEADBEEF {
+		t.Errorf("Load32 = %#x", got)
+	}
+	s.StoreF32(a+4, 3.5)
+	if got := s.LoadF32(a + 4); got != 3.5 {
+		t.Errorf("LoadF32 = %v", got)
+	}
+}
+
+func TestLine(t *testing.T) {
+	s := NewSpace(1 << 20)
+	a := s.Alloc(128, 64)
+	s.Store32(a+60, 0x11223344)
+	line := s.Line(a + 17)
+	if len(line) != 64 {
+		t.Fatalf("line length = %d", len(line))
+	}
+	if line[60] != 0x44 {
+		t.Error("line does not alias the backing store")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	s := NewSpace(1 << 20)
+	base := s.Alloc(compress.BlockBytes, compress.BlockBytes)
+	var vals, back [compress.BlockValues]uint32
+	for i := range vals {
+		vals[i] = uint32(i) * 7
+	}
+	s.WriteBlock(base+100, &vals) // any addr within the block works
+	s.ReadBlock(base, &back)
+	if vals != back {
+		t.Error("block round trip failed")
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	if BlockAddr(0x12345) != 0x12000+0x345&^0x3FF {
+		// 0x12345 & ^0x3FF == 0x12000
+		t.Errorf("BlockAddr = %#x", BlockAddr(0x12345))
+	}
+	if LineAddr(0x12345) != 0x12340 {
+		t.Errorf("LineAddr = %#x", LineAddr(0x12345))
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	s := NewSpace(1 << 20)
+	if s.Footprint() != 0 {
+		t.Errorf("fresh footprint = %d", s.Footprint())
+	}
+	s.Alloc(100, 1)
+	if s.Footprint() != 100 {
+		t.Errorf("footprint = %d, want 100", s.Footprint())
+	}
+}
+
+func TestApproxBlocksIteration(t *testing.T) {
+	s := NewSpace(1 << 20)
+	s.Alloc(PageBytes, PageBytes) // exact page
+	base := s.AllocApprox(2*PageBytes, compress.Fixed32)
+	var blocks []uint64
+	s.ApproxBlocks(func(a uint64, dt compress.DataType) {
+		blocks = append(blocks, a)
+		if dt != compress.Fixed32 {
+			t.Errorf("block %#x datatype %v", a, dt)
+		}
+	})
+	// 2 pages × 4 blocks.
+	if len(blocks) != 8 {
+		t.Fatalf("visited %d blocks, want 8", len(blocks))
+	}
+	if blocks[0] != base {
+		t.Errorf("first block %#x, want %#x", blocks[0], base)
+	}
+}
+
+func TestAllocApproxThresholds(t *testing.T) {
+	s := NewSpace(1 << 20)
+	th := &compress.Thresholds{T1: 0.25, T2: 0.125}
+	base := s.AllocApproxThresholds(PageBytes, compress.Float32, th)
+	info := s.Info(base)
+	if info.Thresholds == nil || info.Thresholds.T1 != 0.25 {
+		t.Errorf("region thresholds not stored: %+v", info)
+	}
+	// Plain AllocApprox leaves them nil.
+	b2 := s.AllocApprox(PageBytes, compress.Float32)
+	if s.Info(b2).Thresholds != nil {
+		t.Error("default region has thresholds")
+	}
+}

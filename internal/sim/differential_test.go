@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"avr/internal/compress"
+)
+
+// TestDifferentialExactDesigns drives a random load/store stream through
+// every design that must be bit-exact on non-approximate data (all of
+// them) and on approximate data (Baseline, ZeroAVR), comparing every
+// load against a shadow memory.
+func TestDifferentialExactDesigns(t *testing.T) {
+	for _, tc := range []struct {
+		design Design
+		approx bool // whether the region under test is approximable
+	}{
+		{Baseline, true},
+		{Baseline, false},
+		{ZeroAVR, true}, // ZeroAVR never approximates
+		{AVR, false},    // AVR must be exact on non-approx regions
+		{Truncate, false},
+		{Dganger, false},
+	} {
+		name := tc.design.String()
+		if tc.approx {
+			name += "/approx"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := PresetSmall(tc.design)
+			cfg.SpaceBytes = 16 << 20
+			s := New(cfg)
+			var base uint64
+			const regionBytes = 1 << 20
+			if tc.approx {
+				base = s.Space.AllocApprox(regionBytes, compress.Float32)
+			} else {
+				base = s.Space.Alloc(regionBytes, 4096)
+			}
+			shadow := make(map[uint64]uint32)
+			rng := rand.New(rand.NewSource(99))
+			for op := 0; op < 200000; op++ {
+				addr := base + uint64(rng.Intn(regionBytes/4))*4
+				if rng.Intn(2) == 0 {
+					v := rng.Uint32()
+					s.Store32(addr, v)
+					shadow[addr] = v
+				} else {
+					got := s.Load32(addr)
+					want, ok := shadow[addr]
+					if !ok {
+						continue // never written: initial zero or garbage
+					}
+					if got != want {
+						t.Fatalf("op %d: load %#x = %#x, want %#x", op, addr, got, want)
+					}
+				}
+			}
+			s.Flush()
+			for addr, want := range shadow {
+				if got := s.Space.Load32(addr); got != want {
+					t.Fatalf("after flush: %#x = %#x, want %#x", addr, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialApproxBounded drives random float stores through the
+// lossy designs on an approximable region and checks every load and the
+// final memory state stay within the design's error bound of the shadow.
+func TestDifferentialApproxBounded(t *testing.T) {
+	bounds := map[Design]float64{
+		AVR:      compress.DefaultThresholds().T1,
+		Truncate: 1.0 / 128, // 2^-8 plus slack
+	}
+	for d, bound := range bounds {
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := PresetSmall(d)
+			cfg.SpaceBytes = 16 << 20
+			s := New(cfg)
+			const regionBytes = 1 << 20
+			base := s.Space.AllocApprox(regionBytes, compress.Float32)
+			shadow := make(map[uint64]float64)
+			rng := rand.New(rand.NewSource(7))
+			for op := 0; op < 150000; op++ {
+				addr := base + uint64(rng.Intn(regionBytes/4))*4
+				if rng.Intn(2) == 0 {
+					// Smooth-ish values so AVR blocks compress.
+					v := float32(100 + 3*math.Sin(float64(addr)/512))
+					s.StoreF32(addr, v)
+					shadow[addr] = float64(v)
+				} else {
+					got := float64(s.LoadF32(addr))
+					want, ok := shadow[addr]
+					if !ok || want == 0 {
+						continue
+					}
+					if re := math.Abs(got-want) / math.Abs(want); re > bound {
+						t.Fatalf("op %d: load %#x rel err %v > %v", op, addr, re, bound)
+					}
+				}
+			}
+			s.Flush()
+			for addr, want := range shadow {
+				got := float64(s.Space.LoadF32(addr))
+				if re := math.Abs(got-want) / math.Abs(want); re > bound {
+					t.Fatalf("after flush: %#x rel err %v > %v", addr, re, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialTimingMonotone checks that the core clock is monotone
+// and DRAM traffic non-decreasing through a random stream on every
+// design.
+func TestDifferentialTimingMonotone(t *testing.T) {
+	for _, d := range Designs {
+		cfg := PresetSmall(d)
+		cfg.SpaceBytes = 16 << 20
+		s := New(cfg)
+		base := s.Space.AllocApprox(1<<20, compress.Float32)
+		rng := rand.New(rand.NewSource(3))
+		prevCycles := uint64(0)
+		prevTraffic := uint64(0)
+		for op := 0; op < 50000; op++ {
+			addr := base + uint64(rng.Intn(1<<18))*4
+			if rng.Intn(3) == 0 {
+				s.StoreF32(addr, 1.5)
+			} else {
+				s.LoadF32(addr)
+			}
+			if now := s.Core.Now(); now < prevCycles {
+				t.Fatalf("%v: time went backwards at op %d", d, op)
+			} else {
+				prevCycles = now
+			}
+			if tr := s.Dram.Stats().TotalBytes(); tr < prevTraffic {
+				t.Fatalf("%v: traffic shrank at op %d", d, op)
+			} else {
+				prevTraffic = tr
+			}
+		}
+	}
+}

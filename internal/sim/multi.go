@@ -1,0 +1,324 @@
+// Multicore simulation: the paper's 8-core CMP (Table 1) with private
+// L1/L2 per core and one shared LLC design in front of shared DRAM.
+//
+// Cores execute as goroutines under a deterministic scheduler: exactly
+// one core runs at a time, in quanta of a fixed number of memory
+// operations, and the scheduler always grants the quantum to the
+// runnable core with the smallest local clock (ties by core id). Shared
+// structures therefore need no locking and every run is reproducible.
+//
+// Coherence is modelled at barrier granularity (release consistency):
+// when the workload synchronises, each core's private caches are drained
+// and invalidated, and all clocks advance to the barrier time. Between
+// barriers the paper's SPMD workloads touch disjoint data, so this
+// captures the coherence traffic that matters without a full protocol.
+package sim
+
+import (
+	"fmt"
+
+	"avr/internal/cache"
+	"avr/internal/cpu"
+	"avr/internal/energy"
+)
+
+// quantumOps is the number of memory operations a core runs per
+// scheduler grant. Smaller values interleave more finely (and slow the
+// simulation); clock skew between cores is bounded by one quantum's
+// work.
+const quantumOps = 64
+
+// Multi is an N-core system sharing one LLC design and DRAM.
+type Multi struct {
+	Cfg    Config
+	NCores int
+	shared *System // holds space, DRAM, LLC; its private caches are unused
+
+	cores   []*CoreCtx
+	release chan schedEvent
+}
+
+type schedEvent struct {
+	id      int
+	done    bool // core finished its workload
+	barrier bool // core reached a barrier
+}
+
+// CoreCtx is one core's view of the multicore system: the timed memory
+// interface workload shards compute through.
+type CoreCtx struct {
+	m    *Multi
+	id   int
+	core *cpu.Core
+	l1   *cache.Cache
+	l2   *cache.Cache
+
+	grant   chan struct{}
+	opsLeft int
+	atBar   bool
+	done    bool
+}
+
+// NewMulti builds an n-core system. The configuration's LLC is shared
+// (not sliced), so callers typically pass a config with the full Table 1
+// capacities rather than a per-core slice.
+func NewMulti(cfg Config, n int) *Multi {
+	if n < 1 {
+		panic("sim: need at least one core")
+	}
+	m := &Multi{
+		Cfg:     cfg,
+		NCores:  n,
+		shared:  New(cfg),
+		release: make(chan schedEvent),
+	}
+	for i := 0; i < n; i++ {
+		m.cores = append(m.cores, &CoreCtx{
+			m:     m,
+			id:    i,
+			core:  cpu.New(cfg.CPU),
+			l1:    cache.New(cfg.L1Bytes, cfg.L1Ways, 64),
+			l2:    cache.New(cfg.L2Bytes, cfg.L2Ways, 64),
+			grant: make(chan struct{}),
+		})
+	}
+	return m
+}
+
+// Shared returns the shared system (address space, DRAM, LLC) for
+// setup and statistics.
+func (m *Multi) Shared() *System { return m.shared }
+
+// Prime forwards to the shared system's input-priming step.
+func (m *Multi) Prime() { m.shared.Prime() }
+
+// Run executes body once per core, scheduled deterministically, and
+// returns when every core has finished.
+func (m *Multi) Run(body func(c *CoreCtx)) {
+	for _, c := range m.cores {
+		c.done = false
+		c.atBar = false
+		go func(c *CoreCtx) {
+			<-c.grant
+			body(c)
+			c.done = true
+			m.release <- schedEvent{id: c.id, done: true}
+		}(c)
+	}
+	active := m.NCores
+	for active > 0 {
+		// Grant the runnable core with the smallest clock.
+		next := -1
+		for _, c := range m.cores {
+			if c.done || c.atBar {
+				continue
+			}
+			if next < 0 || c.core.Now() < m.cores[next].core.Now() {
+				next = c.id
+			}
+		}
+		if next < 0 {
+			// Everyone still alive is parked at the barrier: release it.
+			m.openBarrier()
+			continue
+		}
+		c := m.cores[next]
+		c.opsLeft = quantumOps
+		c.grant <- struct{}{}
+		ev := <-m.release
+		if ev.done {
+			active--
+			// A finishing core at a barrier would deadlock the others;
+			// SPMD bodies must keep barrier counts aligned.
+		}
+		if ev.barrier {
+			m.cores[ev.id].atBar = true
+		}
+	}
+}
+
+// openBarrier releases every core waiting at the barrier: private caches
+// are drained (barrier-flush coherence) and all clocks advance to the
+// latest participant.
+func (m *Multi) openBarrier() {
+	var maxNow uint64
+	for _, c := range m.cores {
+		if !c.done && c.core.Now() > maxNow {
+			maxNow = c.core.Now()
+		}
+	}
+	for _, c := range m.cores {
+		if c.done || !c.atBar {
+			continue
+		}
+		now := c.core.Now()
+		c.l1.FlushAll(func(a uint64) { c.fillL2Dirty(now, a) })
+		c.l2.FlushAll(func(a uint64) { m.shared.llc.WriteBack(now, a) })
+		c.core.AdvanceTo(maxNow)
+		c.atBar = false
+	}
+}
+
+// yieldPoint is called before every timed operation: it hands the token
+// back to the scheduler when the quantum is exhausted.
+func (c *CoreCtx) yieldPoint() {
+	c.opsLeft--
+	if c.opsLeft <= 0 {
+		c.m.release <- schedEvent{id: c.id}
+		<-c.grant
+		c.opsLeft = quantumOps
+	}
+}
+
+// Barrier synchronises all cores: the core parks until every live core
+// has reached the barrier, then resumes with drained private caches at
+// the barrier time.
+func (c *CoreCtx) Barrier() {
+	c.m.release <- schedEvent{id: c.id, barrier: true}
+	<-c.grant
+	c.opsLeft = quantumOps
+}
+
+// ID returns the core's index.
+func (c *CoreCtx) ID() int { return c.id }
+
+// N returns the number of cores.
+func (c *CoreCtx) N() int { return c.m.NCores }
+
+// Now returns the core's local clock.
+func (c *CoreCtx) Now() uint64 { return c.core.Now() }
+
+// Compute accounts n non-memory instructions.
+func (c *CoreCtx) Compute(n uint64) { c.core.Compute(n) }
+
+// access mirrors System.access over this core's private caches and the
+// shared LLC.
+func (c *CoreCtx) access(addr uint64, write bool) {
+	c.yieldPoint()
+	line := addr &^ 63
+	if c.l1.Access(line, write) {
+		if write {
+			c.core.OnStore()
+		} else {
+			c.core.OnLoad(uint64(c.m.Cfg.L1HitCycles))
+		}
+		return
+	}
+	now := c.core.Now()
+	var lat uint64
+	if c.l2.Access(line, false) {
+		lat = uint64(c.m.Cfg.L2HitCycles)
+	} else {
+		lat = uint64(c.m.Cfg.L2HitCycles) + c.m.shared.llc.Access(now, line)
+		if v := c.l2.Allocate(line, false); v.Valid && v.Dirty {
+			c.m.shared.llc.WriteBack(now, v.Addr)
+		}
+	}
+	if v := c.l1.Allocate(line, write); v.Valid && v.Dirty {
+		c.fillL2Dirty(now, v.Addr)
+	}
+	if write {
+		c.core.OnStore()
+	} else {
+		c.core.OnLoad(lat)
+	}
+}
+
+func (c *CoreCtx) fillL2Dirty(now uint64, addr uint64) {
+	if c.l2.Access(addr, true) {
+		return
+	}
+	if v := c.l2.Allocate(addr, true); v.Valid && v.Dirty {
+		c.m.shared.llc.WriteBack(now, v.Addr)
+	}
+}
+
+// LoadF32 performs a timed float load.
+func (c *CoreCtx) LoadF32(addr uint64) float32 {
+	c.access(addr, false)
+	return c.m.shared.Space.LoadF32(addr)
+}
+
+// StoreF32 performs a timed float store.
+func (c *CoreCtx) StoreF32(addr uint64, v float32) {
+	c.access(addr, true)
+	c.m.shared.Space.StoreF32(addr, v)
+}
+
+// Load32 performs a timed raw load.
+func (c *CoreCtx) Load32(addr uint64) uint32 {
+	c.access(addr, false)
+	return c.m.shared.Space.Load32(addr)
+}
+
+// Store32 performs a timed raw store.
+func (c *CoreCtx) Store32(addr uint64, v uint32) {
+	c.access(addr, true)
+	c.m.shared.Space.Store32(addr, v)
+}
+
+// MultiResult aggregates a multicore run.
+type MultiResult struct {
+	Design       Design
+	NCores       int
+	Cycles       uint64 // slowest core
+	Instructions uint64 // total across cores
+	PerCore      []uint64
+	Result       Result // shared-structure statistics (LLC, DRAM, energy)
+}
+
+// Finish drains all private caches and the shared hierarchy, then
+// collects statistics.
+func (m *Multi) Finish(benchmark string) MultiResult {
+	r := MultiResult{Design: m.Cfg.Design, NCores: m.NCores}
+	for _, c := range m.cores {
+		now := c.core.Now()
+		c.l1.FlushAll(func(a uint64) { c.fillL2Dirty(now, a) })
+		c.l2.FlushAll(func(a uint64) { m.shared.llc.WriteBack(now, a) })
+		if c.core.Now() > r.Cycles {
+			r.Cycles = c.core.Now()
+		}
+		r.Instructions += c.core.Instructions()
+		r.PerCore = append(r.PerCore, c.core.Now())
+	}
+	m.shared.llc.Flush(r.Cycles)
+	r.Result = m.shared.Finish(benchmark)
+	// The shared System's core and private caches never ran; rebuild the
+	// aggregate numbers from the real per-core structures.
+	r.Result.Cycles = r.Cycles
+	r.Result.Instructions = r.Instructions
+	if r.Cycles > 0 {
+		r.Result.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	var counts energy.Counts
+	counts.Cores = m.NCores
+	counts.Instructions = r.Instructions
+	counts.Cycles = r.Cycles
+	var reads, latSum uint64
+	for _, c := range m.cores {
+		counts.L1Accesses += c.l1.Stats().Accesses
+		counts.L2Accesses += c.l2.Stats().Accesses
+		reads += c.core.MemReads()
+		latSum += c.core.LoadLatencySum()
+	}
+	r.Result.L1 = m.cores[0].l1.Stats()
+	r.Result.L2 = m.cores[0].l2.Stats()
+	if reads > 0 {
+		r.Result.AMAT = float64(latSum) / float64(reads)
+	}
+	if r.Instructions > 0 {
+		r.Result.MPKI = float64(r.Result.LLCMisses) / float64(r.Instructions) * 1000
+	}
+	d := m.shared.Dram.Stats()
+	counts.DRAMActs = d.Activations
+	counts.DRAMReads = d.Reads
+	counts.DRAMWrites = d.Writes
+	_, _, counts.LLCAccesses, counts.Compresses, counts.Decompresses = m.shared.llcActivity()
+	r.Result.Energy = energy.Default32nm().Compute(counts)
+	return r
+}
+
+// String describes the system.
+func (m *Multi) String() string {
+	return fmt.Sprintf("%d-core %s", m.NCores, m.Cfg.Design)
+}

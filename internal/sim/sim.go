@@ -1,0 +1,528 @@
+// Package sim wires the full simulated system together (paper §4.1,
+// Table 1): an interval-model core with private L1/L2 caches, one of five
+// last-level-cache/memory designs (Baseline, ZeroAVR, AVR, Truncate,
+// Doppelgänger), and the DDR4 timing model — all over a single simulated
+// address space that workloads compute on, so approximation errors
+// propagate into application output exactly as in the paper's
+// "we actually update the values of the memory contents" methodology.
+//
+// The paper's 8-core CMP runs SPMD workloads; this simulator models one
+// symmetric core slice: private L1/L2 at full size, 1/8 of the shared LLC
+// and 1/4 of the DRAM channel bandwidth (2 channels / 8 cores), which
+// preserves every per-core capacity and bandwidth ratio of Table 1.
+package sim
+
+import (
+	"fmt"
+
+	"avr/internal/cache"
+	"avr/internal/compress"
+	"avr/internal/core"
+	"avr/internal/cpu"
+	"avr/internal/designs/dganger"
+	"avr/internal/designs/truncate"
+	"avr/internal/dram"
+	"avr/internal/energy"
+	"avr/internal/lossless"
+	"avr/internal/mem"
+)
+
+// Design selects the memory-system design under evaluation.
+type Design int
+
+// The five design points of the paper's evaluation.
+const (
+	Baseline Design = iota
+	Dganger
+	Truncate
+	ZeroAVR
+	AVR
+)
+
+// Designs lists all design points in the paper's figure order.
+var Designs = []Design{Baseline, Dganger, Truncate, ZeroAVR, AVR}
+
+// String returns the paper's label for the design.
+func (d Design) String() string {
+	switch d {
+	case Baseline:
+		return "baseline"
+	case Dganger:
+		return "dganger"
+	case Truncate:
+		return "truncate"
+	case ZeroAVR:
+		return "ZeroAVR"
+	case AVR:
+		return "AVR"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// Config describes a full system configuration.
+type Config struct {
+	Design Design
+
+	// Private caches (per core, full size in the slice model).
+	L1Bytes, L1Ways, L1HitCycles int
+	L2Bytes, L2Ways, L2HitCycles int
+
+	// LLC slice.
+	LLCBytes, LLCWays, LLCHitCycles int
+
+	// DRAM slice.
+	DRAMChannels, DRAMSliceDiv int
+
+	// SpaceBytes sizes the simulated physical memory.
+	SpaceBytes int
+
+	CPU cpu.Config
+
+	// AVR knobs.
+	Thresholds    compress.Thresholds
+	Variants      compress.VariantMask
+	LazyEvictions bool
+	SkipHistory   bool
+	PFEEnabled    bool
+	CMTCachePages int
+
+	// Doppelgänger knob.
+	DgTagFactor int
+
+	// LosslessLink enables lossless compression of non-approximated
+	// lines on the memory link (Baseline and AVR designs; §2's
+	// orthogonal layer); LosslessAlgo picks BDI (default) or FPC.
+	LosslessLink bool
+	LosslessAlgo lossless.Algorithm
+}
+
+// PresetSlice returns the paper's Table 1 configuration reduced to one
+// core slice: 64 kB L1, 256 kB L2, 1 MB LLC slice (8 MB / 8 cores),
+// 1/4 DDR4 channel per core (2 channels / 8 cores).
+func PresetSlice(d Design) Config {
+	return Config{
+		Design:        d,
+		L1Bytes:       64 << 10,
+		L1Ways:        4,
+		L1HitCycles:   1,
+		L2Bytes:       256 << 10,
+		L2Ways:        8,
+		L2HitCycles:   8,
+		LLCBytes:      1 << 20,
+		LLCWays:       16,
+		LLCHitCycles:  15,
+		DRAMChannels:  1,
+		DRAMSliceDiv:  4,
+		SpaceBytes:    256 << 20,
+		CPU:           cpu.DefaultConfig(),
+		Thresholds:    compress.DefaultThresholds(),
+		Variants:      compress.VariantBoth,
+		LazyEvictions: true,
+		SkipHistory:   true,
+		PFEEnabled:    true,
+		CMTCachePages: 1024,
+		DgTagFactor:   4,
+	}
+}
+
+// PresetSmall scales PresetSlice down 4× (256 kB LLC slice, 16 kB L1,
+// 64 kB L2) so the full experiment matrix runs in seconds; workloads
+// scale their footprints with the same factor, preserving the
+// footprint/LLC ratios.
+func PresetSmall(d Design) Config {
+	c := PresetSlice(d)
+	c.L1Bytes = 16 << 10
+	c.L2Bytes = 64 << 10
+	c.LLCBytes = 256 << 10
+	c.SpaceBytes = 96 << 20
+	c.CMTCachePages = 512
+	return c
+}
+
+// llcDesign is the contract every LLC/memory design implements.
+type llcDesign interface {
+	Access(now uint64, addr uint64) uint64
+	WriteBack(now uint64, addr uint64)
+	Flush(now uint64)
+}
+
+// System is one simulated core slice plus its memory system.
+type System struct {
+	Cfg   Config
+	Space *mem.Space
+	Core  *cpu.Core
+	Dram  *dram.DRAM
+
+	// Sampler, when set, is invoked every SampleEvery demand accesses —
+	// the hook behind cmd/avrtrace's time series.
+	Sampler     func(s *System)
+	SampleEvery uint64
+	accessCount uint64
+
+	l1, l2 *cache.Cache
+	llc    llcDesign
+
+	avr   *core.LLC     // non-nil for AVR / ZeroAVR
+	trunc *truncate.LLC // non-nil for Truncate
+	dg    *dganger.LLC  // non-nil for Doppelgänger
+	base  *baselineLLC  // non-nil for Baseline
+}
+
+// New builds a system from the configuration.
+func New(cfg Config) *System {
+	s := &System{
+		Cfg:   cfg,
+		Space: mem.NewSpace(cfg.SpaceBytes),
+		Core:  cpu.New(cfg.CPU),
+		Dram:  dram.New(dram.DDR4(cfg.DRAMChannels, cfg.DRAMSliceDiv)),
+		l1:    cache.New(cfg.L1Bytes, cfg.L1Ways, 64),
+		l2:    cache.New(cfg.L2Bytes, cfg.L2Ways, 64),
+	}
+	switch cfg.Design {
+	case Baseline:
+		s.base = newBaselineLLC(cfg.LLCBytes, cfg.LLCWays, cfg.LLCHitCycles, s.Space, s.Dram)
+		s.base.lossless = cfg.LosslessLink
+		s.base.algo = cfg.LosslessAlgo
+		s.llc = s.base
+	case Truncate:
+		s.trunc = truncate.New(cfg.LLCBytes, cfg.LLCWays, cfg.LLCHitCycles, s.Space, s.Dram)
+		s.llc = s.trunc
+	case Dganger:
+		s.dg = dganger.New(dganger.Config{
+			CapacityBytes: cfg.LLCBytes,
+			Ways:          cfg.LLCWays,
+			TagFactor:     cfg.DgTagFactor,
+			HitCycles:     cfg.LLCHitCycles,
+		}, s.Space, s.Dram)
+		s.llc = s.dg
+	case ZeroAVR, AVR:
+		acfg := core.DefaultConfig(cfg.LLCBytes)
+		acfg.Ways = cfg.LLCWays
+		acfg.HitCycles = cfg.LLCHitCycles
+		acfg.Thresholds = cfg.Thresholds
+		acfg.Variants = cfg.Variants
+		acfg.LazyEvictions = cfg.LazyEvictions
+		acfg.SkipHistory = cfg.SkipHistory
+		acfg.PFEEnabled = cfg.PFEEnabled
+		acfg.CMTCachePages = cfg.CMTCachePages
+		acfg.ApproxEnabled = cfg.Design == AVR
+		acfg.LosslessLink = cfg.LosslessLink
+		acfg.LosslessAlgo = cfg.LosslessAlgo
+		s.avr = core.New(acfg, s.Space, s.Dram)
+		s.llc = s.avr
+	default:
+		panic(fmt.Sprintf("sim: unknown design %v", cfg.Design))
+	}
+	return s
+}
+
+// AVRLLC returns the AVR LLC when the design has one (AVR/ZeroAVR).
+func (s *System) AVRLLC() *core.LLC { return s.avr }
+
+// Compute accounts n non-memory instructions.
+func (s *System) Compute(n uint64) { s.Core.Compute(n) }
+
+// Prime models the benchmark's input data having been written through
+// the memory hierarchy before the measured region of the program: under
+// AVR the approximable blocks start compressed in memory, under Truncate
+// they start truncated. Call it after the workload's Setup. It is a
+// no-op for Baseline, ZeroAVR and Doppelgänger.
+func (s *System) Prime() {
+	switch {
+	case s.avr != nil:
+		s.avr.Prime()
+	case s.trunc != nil:
+		s.trunc.Prime()
+	}
+}
+
+// access runs one demand access through the hierarchy.
+func (s *System) access(addr uint64, write bool) {
+	if s.Sampler != nil {
+		s.accessCount++
+		if s.accessCount%s.SampleEvery == 0 {
+			s.Sampler(s)
+		}
+	}
+	line := addr &^ 63
+	if s.l1.Access(line, write) {
+		if write {
+			s.Core.OnStore()
+		} else {
+			s.Core.OnLoad(uint64(s.Cfg.L1HitCycles))
+		}
+		return
+	}
+	now := s.Core.Now()
+	var lat uint64
+	if s.l2.Access(line, false) {
+		lat = uint64(s.Cfg.L2HitCycles)
+	} else {
+		lat = uint64(s.Cfg.L2HitCycles) + s.llc.Access(now, line)
+		if v := s.l2.Allocate(line, false); v.Valid && v.Dirty {
+			s.llc.WriteBack(now, v.Addr)
+		}
+	}
+	if v := s.l1.Allocate(line, write); v.Valid && v.Dirty {
+		s.fillL2Dirty(now, v.Addr)
+	}
+	if write {
+		s.Core.OnStore()
+	} else {
+		s.Core.OnLoad(lat)
+	}
+}
+
+// fillL2Dirty sinks a dirty L1 victim into the L2 (write-allocate).
+func (s *System) fillL2Dirty(now uint64, addr uint64) {
+	if s.l2.Access(addr, true) {
+		return
+	}
+	if v := s.l2.Allocate(addr, true); v.Valid && v.Dirty {
+		s.llc.WriteBack(now, v.Addr)
+	}
+}
+
+// LoadF32 performs a timed load of a float value.
+func (s *System) LoadF32(addr uint64) float32 {
+	s.access(addr, false)
+	return s.Space.LoadF32(addr)
+}
+
+// StoreF32 performs a timed store of a float value.
+func (s *System) StoreF32(addr uint64, v float32) {
+	s.access(addr, true)
+	s.Space.StoreF32(addr, v)
+}
+
+// Load32 performs a timed load of a raw 32-bit value.
+func (s *System) Load32(addr uint64) uint32 {
+	s.access(addr, false)
+	return s.Space.Load32(addr)
+}
+
+// Store32 performs a timed store of a raw 32-bit value.
+func (s *System) Store32(addr uint64, v uint32) {
+	s.access(addr, true)
+	s.Space.Store32(addr, v)
+}
+
+// Flush drains the cache hierarchy to memory (end of run).
+func (s *System) Flush() {
+	now := s.Core.Now()
+	var l1d []uint64
+	s.l1.DirtyLines(func(a uint64) { l1d = append(l1d, a) })
+	for _, a := range l1d {
+		s.fillL2Dirty(now, a)
+		s.l1.MarkClean(a)
+	}
+	var l2d []uint64
+	s.l2.DirtyLines(func(a uint64) { l2d = append(l2d, a) })
+	for _, a := range l2d {
+		s.llc.WriteBack(now, a)
+		s.l2.MarkClean(a)
+	}
+	s.llc.Flush(now)
+}
+
+// baselineLLC is the unmodified LLC: a plain set-associative cache in
+// front of DRAM.
+type baselineLLC struct {
+	c         *cache.Cache
+	space     *mem.Space
+	dramCtrl  *dram.DRAM
+	hitCycles int
+	lossless  bool
+	algo      lossless.Algorithm
+	requests  uint64
+	misses    uint64
+	accesses  uint64
+}
+
+func newBaselineLLC(capacity, ways, hitCycles int, space *mem.Space, d *dram.DRAM) *baselineLLC {
+	return &baselineLLC{
+		c:         cache.New(capacity, ways, 64),
+		space:     space,
+		dramCtrl:  d,
+		hitCycles: hitCycles,
+	}
+}
+
+func (b *baselineLLC) Access(now uint64, addr uint64) uint64 {
+	b.requests++
+	b.accesses++
+	if b.c.Access(addr, false) {
+		return uint64(b.hitCycles)
+	}
+	b.misses++
+	approx := b.space.Info(addr).Approx
+	done := b.dramCtrl.AccessBytes(now, addr, b.linkBytes(addr), false, approx)
+	if v := b.c.Allocate(addr, false); v.Valid && v.Dirty {
+		b.dramCtrl.AccessBytes(now, v.Addr, b.linkBytes(v.Addr), true, b.space.Info(v.Addr).Approx)
+	}
+	return done - now + uint64(b.hitCycles)
+}
+
+func (b *baselineLLC) WriteBack(now uint64, addr uint64) {
+	b.accesses++
+	if b.c.Access(addr, true) {
+		return
+	}
+	if v := b.c.Allocate(addr, true); v.Valid && v.Dirty {
+		b.dramCtrl.AccessBytes(now, v.Addr, b.linkBytes(v.Addr), true, b.space.Info(v.Addr).Approx)
+	}
+}
+
+func (b *baselineLLC) Flush(now uint64) {
+	var dirty []uint64
+	b.c.DirtyLines(func(a uint64) { dirty = append(dirty, a) })
+	for _, a := range dirty {
+		b.dramCtrl.AccessBytes(now, a, b.linkBytes(a), true, b.space.Info(a).Approx)
+		b.c.MarkClean(a)
+	}
+}
+
+// linkBytes is the memory-link transfer size of a line, BDI-compressed
+// when the lossless link layer is enabled.
+func (b *baselineLLC) linkBytes(addr uint64) int {
+	if !b.lossless {
+		return 64
+	}
+	n := lossless.SizeOf(b.algo, b.space.Line(addr)) + 1
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// Result gathers every metric the evaluation section reports.
+type Result struct {
+	Design       Design
+	Benchmark    string
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	Energy energy.Breakdown
+	DRAM   dram.Stats
+
+	// CMTTrafficBytes is metadata traffic (AVR designs only), reported
+	// separately and added to traffic totals.
+	CMTTrafficBytes uint64
+
+	L1, L2      cache.Stats
+	LLCRequests uint64
+	LLCMisses   uint64
+	AMAT        float64
+	MPKI        float64
+
+	// AVRStats carries the Fig. 14/15 breakdowns (AVR designs only).
+	AVRStats *core.Stats
+	// DgDedups counts Doppelgänger dedup events.
+	DgDedups uint64
+
+	// CompressionRatio is original/stored size over all approx blocks
+	// touched by compression (AVR only; 1.0 otherwise).
+	CompressionRatio float64
+	// FootprintFraction is the total memory footprint relative to the
+	// uncompressed baseline (Table 4's "Mem. Footprint").
+	FootprintFraction float64
+
+	// OutputError is filled in by the experiment harness.
+	OutputError float64
+}
+
+// Finish flushes the hierarchy and collects all statistics.
+func (s *System) Finish(benchmark string) Result {
+	s.Flush()
+	r := Result{
+		Design:       s.Cfg.Design,
+		Benchmark:    benchmark,
+		Cycles:       s.Core.Now(),
+		Instructions: s.Core.Instructions(),
+		IPC:          s.Core.IPC(),
+		DRAM:         s.Dram.Stats(),
+		L1:           s.l1.Stats(),
+		L2:           s.l2.Stats(),
+	}
+	if s.Core.MemReads() > 0 {
+		r.AMAT = float64(s.Core.LoadLatencySum()) / float64(s.Core.MemReads())
+	}
+	if r.Instructions > 0 {
+		r.MPKI = float64(r.LLCMisses) / float64(r.Instructions) * 1000
+	}
+
+	var counts energy.Counts
+	counts.Instructions = r.Instructions
+	counts.Cycles = r.Cycles
+	counts.L1Accesses = r.L1.Accesses
+	counts.L2Accesses = r.L2.Accesses
+	counts.DRAMActs = r.DRAM.Activations
+	counts.DRAMReads = r.DRAM.Reads
+	counts.DRAMWrites = r.DRAM.Writes
+
+	r.CompressionRatio = 1
+	r.FootprintFraction = 1
+
+	requests, misses, llcAcc, comp, decomp := s.llcActivity()
+	r.LLCRequests = requests
+	r.LLCMisses = misses
+	counts.LLCAccesses = llcAcc
+	counts.Compresses = comp
+	counts.Decompresses = decomp
+	switch s.Cfg.Design {
+	case Dganger:
+		r.DgDedups = s.dg.Stats().Dedups
+	case ZeroAVR, AVR:
+		st := s.avr.Stats()
+		r.AVRStats = &st
+		r.CMTTrafficBytes = s.avr.CMT().Stats().TrafficBytes
+		r.CompressionRatio, r.FootprintFraction = s.footprint()
+	}
+	if r.Instructions > 0 {
+		r.MPKI = float64(r.LLCMisses) / float64(r.Instructions) * 1000
+	}
+	r.Energy = energy.Default32nm().Compute(counts)
+	return r
+}
+
+// llcActivity gathers the design-specific LLC counters: demand requests
+// and misses, array accesses (with Doppelgänger's 4× tag array charged
+// ~1.5× access energy, matching the paper's reported 1–3% overhead),
+// and compressor activity.
+func (s *System) llcActivity() (requests, misses, accesses, compresses, decompresses uint64) {
+	switch s.Cfg.Design {
+	case Baseline:
+		return s.base.requests, s.base.misses, s.base.accesses, 0, 0
+	case Truncate:
+		st := s.trunc.Stats()
+		return st.Requests, st.DemandMisses, st.Accesses, 0, 0
+	case Dganger:
+		st := s.dg.Stats()
+		return st.Requests, st.DemandMisses, st.Accesses + st.Accesses/2, 0, 0
+	default:
+		st := s.avr.Stats()
+		return st.Requests, st.DemandMisses, st.Accesses, st.Compresses, st.Decompresses
+	}
+}
+
+// footprint computes Table 4's metrics from the CMT's final state.
+func (s *System) footprint() (ratio float64, fraction float64) {
+	approxBytes := s.Space.ApproxBytes()
+	totalBytes := s.Space.Footprint()
+	if totalBytes == 0 || approxBytes == 0 {
+		return 1, 1
+	}
+	approxBlocks := approxBytes / compress.BlockBytes
+	cBlocks, cLines := s.avr.CMT().CompressedBlocks()
+	// Stored lines: compressed blocks at their compressed size, the rest
+	// uncompressed.
+	storedLines := uint64(cLines) + (approxBlocks-uint64(cBlocks))*compress.BlockLines
+	if storedLines == 0 {
+		return 1, 1
+	}
+	ratio = float64(approxBlocks*compress.BlockLines) / float64(storedLines)
+	storedApproxBytes := storedLines * compress.LineBytes
+	fraction = (float64(totalBytes-approxBytes) + float64(storedApproxBytes)) / float64(totalBytes)
+	return ratio, fraction
+}

@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"avr/internal/compress"
+	"avr/internal/sim"
+)
+
+// Heat is the 2D thermodynamics benchmark (Quinn, "Parallel Programming
+// in C with MPI and OpenMP"): Jacobi iteration of the heat equation over
+// a grid of temperatures. Both the current and next temperature grids
+// are approximable, as in the paper (8.2 MB/core footprint).
+type Heat struct {
+	n     int
+	iters int
+	cur   uint64 // grid buffers (float32 n×n)
+	next  uint64
+}
+
+// NewHeat creates the benchmark.
+func NewHeat() *Heat { return &Heat{} }
+
+// Name implements Workload.
+func (h *Heat) Name() string { return "heat" }
+
+// Setup implements Workload: a cold plate with hot top and left edges
+// plus a warm disc in the interior.
+func (h *Heat) Setup(sys *sim.System, sc Scale) {
+	switch sc {
+	case ScaleSmall:
+		h.n, h.iters = 512, 8 // 2 × 1 MiB grids vs 256 kB LLC slice
+	default:
+		h.n, h.iters = 1024, 10 // 2 × 4 MiB grids vs 1 MB LLC slice
+	}
+	n := uint64(h.n)
+	h.cur = sys.Space.AllocApprox(n*n*4, compress.Float32)
+	h.next = sys.Space.AllocApprox(n*n*4, compress.Float32)
+	r := newRNG(4242)
+	for i := 0; i < h.n; i++ {
+		for j := 0; j < h.n; j++ {
+			t := float32(20)
+			if i == 0 || j == 0 {
+				t = 100
+			}
+			di, dj := i-h.n/3, j-h.n/2
+			if di*di+dj*dj < (h.n/8)*(h.n/8) {
+				t = 80
+			}
+			// Measured temperatures carry sensor noise in the low bits
+			// (±0.05 K); perfectly bit-identical regions would overstate
+			// any lossless compressor.
+			t += float32(r.norm()) * 0.02
+			sys.Space.StoreF32(h.addr(h.cur, i, j), t)
+			sys.Space.StoreF32(h.addr(h.next, i, j), t)
+		}
+	}
+}
+
+func (h *Heat) addr(base uint64, i, j int) uint64 {
+	return base + uint64(i*h.n+j)*4
+}
+
+// Run implements Workload: iters Jacobi sweeps with fixed boundaries.
+func (h *Heat) Run(sys *sim.System) {
+	for it := 0; it < h.iters; it++ {
+		for i := 1; i < h.n-1; i++ {
+			for j := 1; j < h.n-1; j++ {
+				up := sys.LoadF32(h.addr(h.cur, i-1, j))
+				down := sys.LoadF32(h.addr(h.cur, i+1, j))
+				left := sys.LoadF32(h.addr(h.cur, i, j-1))
+				right := sys.LoadF32(h.addr(h.cur, i, j+1))
+				sys.Compute(5) // 3 adds + 1 mul + loop overhead
+				sys.StoreF32(h.addr(h.next, i, j), 0.25*(up+down+left+right))
+			}
+		}
+		h.cur, h.next = h.next, h.cur
+	}
+}
+
+// Output implements Workload: the final temperature grid.
+func (h *Heat) Output(sys *sim.System) []float64 {
+	out := make([]float64, 0, h.n*h.n/16)
+	for i := 0; i < h.n; i += 4 {
+		for j := 0; j < h.n; j += 4 {
+			out = append(out, float64(sys.Space.LoadF32(h.addr(h.cur, i, j))))
+		}
+	}
+	return out
+}

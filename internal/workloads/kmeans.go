@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"avr/internal/compress"
+	"avr/internal/sim"
+)
+
+// KMeans is the 1D k-means clustering benchmark, applied to a geographic
+// elevation map as in the paper (Swedish Topological Survey input). The
+// elevation samples are float32 metres and approximable; the centroids
+// are exact and kept in Q.8 fixed point by the kernel.
+//
+// k-means is the paper's one workload whose instruction count depends on
+// the approximation: distorted points can take extra iterations to
+// converge, which is exactly the effect reported for AVR.
+type KMeans struct {
+	n    int
+	k    int
+	data uint64 // float32 elevations, approximable
+	cent []int64
+	iter int
+
+	// Multicore reduction state (see RunShard).
+	partial [][2][]int64
+	moved   int64
+}
+
+// NewKMeans creates the benchmark.
+func NewKMeans() *KMeans { return &KMeans{} }
+
+// Name implements Workload.
+func (m *KMeans) Name() string { return "kmeans" }
+
+// Setup implements Workload: a fractal 1D elevation profile built by
+// midpoint displacement (geographically ordered, moderately smooth — the
+// paper reports a 2.3:1 ratio on this dataset).
+func (m *KMeans) Setup(sys *sim.System, sc Scale) {
+	switch sc {
+	case ScaleSmall:
+		m.n = 224 << 10 // 896 kB, ~3.5× the small LLC slice
+	default:
+		m.n = 896 << 10 // 3.5 MiB
+	}
+	m.k = 16
+	m.data = sys.Space.AllocApprox(uint64(m.n)*4, compress.Float32)
+
+	// Midpoint displacement over a power-of-two span covering n, with
+	// strong high-frequency roughness: real elevation rasters are only
+	// moderately compressible (the paper measures 2.3:1 on this input).
+	span := 1
+	for span < m.n {
+		span <<= 1
+	}
+	h := make([]float64, span+1)
+	h[0], h[span] = 680, 840
+	r := newRNG(1234577)
+	for step := span; step > 1; step >>= 1 {
+		amp := float64(step) * 0.9
+		if amp > 220 {
+			amp = 220
+		}
+		if amp < 28 {
+			amp = 28
+		}
+		for i := 0; i+step <= span; i += step {
+			mid := i + step/2
+			h[mid] = (h[i]+h[i+step])/2 + r.norm()*amp/4
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		e := h[i] + r.norm()*9 // per-sample sensor roughness
+		if e < 0 {
+			e = 0
+		}
+		sys.Space.StoreF32(m.data+uint64(i)*4, float32(e))
+	}
+	// Initial centroids spread over the observed range.
+	m.cent = make([]int64, m.k)
+	for c := 0; c < m.k; c++ {
+		m.cent[c] = int64(400*256) + int64(c)*int64(700*256)/int64(m.k)
+	}
+}
+
+// Run implements Workload: Lloyd iterations until the centroids move
+// less than half a metre, or an iteration cap.
+func (m *KMeans) Run(sys *sim.System) {
+	const maxIter = 40
+	const eps = 128 // half a metre in Q.8
+	m.iter = 0
+	for it := 0; it < maxIter; it++ {
+		m.iter++
+		sums := make([]int64, m.k)
+		counts := make([]int64, m.k)
+		for i := 0; i < m.n; i++ {
+			v := int64(sys.LoadF32(m.data+uint64(i)*4) * 256) // Q.8 metres
+			best, bd := 0, int64(1)<<62
+			for c := 0; c < m.k; c++ {
+				d := v - m.cent[c]
+				if d < 0 {
+					d = -d
+				}
+				if d < bd {
+					bd = d
+					best = c
+				}
+			}
+			sys.Compute(uint64(m.k + 4))
+			sums[best] += v
+			counts[best]++
+		}
+		moved := int64(0)
+		for c := 0; c < m.k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			nc := sums[c] / counts[c]
+			d := nc - m.cent[c]
+			if d < 0 {
+				d = -d
+			}
+			if d > moved {
+				moved = d
+			}
+			m.cent[c] = nc
+		}
+		sys.Compute(uint64(m.k * 6))
+		if moved < eps {
+			break
+		}
+	}
+}
+
+// Iterations returns how many Lloyd iterations the last Run took.
+func (m *KMeans) Iterations() int { return m.iter }
+
+// Output implements Workload: the final centroids in metres.
+func (m *KMeans) Output(sys *sim.System) []float64 {
+	out := make([]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		out[c] = float64(m.cent[c]) / 256
+	}
+	return out
+}

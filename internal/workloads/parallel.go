@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"avr/internal/sim"
+)
+
+// ParallelWorkload is a benchmark with an SPMD decomposition for the
+// multicore system: Setup allocates the shared dataset as usual, and
+// RunShard executes one core's share, synchronising through
+// CoreCtx.Barrier exactly as the paper's multi-threaded benchmarks do.
+type ParallelWorkload interface {
+	Workload
+	RunShard(c *sim.CoreCtx)
+}
+
+// ParallelByName returns a benchmark with a parallel decomposition.
+func ParallelByName(name string) (ParallelWorkload, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := w.(ParallelWorkload); ok {
+		return p, nil
+	}
+	return nil, errNotParallel(name)
+}
+
+type errNotParallel string
+
+func (e errNotParallel) Error() string {
+	return "workloads: benchmark " + string(e) + " has no parallel decomposition"
+}
+
+// shard splits [lo, hi) into n near-equal ranges and returns range id's
+// bounds.
+func shard(lo, hi, id, n int) (int, int) {
+	span := hi - lo
+	a := lo + span*id/n
+	b := lo + span*(id+1)/n
+	return a, b
+}
+
+// RunShard implements ParallelWorkload for Heat: each core sweeps a
+// horizontal band of rows; a barrier separates Jacobi iterations (the
+// stencil reads the previous iteration's halo rows).
+func (h *Heat) RunShard(c *sim.CoreCtx) {
+	lo, hi := shard(1, h.n-1, c.ID(), c.N())
+	for it := 0; it < h.iters; it++ {
+		cur, next := h.cur, h.next
+		if it%2 == 1 {
+			cur, next = next, cur
+		}
+		for i := lo; i < hi; i++ {
+			for j := 1; j < h.n-1; j++ {
+				up := c.LoadF32(h.addr(cur, i-1, j))
+				down := c.LoadF32(h.addr(cur, i+1, j))
+				left := c.LoadF32(h.addr(cur, i, j-1))
+				right := c.LoadF32(h.addr(cur, i, j+1))
+				c.Compute(5)
+				c.StoreF32(h.addr(next, i, j), 0.25*(up+down+left+right))
+			}
+		}
+		c.Barrier()
+	}
+	// Leave h.cur pointing at the final grid, as the sequential Run does.
+	if c.ID() == 0 && h.iters%2 == 1 {
+		h.cur, h.next = h.next, h.cur
+	}
+	c.Barrier()
+}
+
+// RunShard implements ParallelWorkload for KMeans: cores scan disjoint
+// point ranges, accumulate private partial sums, and core 0 reduces them
+// at the barrier, exactly like an OpenMP reduction.
+func (m *KMeans) RunShard(c *sim.CoreCtx) {
+	const maxIter = 40
+	const eps = 128
+	if c.ID() == 0 {
+		m.iter = 0
+		m.partial = make([][2][]int64, c.N())
+	}
+	c.Barrier()
+	lo, hi := shard(0, m.n, c.ID(), c.N())
+	for it := 0; it < maxIter; it++ {
+		sums := make([]int64, m.k)
+		counts := make([]int64, m.k)
+		for i := lo; i < hi; i++ {
+			v := int64(c.LoadF32(m.data+uint64(i)*4) * 256)
+			best, bd := 0, int64(1)<<62
+			for k := 0; k < m.k; k++ {
+				d := v - m.cent[k]
+				if d < 0 {
+					d = -d
+				}
+				if d < bd {
+					bd = d
+					best = k
+				}
+			}
+			c.Compute(uint64(m.k + 4))
+			sums[best] += v
+			counts[best]++
+		}
+		m.partial[c.ID()] = [2][]int64{sums, counts}
+		c.Barrier()
+		var moved int64
+		if c.ID() == 0 {
+			m.iter++
+			for k := 0; k < m.k; k++ {
+				var s, n int64
+				for _, p := range m.partial {
+					s += p[0][k]
+					n += p[1][k]
+				}
+				if n == 0 {
+					continue
+				}
+				nc := s / n
+				d := nc - m.cent[k]
+				if d < 0 {
+					d = -d
+				}
+				if d > moved {
+					moved = d
+				}
+				m.cent[k] = nc
+			}
+			c.Compute(uint64(m.k * 6))
+			m.moved = moved
+		}
+		c.Barrier()
+		if m.moved < eps {
+			break
+		}
+	}
+	c.Barrier()
+}
+
+// RunShard implements ParallelWorkload for BScholes: options are
+// embarrassingly parallel.
+func (b *BScholes) RunShard(c *sim.CoreCtx) {
+	lo, hi := shard(0, b.n, c.ID(), c.N())
+	b.priceRange(c, lo, hi)
+	c.Barrier()
+}
