@@ -4,16 +4,17 @@
 // Usage:
 //
 //	avrsim -bench heat -design AVR [-scale small|slice] [-t1 0.03125]
+//	avrsim -cache-dir .avrcache   # reuse results across invocations
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"avr/internal/compress"
+	"avr/internal/experiments"
 	"avr/internal/sim"
 	"avr/internal/workloads"
 )
@@ -24,18 +25,12 @@ func main() {
 	scale := flag.String("scale", "small", "input scale: small or slice")
 	t1 := flag.Float64("t1", compress.DefaultThresholds().T1, "per-value error threshold T1 (T2 = T1/2)")
 	cores := flag.Int("cores", 1, "simulate an n-core shared-LLC CMP (heat, kmeans, bscholes only)")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory; repeated runs skip simulation")
 	flag.Parse()
 
-	var d sim.Design
-	found := false
-	for _, cand := range sim.Designs {
-		if strings.EqualFold(cand.String(), *design) {
-			d = cand
-			found = true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+	d, err := sim.DesignByName(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	sc := workloads.ScaleSmall
@@ -46,30 +41,32 @@ func main() {
 	}
 	cfg.Thresholds = compress.Thresholds{T1: *t1, T2: *t1 / 2}
 
+	runner := experiments.NewRunner(sc)
+	runner.CacheDir = *cacheDir
+
 	if *cores > 1 {
-		runMulticore(*bench, cfg, *cores, sc)
+		runMulticore(runner, *bench, cfg, *cores)
 		return
 	}
 
-	w, err := workloads.ByName(*bench)
+	start := time.Now()
+	e, err := runner.RunConfig(*bench, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	sys := sim.New(cfg)
-	w.Setup(sys, sc)
-	sys.Prime()
-	start := time.Now()
-	w.Run(sys)
-	r := sys.Finish(w.Name())
 	wall := time.Since(start)
+	r := e.Result
 
 	fmt.Printf("benchmark        %s (%s scale)\n", r.Benchmark, *scale)
 	fmt.Printf("design           %s\n", r.Design)
 	fmt.Printf("simulated cycles %d (%.2f ms at 3.2 GHz)\n", r.Cycles, float64(r.Cycles)/3.2e6)
 	fmt.Printf("instructions     %d (IPC %.2f)\n", r.Instructions, r.IPC)
-	fmt.Printf("wall time        %v\n", wall.Round(time.Millisecond))
+	if runner.Simulations() == 0 {
+		fmt.Printf("wall time        %v (cached)\n", wall.Round(time.Millisecond))
+	} else {
+		fmt.Printf("wall time        %v\n", wall.Round(time.Millisecond))
+	}
 	fmt.Printf("AMAT             %.2f cycles\n", r.AMAT)
 	fmt.Printf("LLC requests     %d, misses %d (MPKI %.2f)\n", r.LLCRequests, r.LLCMisses, r.MPKI)
 	fmt.Printf("DRAM traffic     %.2f MB read, %.2f MB written (%.2f MB approx)\n",
@@ -99,22 +96,17 @@ func main() {
 
 // runMulticore executes the benchmark on an n-core shared-resource CMP
 // and prints the aggregate statistics.
-func runMulticore(bench string, cfg sim.Config, n int, sc workloads.Scale) {
-	w, err := workloads.ParallelByName(bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+func runMulticore(runner *experiments.Runner, bench string, cfg sim.Config, n int) {
 	// Shared-resource CMP: undo the per-core slicing.
 	cfg.LLCBytes *= 4
 	cfg.DRAMChannels = 2
 	cfg.DRAMSliceDiv = 1
-	m := sim.NewMulti(cfg, n)
-	w.Setup(m.Shared(), sc)
-	m.Prime()
 	start := time.Now()
-	m.Run(w.RunShard)
-	r := m.Finish(bench)
+	r, err := runner.RunMultiConfig(bench, cfg, n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	fmt.Printf("benchmark        %s on %d cores (shared %d kB LLC)\n", bench, n, cfg.LLCBytes>>10)
 	fmt.Printf("design           %s\n", r.Design)
 	fmt.Printf("simulated cycles %d (slowest core)\n", r.Cycles)

@@ -8,6 +8,12 @@
 //	avrtables -exp fig11      # one experiment
 //	avrtables -scale slice    # Table 1 slice configuration (slower)
 //	avrtables -csv out/       # also write CSV files
+//	avrtables -workers 4      # bound the worker pool (default GOMAXPROCS)
+//	avrtables -cache-dir .avr # persist results; reruns skip simulation
+//	avrtables -q              # suppress per-run progress lines
+//
+// Results are bit-identical for every worker count: the simulated
+// clocks are deterministic and reports render from a memoised matrix.
 package main
 
 import (
@@ -19,7 +25,6 @@ import (
 	"time"
 
 	"avr/internal/experiments"
-	"avr/internal/sim"
 	"avr/internal/workloads"
 )
 
@@ -27,6 +32,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
 	scale := flag.String("scale", "small", "input scale: small or slice")
 	csvDir := flag.String("csv", "", "directory to write CSV files into (optional)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (optional)")
+	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	flag.Parse()
 
 	sc := workloads.ScaleSmall
@@ -34,20 +42,31 @@ func main() {
 		sc = workloads.ScaleSlice
 	}
 	r := experiments.NewRunner(sc)
+	r.Workers = *workers
+	r.CacheDir = *cacheDir
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
 
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
 
-	// Warm the matrix concurrently: every experiment shares the runs.
+	// Warm every run up front, sharded across the pool; the experiments
+	// then render from the memoised matrix. A single requested
+	// experiment skips this — it shards just its own units internally.
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "running benchmark x design matrix (%s scale)...\n", *scale)
-	if err := r.Prefetch(experiments.Benchmarks(), sim.Designs); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *exp == "all" {
+		fmt.Fprintf(os.Stderr, "running benchmark x design matrix and sweeps (%s scale, %d workers)...\n",
+			*scale, r.PoolSize())
+		if err := r.PrefetchAll(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "matrix complete in %v (%d simulated, rest cached)\n\n",
+			time.Since(start).Round(time.Second), r.Simulations())
 	}
-	fmt.Fprintf(os.Stderr, "matrix complete in %v\n\n", time.Since(start).Round(time.Second))
 
 	for _, id := range ids {
 		rep, err := r.ByID(strings.TrimSpace(id))

@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"avr/internal/sim"
 	"avr/internal/workloads"
@@ -25,16 +24,9 @@ func main() {
 	every := flag.Uint64("every", 100000, "sample every N demand accesses")
 	flag.Parse()
 
-	var d sim.Design
-	found := false
-	for _, cand := range sim.Designs {
-		if strings.EqualFold(cand.String(), *design) {
-			d = cand
-			found = true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+	d, err := sim.DesignByName(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	sc := workloads.ScaleSmall

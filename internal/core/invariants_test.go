@@ -153,6 +153,85 @@ func TestInvariantFuzz(t *testing.T) {
 	}
 }
 
+// TestLLCOccupancyProperty checks the capacity invariant behind the
+// decoupled design: however a random trace interleaves compressed
+// subblocks (CMS) and uncompressed lines (UCL), the bytes the tag
+// metadata claims to hold can never exceed the LLC's physical capacity,
+// and the claim must agree exactly with the back-pointer array's valid
+// entries (no line counted twice, none leaked).
+func TestLLCOccupancyProperty(t *testing.T) {
+	for _, capBytes := range []int{32 << 10, 64 << 10, 256 << 10} {
+		capBytes := capBytes
+		t.Run(fmt.Sprintf("cap%dk", capBytes>>10), func(t *testing.T) {
+			space := mem.NewSpace(8 << 20)
+			approxBase := space.AllocApprox(2<<20, compress.Float32)
+			exactBase := space.Alloc(1<<20, 4096)
+			cfg := DefaultConfig(capBytes)
+			cfg.CMTCachePages = 32
+			llc := New(cfg, space, dram.New(dram.DDR4(1, 1)))
+
+			rng := rand.New(rand.NewSource(int64(capBytes)))
+			for off := uint64(0); off < 2<<20; off += 4 {
+				v := float32(1 + 0.0005*float64(off%8192))
+				if (off>>13)%4 == 0 {
+					v = float32(rng.NormFloat64() * 1e3)
+				}
+				space.StoreF32(approxBase+off, v)
+			}
+
+			occupancy := func() (tagLines, bpaLines int) {
+				for ti := 0; ti < llc.sets; ti++ {
+					for w := 0; w < llc.cfg.Ways; w++ {
+						if tag := &llc.tags[ti*llc.cfg.Ways+w]; tag.valid {
+							tagLines += int(tag.uclCount) + int(tag.cmsCount)
+						}
+					}
+				}
+				for s := 0; s < llc.sets; s++ {
+					for w := 0; w < llc.cfg.Ways; w++ {
+						if llc.bpa[s*llc.cfg.Ways+w].valid {
+							bpaLines++
+						}
+					}
+				}
+				return
+			}
+
+			var now uint64
+			for op := 0; op < 40000; op++ {
+				var addr uint64
+				if rng.Intn(4) == 0 {
+					addr = exactBase + uint64(rng.Intn(1<<14))*64
+				} else {
+					addr = approxBase + uint64(rng.Intn(1<<15))*64
+				}
+				if rng.Intn(3) == 2 {
+					llc.WriteBack(now, addr)
+				} else {
+					now += llc.Access(now, addr)
+				}
+				if op%2000 == 1999 {
+					tagLines, bpaLines := occupancy()
+					if bytes := tagLines * compress.LineBytes; bytes > capBytes {
+						t.Fatalf("op %d: occupancy %d B exceeds capacity %d B", op, bytes, capBytes)
+					}
+					if tagLines != bpaLines {
+						t.Fatalf("op %d: tag metadata claims %d lines, BPA holds %d", op, tagLines, bpaLines)
+					}
+				}
+			}
+			llc.Flush(now)
+			tagLines, bpaLines := occupancy()
+			if bytes := tagLines * compress.LineBytes; bytes > capBytes {
+				t.Fatalf("after flush: occupancy %d B exceeds capacity %d B", bytes, capBytes)
+			}
+			if tagLines != bpaLines {
+				t.Fatalf("after flush: tag metadata claims %d lines, BPA holds %d", tagLines, bpaLines)
+			}
+		})
+	}
+}
+
 // TestAddressMappingProperty checks the Fig. 6 address-breakdown
 // relations the decoupled lookup relies on.
 func TestAddressMappingProperty(t *testing.T) {

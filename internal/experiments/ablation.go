@@ -5,7 +5,6 @@ import (
 
 	"avr/internal/compress"
 	"avr/internal/sim"
-	"avr/internal/workloads"
 )
 
 // ablationVariant is one AVR configuration with a single mechanism
@@ -41,6 +40,9 @@ var ablationBenchmarks = []string{"heat", "lattice"}
 // time and traffic normalised to the baseline design, plus compression
 // ratio and output error per variant.
 func (r *Runner) Ablation() (Report, error) {
+	if err := r.runJobs(r.ablationJobs()); err != nil {
+		return Report{}, err
+	}
 	header := []string{"benchmark", "variant", "exec", "traffic", "ratio", "error"}
 	var rows [][]string
 	for _, bench := range ablationBenchmarks {
@@ -73,32 +75,34 @@ func (r *Runner) Ablation() (Report, error) {
 	}, nil
 }
 
+// ablationJobs enumerates the ablation units (plus the baselines they
+// normalise against) for the worker pool.
+func (r *Runner) ablationJobs() []job {
+	var jobs []job
+	for _, bench := range ablationBenchmarks {
+		bench := bench
+		jobs = append(jobs, job{label: key(bench, sim.Baseline), run: func() error {
+			_, err := r.Run(bench, sim.Baseline)
+			return err
+		}})
+		for _, v := range ablationVariants() {
+			v := v
+			jobs = append(jobs, job{
+				label: bench + "/ablation/" + v.name,
+				run: func() error {
+					_, err := r.runVariant(bench, v)
+					return err
+				},
+			})
+		}
+	}
+	return jobs
+}
+
 // runVariant runs one benchmark under a mutated AVR configuration
 // (memoised under a variant-specific key).
 func (r *Runner) runVariant(bench string, v ablationVariant) (*Entry, error) {
-	k := bench + "/ablation/" + v.name
-	r.mu.Lock()
-	if e, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return e, nil
-	}
-	r.mu.Unlock()
-
-	w, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
 	cfg := r.ConfigFor(sim.AVR)
 	v.mutate(&cfg)
-	sys := sim.New(cfg)
-	w.Setup(sys, r.Scale)
-	sys.Prime()
-	w.Run(sys)
-	res := sys.Finish(bench)
-	e := &Entry{Result: res, Output: w.Output(sys)}
-
-	r.mu.Lock()
-	r.cache[k] = e
-	r.mu.Unlock()
-	return e, nil
+	return r.runSim(bench+"/ablation/"+v.name, bench, cfg)
 }

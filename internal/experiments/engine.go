@@ -1,0 +1,328 @@
+// Parallel experiment engine: a bounded worker pool shards the
+// benchmark × design matrix and the sweep/ablation units across
+// GOMAXPROCS workers, a singleflight layer deduplicates concurrent
+// requests for the same run, and an optional on-disk JSON cache makes
+// results persistent across process invocations. Simulated clocks are
+// deterministic, so results are bit-identical however the work is
+// scheduled.
+
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// cacheSalt versions the on-disk result cache. Bump it whenever a
+// simulator change alters results so stale entries are never reused.
+const cacheSalt = "avr-results-v1"
+
+// call is an in-flight single-core run other callers can wait on.
+type call struct {
+	done chan struct{}
+	e    *Entry
+	err  error
+}
+
+// multiCall is an in-flight multicore run.
+type multiCall struct {
+	done chan struct{}
+	res  sim.MultiResult
+	err  error
+}
+
+// job is one unit of sharded work with a label for progress reporting.
+type job struct {
+	label string
+	run   func() error
+}
+
+// PoolSize returns the effective worker count.
+func (r *Runner) PoolSize() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Simulations reports how many actual simulations this runner executed
+// (memory/disk cache hits and deduplicated callers excluded).
+func (r *Runner) Simulations() int64 { return r.simulations.Load() }
+
+// runJobs shards jobs across the worker pool and returns the first
+// error. Progress, when configured, gets one timed line per job.
+func (r *Runner) runJobs(jobs []job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := r.PoolSize()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	r.total.Add(int64(len(jobs)))
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				start := time.Now()
+				err := j.run()
+				n := r.done.Add(1)
+				if w := r.Progress; w != nil {
+					if err != nil {
+						fmt.Fprintf(w, "[%d/%d] %s: %v\n", n, r.total.Load(), j.label, err)
+					} else {
+						fmt.Fprintf(w, "[%d/%d] %s (%v)\n", n, r.total.Load(), j.label,
+							time.Since(start).Round(time.Millisecond))
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// simulate executes one single-core run, bypassing every cache layer.
+func (r *Runner) simulate(bench string, cfg sim.Config) (*Entry, error) {
+	w, err := workloads.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	sys := sim.New(cfg)
+	w.Setup(sys, r.Scale)
+	sys.Prime()
+	w.Run(sys)
+	res := sys.Finish(bench)
+	return &Entry{Result: res, Output: w.Output(sys)}, nil
+}
+
+// runSim is the single entry point for every single-core experiment
+// unit: memory memo → singleflight dedup → disk cache → simulation.
+// Exactly one caller simulates a given key no matter how many request it
+// concurrently.
+func (r *Runner) runSim(key, bench string, cfg sim.Config) (*Entry, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.e, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	if r.inflight == nil {
+		r.inflight = make(map[string]*call)
+	}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	path := r.diskPath(key, cfg, 1)
+	e, ok := r.loadDisk(path, key)
+	var err error
+	if !ok {
+		r.simulations.Add(1)
+		e, err = r.simulate(bench, cfg)
+		if err == nil {
+			r.storeDisk(path, key, e, sim.MultiResult{}, false)
+		}
+	}
+
+	r.mu.Lock()
+	if err == nil {
+		r.cache[key] = e
+	}
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	c.e, c.err = e, err
+	close(c.done)
+	return e, err
+}
+
+// runMultiSim is runSim for multicore runs.
+func (r *Runner) runMultiSim(key, bench string, cfg sim.Config, n int) (sim.MultiResult, error) {
+	r.mu.Lock()
+	if r.multiCache == nil {
+		r.multiCache = make(map[string]sim.MultiResult)
+	}
+	if res, ok := r.multiCache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	if c, ok := r.multiInflight[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &multiCall{done: make(chan struct{})}
+	if r.multiInflight == nil {
+		r.multiInflight = make(map[string]*multiCall)
+	}
+	r.multiInflight[key] = c
+	r.mu.Unlock()
+
+	path := r.diskPath(key, cfg, n)
+	var res sim.MultiResult
+	var err error
+	de, ok := r.loadDiskRaw(path, key)
+	if ok && de.Multi != nil {
+		res = *de.Multi
+	} else {
+		r.simulations.Add(1)
+		res, err = r.simulateMulti(bench, cfg, n)
+		if err == nil {
+			r.storeDisk(path, key, nil, res, true)
+		}
+	}
+
+	r.mu.Lock()
+	if err == nil {
+		r.multiCache[key] = res
+	}
+	delete(r.multiInflight, key)
+	r.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+	return res, err
+}
+
+// simulateMulti executes one n-core run, bypassing every cache layer.
+func (r *Runner) simulateMulti(bench string, cfg sim.Config, n int) (sim.MultiResult, error) {
+	w, err := workloads.ParallelByName(bench)
+	if err != nil {
+		return sim.MultiResult{}, err
+	}
+	m := sim.NewMulti(cfg, n)
+	w.Setup(m.Shared(), r.Scale)
+	m.Prime()
+	m.Run(w.RunShard)
+	return m.Finish(bench), nil
+}
+
+// RunConfig runs one benchmark under an explicit configuration through
+// the dedup and cache layers, keyed by the configuration fingerprint.
+// This is what cmd/avrsim uses so repeated invocations hit the disk
+// cache.
+func (r *Runner) RunConfig(bench string, cfg sim.Config) (*Entry, error) {
+	h := sha256.Sum256([]byte(cfg.Fingerprint()))
+	return r.runSim(fmt.Sprintf("%s/cfg-%s", bench, hex.EncodeToString(h[:8])), bench, cfg)
+}
+
+// RunMultiConfig is RunConfig for an n-core CMP run.
+func (r *Runner) RunMultiConfig(bench string, cfg sim.Config, n int) (sim.MultiResult, error) {
+	h := sha256.Sum256([]byte(cfg.Fingerprint()))
+	k := fmt.Sprintf("%s/cfg-%s/cores%d", bench, hex.EncodeToString(h[:8]), n)
+	return r.runMultiSim(k, bench, cfg, n)
+}
+
+// ---- persistent disk cache ----
+
+// diskEntry is the JSON envelope of one cached run. Key is stored for
+// debuggability only; the filename hash is the lookup key.
+type diskEntry struct {
+	Key    string           `json:"key"`
+	Result *sim.Result      `json:"result,omitempty"`
+	Output []float64        `json:"output,omitempty"`
+	Multi  *sim.MultiResult `json:"multi,omitempty"`
+}
+
+// diskPath derives the cache filename from a hash of the cache-version
+// salt, the workload scale, the memo key and the full configuration
+// fingerprint, so any config or simulator change misses cleanly.
+func (r *Runner) diskPath(key string, cfg sim.Config, cores int) string {
+	if r.CacheDir == "" {
+		return ""
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|scale%d|cores%d|%s|%s",
+		cacheSalt, r.Scale, cores, key, cfg.Fingerprint())))
+	return filepath.Join(r.CacheDir, hex.EncodeToString(h[:16])+".json")
+}
+
+// loadDiskRaw reads and validates a cache file; any failure is a miss.
+func (r *Runner) loadDiskRaw(path, key string) (diskEntry, bool) {
+	var de diskEntry
+	if path == "" {
+		return de, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return de, false
+	}
+	if err := json.Unmarshal(data, &de); err != nil || de.Key != key {
+		return de, false
+	}
+	return de, true
+}
+
+// loadDisk reads a cached single-core entry.
+func (r *Runner) loadDisk(path, key string) (*Entry, bool) {
+	de, ok := r.loadDiskRaw(path, key)
+	if !ok || de.Result == nil {
+		return nil, false
+	}
+	return &Entry{Result: *de.Result, Output: de.Output}, true
+}
+
+// storeDisk writes one completed run; failures (including
+// unserialisable NaN/Inf outputs) only disable persistence, never the
+// run itself. The write is atomic (temp file + rename) so concurrent
+// processes sharing a cache directory never read torn files.
+func (r *Runner) storeDisk(path, key string, e *Entry, m sim.MultiResult, multi bool) {
+	if path == "" {
+		return
+	}
+	de := diskEntry{Key: key}
+	if multi {
+		de.Multi = &m
+	} else {
+		de.Result = &e.Result
+		de.Output = e.Output
+	}
+	data, err := json.Marshal(de)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// TestRunDeduplicatesConcurrentCallers covers the former
+// check-unlock-run race in Run: many goroutines racing on the same key
+// must trigger exactly one simulation and all observe the same entry.
+func TestRunDeduplicatesConcurrentCallers(t *testing.T) {
+	r := NewRunner(workloads.ScaleSmall)
+	const callers = 8
+	entries := make([]*Entry, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries[i], errs[i] = r.Run("heat", sim.Baseline)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if entries[i] != entries[0] {
+			t.Errorf("caller %d got a different entry", i)
+		}
+	}
+	if n := r.Simulations(); n != 1 {
+		t.Errorf("concurrent callers triggered %d simulations, want exactly 1", n)
+	}
+}
+
+// TestPrefetchDeduplicatesOverlap runs an overlapping matrix prefetch
+// twice concurrently; the total simulation count must still equal the
+// number of distinct keys.
+func TestPrefetchDeduplicatesOverlap(t *testing.T) {
+	r := NewRunner(workloads.ScaleSmall)
+	benches := []string{"heat", "kmeans"}
+	designs := []sim.Design{sim.Baseline, sim.ZeroAVR}
+	var wg sync.WaitGroup
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errc <- r.Prefetch(benches, designs)
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r.Simulations(); n != int64(len(benches)*len(designs)) {
+		t.Errorf("simulations = %d, want %d", n, len(benches)*len(designs))
+	}
+}
+
+// TestDiskCachePersistsRuns checks that a second runner sharing the
+// cache directory reproduces the first runner's results without
+// simulating, and that results survive the JSON round trip exactly.
+func TestDiskCachePersistsRuns(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := NewRunner(workloads.ScaleSmall)
+	r1.CacheDir = dir
+	e1, err := r1.Run("heat", sim.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r1.Simulations(); n != 1 {
+		t.Fatalf("first runner simulated %d times, want 1", n)
+	}
+
+	r2 := NewRunner(workloads.ScaleSmall)
+	r2.CacheDir = dir
+	e2, err := r2.Run("heat", sim.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.Simulations(); n != 0 {
+		t.Errorf("second runner simulated %d times, want 0 (disk hit)", n)
+	}
+	if e1.Result != e2.Result {
+		t.Errorf("cached result differs:\n%+v\nvs\n%+v", e1.Result, e2.Result)
+	}
+	if len(e1.Output) != len(e2.Output) {
+		t.Fatalf("output lengths differ: %d vs %d", len(e1.Output), len(e2.Output))
+	}
+	for i := range e1.Output {
+		if e1.Output[i] != e2.Output[i] {
+			t.Fatalf("output[%d] differs after JSON round trip: %v vs %v",
+				i, e1.Output[i], e2.Output[i])
+		}
+	}
+}
+
+// TestDiskCacheKeyedByConfig checks that a changed configuration misses
+// the cache instead of returning a stale entry.
+func TestDiskCacheKeyedByConfig(t *testing.T) {
+	dir := t.TempDir()
+	r1 := NewRunner(workloads.ScaleSmall)
+	r1.CacheDir = dir
+	if _, err := r1.runThreshold("heat", 1.0/32); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner(workloads.ScaleSmall)
+	r2.CacheDir = dir
+	if _, err := r2.runThreshold("heat", 1.0/64); err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.Simulations(); n != 1 {
+		t.Errorf("different thresholds hit the cache (%d simulations, want 1)", n)
+	}
+}
+
+// TestProgressReporting checks the per-run progress lines of a sharded
+// pool pass.
+func TestProgressReporting(t *testing.T) {
+	r := NewRunner(workloads.ScaleSmall)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	r.Progress = writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	if err := r.Prefetch([]string{"heat"}, []sim.Design{sim.Baseline, sim.ZeroAVR}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("progress lines = %q, want 2 lines", out)
+	}
+	if !strings.Contains(out, "/2] heat/") {
+		t.Errorf("progress lines missing [n/2] counter: %q", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestRunUnknownBenchmarkNotCached checks errors are not memoised as
+// successes and propagate through the singleflight layer.
+func TestRunUnknownBenchmarkConcurrent(t *testing.T) {
+	r := NewRunner(workloads.ScaleSmall)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Run("no-such-benchmark", sim.Baseline); err == nil {
+				t.Error("unknown benchmark accepted")
+			}
+		}()
+	}
+	wg.Wait()
+}

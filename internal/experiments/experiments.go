@@ -6,11 +6,12 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"avr/internal/sim"
 	"avr/internal/workloads"
@@ -22,17 +23,38 @@ type Entry struct {
 	Output []float64
 }
 
-// Runner executes and memoises the benchmark × design matrix.
+// Runner executes and memoises the benchmark × design matrix. All
+// methods are safe for concurrent use: a singleflight layer guarantees
+// each distinct run simulates exactly once however many callers race on
+// it, and the sweep experiments shard their units across a bounded
+// worker pool.
 type Runner struct {
 	// Scale selects the input scale for all runs.
 	Scale workloads.Scale
 	// ConfigFor builds the system configuration per design; defaults to
 	// PresetSmall/PresetSlice according to Scale.
 	ConfigFor func(d sim.Design) sim.Config
+	// Workers bounds the worker pool used by Prefetch and the sweep
+	// experiments; zero means GOMAXPROCS. Results are bit-identical for
+	// every worker count.
+	Workers int
+	// CacheDir, when non-empty, enables the persistent on-disk result
+	// cache: completed runs are stored as JSON keyed by a hash of the
+	// full configuration, the workload scale and a code-version salt, so
+	// repeated invocations skip simulation entirely.
+	CacheDir string
+	// Progress, when non-nil, receives one timed line per completed
+	// sharded unit so long sweeps are observable.
+	Progress io.Writer
 
-	mu         sync.Mutex
-	cache      map[string]*Entry
-	multiCache map[string]sim.MultiResult
+	mu            sync.Mutex
+	cache         map[string]*Entry
+	multiCache    map[string]sim.MultiResult
+	inflight      map[string]*call
+	multiInflight map[string]*multiCall
+
+	simulations atomic.Int64
+	done, total atomic.Int64
 }
 
 // NewRunner creates a runner at the given scale.
@@ -49,70 +71,44 @@ func NewRunner(sc workloads.Scale) *Runner {
 
 func key(bench string, d sim.Design) string { return bench + "/" + d.String() }
 
-// Run executes one benchmark on one design (memoised).
+// Run executes one benchmark on one design (memoised, deduplicated,
+// disk-cached).
 func (r *Runner) Run(bench string, d sim.Design) (*Entry, error) {
-	r.mu.Lock()
-	if e, ok := r.cache[key(bench, d)]; ok {
-		r.mu.Unlock()
-		return e, nil
-	}
-	r.mu.Unlock()
-
-	w, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	sys := sim.New(r.ConfigFor(d))
-	w.Setup(sys, r.Scale)
-	sys.Prime()
-	w.Run(sys)
-	res := sys.Finish(bench)
-	e := &Entry{Result: res, Output: w.Output(sys)}
-
-	r.mu.Lock()
-	r.cache[key(bench, d)] = e
-	r.mu.Unlock()
-	return e, nil
+	return r.runSim(key(bench, d), bench, r.ConfigFor(d))
 }
 
-// Prefetch runs the given benchmarks × designs concurrently (bounded by
-// GOMAXPROCS) to warm the memo cache.
-func (r *Runner) Prefetch(benches []string, designs []sim.Design) error {
-	type job struct {
-		b string
-		d sim.Design
-	}
-	jobs := make(chan job)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if _, err := r.Run(j.b, j.d); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
+// matrixJobs enumerates the benchmark × design matrix as sharded units.
+func (r *Runner) matrixJobs(benches []string, designs []sim.Design) []job {
+	var jobs []job
 	for _, b := range benches {
 		for _, d := range designs {
-			jobs <- job{b, d}
+			b, d := b, d
+			jobs = append(jobs, job{label: key(b, d), run: func() error {
+				_, err := r.Run(b, d)
+				return err
+			}})
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	return firstErr
+	return jobs
+}
+
+// Prefetch runs the given benchmarks × designs across the worker pool to
+// warm the memo cache.
+func (r *Runner) Prefetch(benches []string, designs []sim.Design) error {
+	return r.runJobs(r.matrixJobs(benches, designs))
+}
+
+// PrefetchAll warms every run any experiment needs — the full matrix,
+// the threshold/LLC-capacity sweeps, the ablations, the lossless
+// variants and the multicore scaling points — in one sharded pool pass.
+func (r *Runner) PrefetchAll() error {
+	jobs := r.matrixJobs(Benchmarks(), sim.Designs)
+	jobs = append(jobs, r.thresholdJobs()...)
+	jobs = append(jobs, r.ablationJobs()...)
+	jobs = append(jobs, r.llcSweepJobs()...)
+	jobs = append(jobs, r.losslessJobs()...)
+	jobs = append(jobs, r.multicoreJobs()...)
+	return r.runJobs(jobs)
 }
 
 // OutputError computes the paper's quality metric — the mean of the
@@ -235,6 +231,9 @@ var comparisonDesigns = []sim.Design{sim.Dganger, sim.Truncate, sim.ZeroAVR, sim
 // 11, 12, 13): metric(design)/metric(baseline) per benchmark plus the
 // geometric mean.
 func (r *Runner) normalisedFigure(id, title string, metric func(*Entry) float64) (Report, error) {
+	if err := r.prefetchMatrix(append([]sim.Design{sim.Baseline}, comparisonDesigns...)); err != nil {
+		return Report{}, err
+	}
 	benches := Benchmarks()
 	header := append([]string{"design"}, append(append([]string{}, benches...), "geomean")...)
 	var rows [][]string
@@ -264,8 +263,19 @@ func (r *Runner) normalisedFigure(id, title string, metric func(*Entry) float64)
 	return Report{ID: id, Title: title, Text: text, CSV: csv}, nil
 }
 
+// prefetchMatrix shards the matrix units a report needs across the
+// worker pool before its serial render loop, which then only hits the
+// memo cache — so rendering order (and output bytes) never depends on
+// the worker count.
+func (r *Runner) prefetchMatrix(designs []sim.Design) error {
+	return r.runJobs(r.matrixJobs(Benchmarks(), designs))
+}
+
 // Table3 reproduces "Application output error".
 func (r *Runner) Table3() (Report, error) {
+	if err := r.prefetchMatrix([]sim.Design{sim.Baseline, sim.Dganger, sim.Truncate, sim.AVR}); err != nil {
+		return Report{}, err
+	}
 	benches := Benchmarks()
 	header := append([]string{"design"}, benches...)
 	var rows [][]string
@@ -293,6 +303,9 @@ func (r *Runner) Table3() (Report, error) {
 
 // Table4 reproduces "AVR compression ratio and footprint reduction".
 func (r *Runner) Table4() (Report, error) {
+	if err := r.prefetchMatrix([]sim.Design{sim.AVR}); err != nil {
+		return Report{}, err
+	}
 	benches := Benchmarks()
 	header := append([]string{"metric"}, benches...)
 	ratio := []string{"Compr. Ratio"}
@@ -317,6 +330,9 @@ func (r *Runner) Fig9() (Report, error) {
 
 // Fig10 reproduces the system energy breakdown normalised to baseline.
 func (r *Runner) Fig10() (Report, error) {
+	if err := r.prefetchMatrix(sim.Designs); err != nil {
+		return Report{}, err
+	}
 	benches := Benchmarks()
 	header := []string{"benchmark", "design", "core", "L1+L2", "LLC", "DRAM", "compressor", "total"}
 	var rows [][]string
@@ -350,6 +366,9 @@ func (r *Runner) Fig10() (Report, error) {
 // Fig11 reproduces DRAM traffic normalised to baseline, with the
 // approx/non-approx split.
 func (r *Runner) Fig11() (Report, error) {
+	if err := r.prefetchMatrix(append([]sim.Design{sim.Baseline}, comparisonDesigns...)); err != nil {
+		return Report{}, err
+	}
 	benches := Benchmarks()
 	header := []string{"benchmark", "design", "total", "approx", "non-approx"}
 	var rows [][]string
@@ -393,6 +412,9 @@ func (r *Runner) Fig13() (Report, error) {
 // Fig14 reproduces the AVR LLC request breakdown on approximate
 // cachelines.
 func (r *Runner) Fig14() (Report, error) {
+	if err := r.prefetchMatrix([]sim.Design{sim.AVR}); err != nil {
+		return Report{}, err
+	}
 	header := []string{"benchmark", "miss", "uncompressed-hit", "dbuf-hit", "compressed-hit"}
 	var rows [][]string
 	for _, b := range Benchmarks() {
@@ -419,6 +441,9 @@ func (r *Runner) Fig14() (Report, error) {
 
 // Fig15 reproduces the AVR LLC eviction breakdown.
 func (r *Runner) Fig15() (Report, error) {
+	if err := r.prefetchMatrix([]sim.Design{sim.AVR}); err != nil {
+		return Report{}, err
+	}
 	header := []string{"benchmark", "recompress", "lazy-writeback", "fetch+recompress", "uncompressed-wb"}
 	var rows [][]string
 	for _, b := range Benchmarks() {

@@ -5,7 +5,6 @@ import (
 
 	"avr/internal/lossless"
 	"avr/internal/sim"
-	"avr/internal/workloads"
 )
 
 // Lossless evaluates the §2 claim that lossless compression is
@@ -14,22 +13,50 @@ import (
 // its traffic is exact data AVR cannot touch; bscholes and heat bound
 // the effect from both sides. FPC's integer-oriented patterns do little
 // for float-heavy lines, bounding what any lossless scheme can add.
+// losslessVariant is one point of the lossless-stacking study.
+type losslessVariant struct {
+	name   string
+	design sim.Design
+	link   bool
+	algo   lossless.Algorithm
+}
+
+// losslessBenchmarks and losslessVariants define the study's grid.
+var losslessBenchmarks = []string{"wrf", "bscholes", "heat"}
+
+var losslessVariants = []losslessVariant{
+	{"baseline", sim.Baseline, false, lossless.BDI},
+	{"baseline+BDI", sim.Baseline, true, lossless.BDI},
+	{"baseline+FPC", sim.Baseline, true, lossless.FPC},
+	{"AVR", sim.AVR, false, lossless.BDI},
+	{"AVR+BDI", sim.AVR, true, lossless.BDI},
+	{"AVR+FPC", sim.AVR, true, lossless.FPC},
+}
+
+// losslessJobs enumerates the stacking-study units for the worker pool.
+func (r *Runner) losslessJobs() []job {
+	var jobs []job
+	for _, b := range losslessBenchmarks {
+		for _, v := range losslessVariants {
+			b, v := b, v
+			jobs = append(jobs, job{
+				label: b + "/" + v.name,
+				run: func() error {
+					_, err := r.runLossless(b, v.design, v.link, v.algo)
+					return err
+				},
+			})
+		}
+	}
+	return jobs
+}
+
 func (r *Runner) Lossless() (Report, error) {
-	benches := []string{"wrf", "bscholes", "heat"}
-	type variant struct {
-		name   string
-		design sim.Design
-		link   bool
-		algo   lossless.Algorithm
+	if err := r.runJobs(r.losslessJobs()); err != nil {
+		return Report{}, err
 	}
-	variants := []variant{
-		{"baseline", sim.Baseline, false, lossless.BDI},
-		{"baseline+BDI", sim.Baseline, true, lossless.BDI},
-		{"baseline+FPC", sim.Baseline, true, lossless.FPC},
-		{"AVR", sim.AVR, false, lossless.BDI},
-		{"AVR+BDI", sim.AVR, true, lossless.BDI},
-		{"AVR+FPC", sim.AVR, true, lossless.FPC},
-	}
+	benches := losslessBenchmarks
+	variants := losslessVariants
 	header := []string{"benchmark", "variant", "exec", "traffic", "non-approx traffic"}
 	var rows [][]string
 	for _, b := range benches {
@@ -68,33 +95,11 @@ func (r *Runner) Lossless() (Report, error) {
 
 // runLossless runs one benchmark with the lossless link knob (memoised).
 func (r *Runner) runLossless(bench string, d sim.Design, link bool, algo lossless.Algorithm) (*Entry, error) {
-	k := fmt.Sprintf("%s/%s/link-%v", bench, d, algo)
 	if !link {
 		return r.Run(bench, d) // identical to the plain matrix run
-	}
-	r.mu.Lock()
-	if e, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return e, nil
-	}
-	r.mu.Unlock()
-
-	w, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
 	}
 	cfg := r.ConfigFor(d)
 	cfg.LosslessLink = true
 	cfg.LosslessAlgo = algo
-	sys := sim.New(cfg)
-	w.Setup(sys, r.Scale)
-	sys.Prime()
-	w.Run(sys)
-	res := sys.Finish(bench)
-	e := &Entry{Result: res, Output: w.Output(sys)}
-
-	r.mu.Lock()
-	r.cache[k] = e
-	r.mu.Unlock()
-	return e, nil
+	return r.runSim(fmt.Sprintf("%s/%s/link-%v", bench, d, algo), bench, cfg)
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"avr/internal/sim"
-	"avr/internal/workloads"
 )
 
 // multicoreCounts are the CMP sizes of the scaling experiment.
@@ -27,6 +26,9 @@ func (r *Runner) multicoreConfig(d sim.Design) sim.Config {
 // paper's bandwidth-wall argument: as cores contend for pins, AVR's
 // traffic reduction buys more than it does on one core.
 func (r *Runner) Multicore() (Report, error) {
+	if err := r.runJobs(r.multicoreJobs()); err != nil {
+		return Report{}, err
+	}
 	const bench = "heat"
 	header := []string{"cores", "design", "cycles", "speedup", "traffic-MB", "IPC"}
 	var rows [][]string
@@ -59,32 +61,27 @@ func (r *Runner) Multicore() (Report, error) {
 	}, nil
 }
 
+// multicoreJobs enumerates the scaling-study units for the worker pool.
+func (r *Runner) multicoreJobs() []job {
+	var jobs []job
+	for _, n := range multicoreCounts {
+		for _, d := range []sim.Design{sim.Baseline, sim.AVR} {
+			n, d := n, d
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("heat/%s/cores%d", d, n),
+				run: func() error {
+					_, err := r.runMulticore("heat", d, n)
+					return err
+				},
+			})
+		}
+	}
+	return jobs
+}
+
 // runMulticore executes one parallel benchmark on an n-core system
 // (memoised).
 func (r *Runner) runMulticore(bench string, d sim.Design, n int) (sim.MultiResult, error) {
 	k := fmt.Sprintf("%s/%s/cores%d", bench, d, n)
-	r.mu.Lock()
-	if r.multiCache == nil {
-		r.multiCache = map[string]sim.MultiResult{}
-	}
-	if e, ok := r.multiCache[k]; ok {
-		r.mu.Unlock()
-		return e, nil
-	}
-	r.mu.Unlock()
-
-	w, err := workloads.ParallelByName(bench)
-	if err != nil {
-		return sim.MultiResult{}, err
-	}
-	m := sim.NewMulti(r.multicoreConfig(d), n)
-	w.Setup(m.Shared(), r.Scale)
-	m.Prime()
-	m.Run(w.RunShard)
-	res := m.Finish(bench)
-
-	r.mu.Lock()
-	r.multiCache[k] = res
-	r.mu.Unlock()
-	return res, nil
+	return r.runMultiSim(k, bench, r.multicoreConfig(d), n)
 }

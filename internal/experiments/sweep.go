@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"avr/internal/sim"
-	"avr/internal/workloads"
 )
 
 // sweepCapacities are the LLC slice sizes of the capacity sensitivity
@@ -17,6 +16,9 @@ var sweepCapacities = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
 // show. AVR's advantage shrinks as the LLC approaches the working set
 // (the baseline stops missing), and grows when capacity is scarce.
 func (r *Runner) LLCSweep() (Report, error) {
+	if err := r.runJobs(r.llcSweepJobs()); err != nil {
+		return Report{}, err
+	}
 	const bench = "heat"
 	header := []string{"LLC", "exec", "traffic", "AMAT", "ratio"}
 	var rows [][]string
@@ -46,31 +48,27 @@ func (r *Runner) LLCSweep() (Report, error) {
 	}, nil
 }
 
+// llcSweepJobs enumerates the capacity-sweep units for the worker pool.
+func (r *Runner) llcSweepJobs() []job {
+	var jobs []job
+	for _, capBytes := range sweepCapacities {
+		for _, d := range []sim.Design{sim.Baseline, sim.AVR} {
+			capBytes, d := capBytes, d
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("heat/%s/llc%dk", d, capBytes>>10),
+				run: func() error {
+					_, err := r.runWithLLC("heat", d, capBytes)
+					return err
+				},
+			})
+		}
+	}
+	return jobs
+}
+
 // runWithLLC runs one benchmark at an explicit LLC capacity (memoised).
 func (r *Runner) runWithLLC(bench string, d sim.Design, capBytes int) (*Entry, error) {
-	k := fmt.Sprintf("%s/%s/llc%d", bench, d, capBytes)
-	r.mu.Lock()
-	if e, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return e, nil
-	}
-	r.mu.Unlock()
-
-	w, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
 	cfg := r.ConfigFor(d)
 	cfg.LLCBytes = capBytes
-	sys := sim.New(cfg)
-	w.Setup(sys, r.Scale)
-	sys.Prime()
-	w.Run(sys)
-	res := sys.Finish(bench)
-	e := &Entry{Result: res, Output: w.Output(sys)}
-
-	r.mu.Lock()
-	r.cache[k] = e
-	r.mu.Unlock()
-	return e, nil
+	return r.runSim(fmt.Sprintf("%s/%s/llc%d", bench, d, capBytes), bench, cfg)
 }

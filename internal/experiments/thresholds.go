@@ -5,7 +5,6 @@ import (
 
 	"avr/internal/compress"
 	"avr/internal/sim"
-	"avr/internal/workloads"
 )
 
 // thresholdPoints are the T1 settings of the knob sweep (T2 = T1/2
@@ -20,6 +19,9 @@ var thresholdBenchmarks = []string{"heat", "lattice", "kmeans"}
 // ratio and traffic as T1 sweeps over two orders of magnitude. This is
 // the quality/performance trade-off curve behind Table 3.
 func (r *Runner) ThresholdSweep() (Report, error) {
+	if err := r.runJobs(r.thresholdJobs()); err != nil {
+		return Report{}, err
+	}
 	header := []string{"benchmark", "T1", "error", "ratio", "traffic", "exec"}
 	var rows [][]string
 	for _, bench := range thresholdBenchmarks {
@@ -51,32 +53,34 @@ func (r *Runner) ThresholdSweep() (Report, error) {
 	}, nil
 }
 
+// thresholdJobs enumerates the knob-sweep units (plus the baselines the
+// sweep normalises against) for the worker pool.
+func (r *Runner) thresholdJobs() []job {
+	var jobs []job
+	for _, bench := range thresholdBenchmarks {
+		bench := bench
+		jobs = append(jobs, job{label: key(bench, sim.Baseline), run: func() error {
+			_, err := r.Run(bench, sim.Baseline)
+			return err
+		}})
+		for _, t1 := range thresholdPoints {
+			t1 := t1
+			jobs = append(jobs, job{
+				label: fmt.Sprintf("%s/AVR/t1=1_%.0f", bench, 1/t1),
+				run: func() error {
+					_, err := r.runThreshold(bench, t1)
+					return err
+				},
+			})
+		}
+	}
+	return jobs
+}
+
 // runThreshold runs a benchmark under AVR with explicit thresholds
 // (memoised).
 func (r *Runner) runThreshold(bench string, t1 float64) (*Entry, error) {
-	k := fmt.Sprintf("%s/AVR/t1=%g", bench, t1)
-	r.mu.Lock()
-	if e, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return e, nil
-	}
-	r.mu.Unlock()
-
-	w, err := workloads.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
 	cfg := r.ConfigFor(sim.AVR)
 	cfg.Thresholds = compress.Thresholds{T1: t1, T2: t1 / 2}
-	sys := sim.New(cfg)
-	w.Setup(sys, r.Scale)
-	sys.Prime()
-	w.Run(sys)
-	res := sys.Finish(bench)
-	e := &Entry{Result: res, Output: w.Output(sys)}
-
-	r.mu.Lock()
-	r.cache[k] = e
-	r.mu.Unlock()
-	return e, nil
+	return r.runSim(fmt.Sprintf("%s/AVR/t1=%g", bench, t1), bench, cfg)
 }

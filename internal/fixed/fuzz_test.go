@@ -1,0 +1,65 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFixedRoundTrip drives arbitrary float bit patterns through the
+// bias → fixed-point → float datapath and checks its contracts: no
+// panics, ApplyBias/RemoveBias are exact inverses, biasing steers
+// normals into the Q15.16 range, and the float→fixed→float round trip
+// stays within the format's quantisation error.
+func FuzzFixedRoundTrip(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(math.Float32bits(1.0))
+	f.Add(math.Float32bits(-1.5))
+	f.Add(math.Float32bits(3.4e38))
+	f.Add(math.Float32bits(1e-38))
+	f.Add(uint32(0x7FC00000)) // NaN
+	f.Add(uint32(0x7F800000)) // +Inf
+	f.Add(uint32(0x00000001)) // smallest denormal
+	f.Add(uint32(0x80000000)) // -0
+
+	f.Fuzz(func(t *testing.T, b uint32) {
+		bias, ok := ChooseBias([]uint32{b})
+		if !ok {
+			// NaN/Inf, all-zero/denormal, or an unreachable bias: the
+			// conversion entry points must still be panic-free.
+			_ = FloatToFixed(b)
+			_ = ApplyBias(b, 0)
+			return
+		}
+		// ChooseBias only succeeds on blocks with a normal value.
+		if IsSpecial(b) || IsDenormalOrZero(b) {
+			t.Fatalf("ChooseBias ok for non-normal %#x", b)
+		}
+
+		biased := ApplyBias(b, bias)
+		if got := RemoveBias(biased, bias); got != b {
+			t.Fatalf("RemoveBias(ApplyBias(%#x, %d)) = %#x", b, bias, got)
+		}
+
+		// The steered exponent must put |v| inside the fixed range with
+		// the headroom TargetExp guarantees.
+		v := float64(math.Float32frombits(biased))
+		if math.Abs(v) >= 1<<IntBits {
+			t.Fatalf("biased value %v outside fixed range", v)
+		}
+
+		fx := FloatToFixed(biased)
+		back := FixedToFloat(fx)
+		rec := float64(math.Float32frombits(back))
+
+		// Round trip: half a Q15.16 LSB of quantisation plus half a
+		// float32 ULP from the conversion back.
+		bound := 1.0/(1<<(FracBits+1)) + math.Abs(v)/(1<<24)
+		if diff := math.Abs(rec - v); diff > bound {
+			t.Fatalf("round trip %v -> %d -> %v: error %v > %v", v, fx, rec, diff, bound)
+		}
+		// Sign is preserved through the datapath.
+		if v != 0 && math.Signbit(rec) != math.Signbit(v) && rec != 0 {
+			t.Fatalf("sign flipped: %v -> %v", v, rec)
+		}
+	})
+}

@@ -14,6 +14,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"avr/internal/cache"
 	"avr/internal/compress"
@@ -59,6 +60,16 @@ func (d Design) String() string {
 	return fmt.Sprintf("Design(%d)", int(d))
 }
 
+// DesignByName resolves a design label case-insensitively.
+func DesignByName(name string) (Design, error) {
+	for _, d := range Designs {
+		if strings.EqualFold(d.String(), name) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown design %q", name)
+}
+
 // Config describes a full system configuration.
 type Config struct {
 	Design Design
@@ -95,6 +106,12 @@ type Config struct {
 	LosslessLink bool
 	LosslessAlgo lossless.Algorithm
 }
+
+// Fingerprint renders the complete configuration (every field, in
+// declaration order) as a canonical string for hashing into persistent
+// cache keys: two configurations fingerprint equal iff they simulate
+// identically.
+func (c Config) Fingerprint() string { return fmt.Sprintf("%+v", c) }
 
 // PresetSlice returns the paper's Table 1 configuration reduced to one
 // core slice: 64 kB L1, 256 kB L2, 1 MB LLC slice (8 MB / 8 cores),
