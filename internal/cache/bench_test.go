@@ -1,0 +1,38 @@
+package cache
+
+import "testing"
+
+// Hot-path benchmarks. BenchmarkCacheAccess and BenchmarkCacheFill are
+// CI-gated at 0 allocs/op (scripts/bench.sh): every demand access in the
+// simulator funnels through these paths.
+
+// BenchmarkCacheAccess measures the hit path: set/tag computation plus a
+// way scan, on a warm working set that exactly fills the cache.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(64<<10, 8, 64)
+	const lines = 1024 // 64 kB / 64 B — fits the cache exactly
+	for a := uint64(0); a < lines*64; a += 64 {
+		if !c.Access(a, false) {
+			c.Allocate(a, false)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i&(lines-1))<<6, i&7 == 0)
+	}
+}
+
+// BenchmarkCacheFill measures the miss path: a streaming sweep where
+// every access misses, allocates, and evicts an LRU victim.
+func BenchmarkCacheFill(b *testing.B) {
+	c := New(64<<10, 8, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i) << 6
+		if !c.Access(a, i&1 == 0) {
+			c.Allocate(a, i&1 == 0)
+		}
+	}
+}

@@ -42,6 +42,8 @@ type Cache struct {
 	sets       int
 	ways       int
 	offsetBits uint
+	setBits    uint // log2(sets)
+	tagShift   uint // offsetBits + setBits
 	indexMask  uint64
 	lines      []line // sets × ways, row-major
 	clock      uint64
@@ -66,11 +68,14 @@ func New(capacityBytes, ways, lineBytes int) *Cache {
 	for 1<<ob < lineBytes {
 		ob++
 	}
+	sb := uint(setsBits(sets))
 	return &Cache{
 		lineBytes:  lineBytes,
 		sets:       sets,
 		ways:       ways,
 		offsetBits: ob,
+		setBits:    sb,
+		tagShift:   ob + sb,
 		indexMask:  uint64(sets - 1),
 		lines:      make([]line, sets*ways),
 	}
@@ -95,9 +100,10 @@ func (c *Cache) set(addr uint64) int {
 }
 
 func (c *Cache) tag(addr uint64) uint64 {
-	return addr >> c.offsetBits >> uint(setsBits(c.sets))
+	return addr >> c.tagShift
 }
 
+// setsBits returns log2(sets); called once at New, never per access.
 func setsBits(sets int) int {
 	b := 0
 	for 1<<b < sets {
@@ -178,7 +184,7 @@ func (c *Cache) Allocate(addr uint64, dirty bool) Victim {
 
 // addrOf reconstructs a line base address from set and tag.
 func (c *Cache) addrOf(set int, tag uint64) uint64 {
-	return (tag<<uint(setsBits(c.sets)) | uint64(set)) << c.offsetBits
+	return (tag<<c.setBits | uint64(set)) << c.offsetBits
 }
 
 // Invalidate drops addr's line if present, returning its victim record

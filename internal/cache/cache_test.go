@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -228,4 +229,56 @@ func TestFlushAll(t *testing.T) {
 	// Nil callback must not panic even with dirty lines.
 	c.Allocate(0x100, true)
 	c.FlushAll(nil)
+}
+
+// TestAddrOfTagRoundTrip property-tests the address plumbing across
+// randomized geometries: reconstructing a line address from its set and
+// tag must return the original line address, so the precomputed-shift
+// fast path can't silently corrupt victim addresses.
+func TestAddrOfTagRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 64; trial++ {
+		lineBytes := 16 << rng.Intn(4)           // 16..128 B
+		ways := 1 + rng.Intn(8)                  // 1..8
+		sets := 1 << (1 + rng.Intn(10))          // 2..1024
+		c := New(sets*ways*lineBytes, ways, lineBytes)
+		if c.Sets() != sets {
+			t.Fatalf("geometry: got %d sets, want %d", c.Sets(), sets)
+		}
+		prop := func(addr uint64) bool {
+			return c.addrOf(c.set(addr), c.tag(addr)) == c.LineAddr(addr)
+		}
+		if err := quick.Check(prop, &quick.Config{
+			MaxCount: 500,
+			Rand:     rng,
+		}); err != nil {
+			t.Errorf("geometry %dB/%dway/%dset: %v", lineBytes, ways, sets, err)
+		}
+	}
+}
+
+// TestVictimAddrRoundTrip drives the same invariant through the public
+// API: every victim address reported by Allocate must map back to the
+// set it was evicted from.
+func TestVictimAddrRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 16; trial++ {
+		lineBytes := 32 << rng.Intn(2)
+		ways := 1 + rng.Intn(4)
+		sets := 1 << (1 + rng.Intn(8))
+		c := New(sets*ways*lineBytes, ways, lineBytes)
+		for i := 0; i < 2000; i++ {
+			addr := rng.Uint64() >> uint(rng.Intn(32))
+			v := c.Allocate(addr, i&1 == 0)
+			if v.Valid {
+				if c.LineAddr(v.Addr) != v.Addr {
+					t.Fatalf("victim %#x not line-aligned", v.Addr)
+				}
+				if c.set(v.Addr) != c.set(addr) {
+					t.Fatalf("victim %#x from set %d, allocation went to set %d",
+						v.Addr, c.set(v.Addr), c.set(addr))
+				}
+			}
+		}
+	}
 }

@@ -162,22 +162,37 @@ type Stats struct {
 	TrafficBytes uint64
 }
 
+// pageShift is log2(BlocksPerPage): block number -> CMT page number.
+const pageShift = 2
+
 // Table models the in-memory metadata table plus its on-chip cache. The
 // backing table is complete (every block has an entry, default
 // uncompressed); the cache determines traffic. Lookups return pointers so
 // the AVR layer mutates entries in place; mutating marks the cached page
 // dirty via Touch.
+//
+// The backing store is page-granular entry slabs: slabs[page] points at a
+// fixed array of the page's BlocksPerPage entries, so the hot Lookup path
+// is two shifts and a pointer index — no map probe, and no allocation
+// once a page's slab exists. Growing the outer slice relocates only the
+// slab pointers; the entries themselves never move, so returned *Entry
+// pointers stay valid for the table's lifetime.
 type Table struct {
 	blockBytes uint64
-	pageBlocks uint64 // blocks per page
+	blockShift uint // log2(blockBytes)
 
-	entries map[uint64]*Entry // block number -> entry
+	slabs []*[BlocksPerPage]Entry // CMT page number -> entry slab
 
-	// CMT cache: page-granular, fully associative LRU.
+	// CMT cache: page-granular, fully associative LRU. nodes mirrors the
+	// slabs indexing (page number -> resident node, nil when absent) so
+	// the cache probe is a pointer index too; freed nodes are recycled so
+	// steady-state misses allocate nothing.
 	capacity int
-	cached   map[uint64]*pageNode // page number -> node
-	head     *pageNode            // most recent
-	tail     *pageNode            // least recent
+	nodes    []*pageNode
+	nCached  int
+	head     *pageNode // most recent
+	tail     *pageNode // least recent
+	free     *pageNode // recycled nodes
 
 	stats Stats
 }
@@ -197,54 +212,95 @@ func NewTable(blockBytes int, cachePages int) *Table {
 	if cachePages < 1 {
 		cachePages = 1
 	}
+	bs := uint(0)
+	for 1<<bs < blockBytes {
+		bs++
+	}
 	return &Table{
 		blockBytes: uint64(blockBytes),
-		pageBlocks: BlocksPerPage,
-		entries:    make(map[uint64]*Entry),
+		blockShift: bs,
 		capacity:   cachePages,
-		cached:     make(map[uint64]*pageNode),
 	}
 }
 
 // BlockNumber maps a physical address to its memory-block number.
-func (t *Table) BlockNumber(addr uint64) uint64 { return addr / t.blockBytes }
+func (t *Table) BlockNumber(addr uint64) uint64 { return addr >> t.blockShift }
 
 // Lookup returns the metadata entry for the block containing addr,
 // modelling the CMT cache access. The returned pointer stays valid for
 // the simulation's lifetime.
 func (t *Table) Lookup(addr uint64) *Entry {
-	bn := t.BlockNumber(addr)
-	t.touchPage(bn/t.pageBlocks, false)
-	e, ok := t.entries[bn]
-	if !ok {
-		e = &Entry{}
-		t.entries[bn] = e
+	bn := addr >> t.blockShift
+	page := bn >> pageShift
+	t.touchPage(page, false)
+	slab := t.slab(page)
+	return &slab[bn&(BlocksPerPage-1)]
+}
+
+// slab returns the entry slab for page, materialising it on first touch.
+func (t *Table) slab(page uint64) *[BlocksPerPage]Entry {
+	if page < uint64(len(t.slabs)) {
+		if s := t.slabs[page]; s != nil {
+			return s
+		}
 	}
-	return e
+	return t.growSlab(page)
+}
+
+// growSlab is the Lookup cold path: extend the page directory and/or
+// allocate the page's slab.
+func (t *Table) growSlab(page uint64) *[BlocksPerPage]Entry {
+	if page >= uint64(len(t.slabs)) {
+		grown := make([]*[BlocksPerPage]Entry, page+1+page/2)
+		copy(grown, t.slabs)
+		t.slabs = grown
+	}
+	s := new([BlocksPerPage]Entry)
+	t.slabs[page] = s
+	return s
 }
 
 // MarkDirty records that the entry for addr was mutated, so its cached
 // page must eventually be written back.
 func (t *Table) MarkDirty(addr uint64) {
-	t.touchPage(t.BlockNumber(addr)/t.pageBlocks, true)
+	t.touchPage(addr>>t.blockShift>>pageShift, true)
 }
 
 // touchPage performs the CMT cache access for a page.
 func (t *Table) touchPage(page uint64, dirty bool) {
 	t.stats.Lookups++
-	if n, ok := t.cached[page]; ok {
-		n.dirty = n.dirty || dirty
-		t.moveToFront(n)
-		return
+	if page < uint64(len(t.nodes)) {
+		if n := t.nodes[page]; n != nil {
+			n.dirty = n.dirty || dirty
+			t.moveToFront(n)
+			return
+		}
 	}
 	t.stats.Misses++
 	t.stats.TrafficBytes += PageEntryBytes // fetch entries with the TLB fill
-	n := &pageNode{page: page, dirty: dirty}
-	t.cached[page] = n
+	n := t.newNode(page, dirty)
+	if page >= uint64(len(t.nodes)) {
+		grown := make([]*pageNode, page+1+page/2)
+		copy(grown, t.nodes)
+		t.nodes = grown
+	}
+	t.nodes[page] = n
+	t.nCached++
 	t.pushFront(n)
-	if len(t.cached) > t.capacity {
+	if t.nCached > t.capacity {
 		t.evictLRU()
 	}
+}
+
+// newNode takes a node from the free list or allocates one.
+func (t *Table) newNode(page uint64, dirty bool) *pageNode {
+	n := t.free
+	if n != nil {
+		t.free = n.next
+		*n = pageNode{page: page, dirty: dirty}
+		return n
+	}
+	return &pageNode{page: page, dirty: dirty}
 }
 
 func (t *Table) evictLRU() {
@@ -253,11 +309,14 @@ func (t *Table) evictLRU() {
 		return
 	}
 	t.unlink(v)
-	delete(t.cached, v.page)
+	t.nodes[v.page] = nil
+	t.nCached--
 	if v.dirty {
 		t.stats.Writebacks++
 		t.stats.TrafficBytes += PageEntryBytes
 	}
+	v.next = t.free
+	t.free = v
 }
 
 func (t *Table) pushFront(n *pageNode) {
@@ -301,10 +360,15 @@ func (t *Table) Stats() Stats { return t.stats }
 // total compressed lines — used for the footprint/compression-ratio
 // experiment (Table 4).
 func (t *Table) CompressedBlocks() (blocks int, lines int) {
-	for _, e := range t.entries {
-		if e.Compressed {
-			blocks++
-			lines += int(e.SizeLines)
+	for _, slab := range t.slabs {
+		if slab == nil {
+			continue
+		}
+		for i := range slab {
+			if slab[i].Compressed {
+				blocks++
+				lines += int(slab[i].SizeLines)
+			}
 		}
 	}
 	return blocks, lines

@@ -221,3 +221,60 @@ func TestNewTablePanicsOnBadBlockSize(t *testing.T) {
 	}()
 	NewTable(1000, 4)
 }
+
+// TestLookupPointerStableAcrossGrowth guards the slab refactor's core
+// contract: *Entry pointers returned by Lookup stay valid (and aliased to
+// the same entry) while later lookups grow the page directory.
+func TestLookupPointerStableAcrossGrowth(t *testing.T) {
+	tb := NewTable(1024, 4)
+	e := tb.Lookup(0)
+	e.Compressed = true
+	e.SizeLines = 3
+	// Touch thousands of far pages to force repeated directory growth and
+	// CMT-cache evictions.
+	for a := uint64(1); a < 4096; a++ {
+		tb.Lookup(a * 4096 * 1024)
+	}
+	e2 := tb.Lookup(0)
+	if e != e2 {
+		t.Fatal("Lookup returned a different pointer after directory growth")
+	}
+	if !e2.Compressed || e2.SizeLines != 3 {
+		t.Fatalf("entry state lost across growth: %+v", *e2)
+	}
+	blocks, lines := tb.CompressedBlocks()
+	if blocks != 1 || lines != 3 {
+		t.Fatalf("CompressedBlocks = (%d, %d), want (1, 3)", blocks, lines)
+	}
+}
+
+// TestLookupStatsMatchMapReference cross-checks the slab-backed cache
+// model against the pre-refactor semantics on a pseudo-random trace:
+// hit/miss/writeback accounting must be untouched by the representation
+// change.
+func TestLookupStatsMatchMapReference(t *testing.T) {
+	tb := NewTable(1024, 8)
+	seed := uint64(0x9E3779B97F4A7C15)
+	x := seed
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		addr := (x % 64) * 4096 // 64 pages vs an 8-page cache
+		if x&3 == 0 {
+			tb.MarkDirty(addr)
+		} else {
+			tb.Lookup(addr)
+		}
+	}
+	st := tb.Stats()
+	if st.Lookups != 20000 {
+		t.Fatalf("lookups = %d, want 20000", st.Lookups)
+	}
+	if st.Misses == 0 || st.Writebacks == 0 {
+		t.Fatalf("trace produced no misses (%d) or writebacks (%d)", st.Misses, st.Writebacks)
+	}
+	if want := st.Misses + st.Writebacks; st.TrafficBytes != want*PageEntryBytes {
+		t.Fatalf("traffic = %d, want %d", st.TrafficBytes, want*PageEntryBytes)
+	}
+}

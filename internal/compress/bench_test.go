@@ -1,0 +1,72 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Per-package compressor benchmarks (the root bench_test.go carries the
+// figure/table-level ones). These feed BENCH_sim.json via
+// scripts/bench.sh; they are not alloc-gated — a successful compression
+// legitimately allocates its outlier list.
+
+func smoothBlock() [BlockValues]uint32 {
+	var blk [BlockValues]uint32
+	for i := range blk {
+		blk[i] = math.Float32bits(100 + float32(i)*0.03)
+	}
+	return blk
+}
+
+// BenchmarkCompress measures single-block compression of a smooth
+// (compressible) block, both placement variants attempted.
+func BenchmarkCompress(b *testing.B) {
+	c := NewCompressor(DefaultThresholds())
+	blk := smoothBlock()
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := c.Compress(&blk, Float32); !r.OK {
+			b.Fatal("compression failed")
+		}
+	}
+}
+
+// BenchmarkCompressNoisy measures the worst case: an incompressible
+// block producing many outliers before failing.
+func BenchmarkCompressNoisy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCompressor(DefaultThresholds())
+	var blk [BlockValues]uint32
+	for i := range blk {
+		blk[i] = math.Float32bits(float32(rng.NormFloat64()) * float32(math.Exp2(float64(rng.Intn(20)-10))))
+	}
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(&blk, Float32)
+	}
+}
+
+// BenchmarkDecompress measures block reconstruction.
+func BenchmarkDecompress(b *testing.B) {
+	c := NewCompressor(DefaultThresholds())
+	blk := smoothBlock()
+	r := c.Compress(&blk, Float32)
+	if !r.OK {
+		b.Fatal("compression failed")
+	}
+	var bm *[BitmapBytes]byte
+	if len(r.Outliers) > 0 {
+		bm = &r.Bitmap
+	}
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompress(&r.Summary, bm, r.Outliers, r.Method, r.Bias, Float32)
+	}
+}

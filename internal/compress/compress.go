@@ -204,8 +204,13 @@ type Compressor struct {
 	variants   VariantMask
 
 	// scratch buffers reused across calls to avoid per-block allocation.
+	// outA/outB ping-pong between the current attempt and the best one so
+	// far; CompressWith copies the winner out, so a returned Result never
+	// aliases compressor state.
 	fx    [BlockValues]int32
 	recon [BlockValues]int32
+	outA  [BlockValues]uint32
+	outB  [BlockValues]uint32
 }
 
 // NewCompressor returns a compressor with the given error thresholds
@@ -253,6 +258,7 @@ func (c *Compressor) CompressWith(vals *[BlockValues]uint32, dt DataType, th Thr
 
 	var best Result
 	bestValid := false
+	buf := &c.outA
 	for _, m := range []Method{Method1D, Method2D} {
 		if m == Method1D && c.variants&Variant1D == 0 {
 			continue
@@ -260,11 +266,20 @@ func (c *Compressor) CompressWith(vals *[BlockValues]uint32, dt DataType, th Thr
 		if m == Method2D && c.variants&Variant2D == 0 {
 			continue
 		}
-		r := c.attempt(vals, dt, bias, m, th)
+		r := c.attempt(vals, dt, bias, m, th, buf)
 		if !bestValid || better(&r, &best) {
 			best = r
 			bestValid = true
+			// The winner owns buf; aim the next attempt at the other one.
+			if buf == &c.outA {
+				buf = &c.outB
+			} else {
+				buf = &c.outA
+			}
 		}
+	}
+	if len(best.Outliers) > 0 {
+		best.Outliers = append([]uint32(nil), best.Outliers...)
 	}
 	return best
 }
@@ -285,9 +300,11 @@ func better(a, b *Result) bool {
 }
 
 // attempt runs one placement variant end to end: downsample, reconstruct,
-// error-check, select outliers.
-func (c *Compressor) attempt(vals *[BlockValues]uint32, dt DataType, bias int8, m Method, th Thresholds) Result {
+// error-check, select outliers. Outliers are collected into out (scratch
+// owned by the caller); the returned Result's Outliers slice aliases it.
+func (c *Compressor) attempt(vals *[BlockValues]uint32, dt DataType, bias int8, m Method, th Thresholds, out *[BlockValues]uint32) Result {
 	r := Result{Method: m, Type: dt, Bias: bias}
+	nOut := 0
 
 	downsample(&c.fx, &r.Summary, m)
 	interpolate(&r.Summary, &c.recon, m)
@@ -307,7 +324,8 @@ func (c *Compressor) attempt(vals *[BlockValues]uint32, dt DataType, bias int8, 
 		relErr, outlier := valueError(vals[i], approx, dt, n, th.T1)
 		if outlier {
 			r.Bitmap[i>>3] |= 1 << (i & 7)
-			r.Outliers = append(r.Outliers, vals[i])
+			out[nOut] = vals[i]
+			nOut++
 			r.Reconstructed[i] = vals[i] // outliers are stored exactly
 		} else {
 			errSum += relErr
@@ -317,6 +335,9 @@ func (c *Compressor) attempt(vals *[BlockValues]uint32, dt DataType, bias int8, 
 	}
 	if nonOutliers > 0 {
 		r.AvgError = errSum / float64(nonOutliers)
+	}
+	if nOut > 0 {
+		r.Outliers = out[:nOut]
 	}
 	r.SizeLines = CompressedLines(len(r.Outliers))
 	r.OK = r.SizeLines <= MaxCompressedLines && r.AvgError <= th.T2

@@ -144,6 +144,11 @@ type dbufState struct {
 
 // LLC is the AVR last-level cache plus AVR layer. Not safe for
 // concurrent use.
+//
+// The request and eviction paths must stay allocation-free in steady
+// state (scratch below is the block-read buffer; the forEachUCL
+// callbacks must not escape): BenchmarkSystemAccessAVR gates the whole
+// demand path at 0 allocs/op in CI via scripts/bench.sh.
 type LLC struct {
 	cfg      Config
 	sets     int

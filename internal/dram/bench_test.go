@@ -1,0 +1,33 @@
+package dram
+
+import "testing"
+
+// DRAM timing-model benchmarks for BENCH_sim.json. BenchmarkDRAMAccess
+// is CI-gated at 0 allocs/op (scripts/bench.sh): every memory transfer
+// in the simulator goes through this path.
+
+// BenchmarkDRAMAccess measures a sequential streaming pattern (mostly
+// row-buffer hits).
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := New(DDR4(2, 1))
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = d.Access(now, uint64(i)*64, i&1 == 0, false)
+	}
+}
+
+// BenchmarkDRAMAccessRandom measures a row-conflict-heavy pattern
+// (stride of one row per access within a bank).
+func BenchmarkDRAMAccessRandom(b *testing.B) {
+	d := New(DDR4(2, 1))
+	cfg := d.Config()
+	rowStride := uint64(cfg.RowBytes * cfg.BanksPerChannel * cfg.Channels)
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = d.Access(now, uint64(i&1023)*rowStride, false, false)
+	}
+}

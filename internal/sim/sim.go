@@ -171,13 +171,16 @@ type System struct {
 	Dram  *dram.DRAM
 
 	// Sampler, when set, is invoked every SampleEvery demand accesses —
-	// the hook behind cmd/avrtrace's time series.
+	// the hook behind cmd/avrtrace's time series. SampleEvery == 0 means
+	// "never sample" (the Sampler is ignored rather than dividing by zero).
 	Sampler     func(s *System)
 	SampleEvery uint64
 	accessCount uint64
 
 	l1, l2 *cache.Cache
 	llc    llcDesign
+
+	flushBuf []uint64 // reused victim-address scratch for Flush
 
 	avr   *core.LLC     // non-nil for AVR / ZeroAVR
 	trunc *truncate.LLC // non-nil for Truncate
@@ -255,7 +258,7 @@ func (s *System) Prime() {
 
 // access runs one demand access through the hierarchy.
 func (s *System) access(addr uint64, write bool) {
-	if s.Sampler != nil {
+	if s.Sampler != nil && s.SampleEvery > 0 {
 		s.accessCount++
 		if s.accessCount%s.SampleEvery == 0 {
 			s.Sampler(s)
@@ -327,18 +330,19 @@ func (s *System) Store32(addr uint64, v uint32) {
 // Flush drains the cache hierarchy to memory (end of run).
 func (s *System) Flush() {
 	now := s.Core.Now()
-	var l1d []uint64
+	l1d := s.flushBuf[:0]
 	s.l1.DirtyLines(func(a uint64) { l1d = append(l1d, a) })
 	for _, a := range l1d {
 		s.fillL2Dirty(now, a)
 		s.l1.MarkClean(a)
 	}
-	var l2d []uint64
+	l2d := l1d[:0]
 	s.l2.DirtyLines(func(a uint64) { l2d = append(l2d, a) })
 	for _, a := range l2d {
 		s.llc.WriteBack(now, a)
 		s.l2.MarkClean(a)
 	}
+	s.flushBuf = l2d[:0]
 	s.llc.Flush(now)
 }
 
@@ -354,6 +358,7 @@ type baselineLLC struct {
 	requests  uint64
 	misses    uint64
 	accesses  uint64
+	flushBuf  []uint64 // reused victim-address scratch for Flush
 }
 
 func newBaselineLLC(capacity, ways, hitCycles int, space *mem.Space, d *dram.DRAM) *baselineLLC {
@@ -385,18 +390,24 @@ func (b *baselineLLC) WriteBack(now uint64, addr uint64) {
 	if b.c.Access(addr, true) {
 		return
 	}
+	// Write-allocate: a writeback miss fills the line from memory before
+	// the dirty data merges into it, so the fill read is charged like any
+	// other miss (it was previously omitted, undercounting baseline read
+	// traffic relative to the Access path).
+	b.dramCtrl.AccessBytes(now, addr, b.linkBytes(addr), false, b.space.Info(addr).Approx)
 	if v := b.c.Allocate(addr, true); v.Valid && v.Dirty {
 		b.dramCtrl.AccessBytes(now, v.Addr, b.linkBytes(v.Addr), true, b.space.Info(v.Addr).Approx)
 	}
 }
 
 func (b *baselineLLC) Flush(now uint64) {
-	var dirty []uint64
+	dirty := b.flushBuf[:0]
 	b.c.DirtyLines(func(a uint64) { dirty = append(dirty, a) })
 	for _, a := range dirty {
 		b.dramCtrl.AccessBytes(now, a, b.linkBytes(a), true, b.space.Info(a).Approx)
 		b.c.MarkClean(a)
 	}
+	b.flushBuf = dirty[:0]
 }
 
 // linkBytes is the memory-link transfer size of a line, BDI-compressed
@@ -465,9 +476,7 @@ func (s *System) Finish(benchmark string) Result {
 	if s.Core.MemReads() > 0 {
 		r.AMAT = float64(s.Core.LoadLatencySum()) / float64(s.Core.MemReads())
 	}
-	if r.Instructions > 0 {
-		r.MPKI = float64(r.LLCMisses) / float64(r.Instructions) * 1000
-	}
+	// MPKI is computed below, after llcActivity() fills r.LLCMisses.
 
 	var counts energy.Counts
 	counts.Instructions = r.Instructions

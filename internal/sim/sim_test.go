@@ -239,6 +239,84 @@ func TestTruncateHalvesApproxTraffic(t *testing.T) {
 	}
 }
 
+func TestFinishMPKIConsistentWithLLCMisses(t *testing.T) {
+	// Regression: MPKI used to be computed from LLCMisses *before*
+	// llcActivity() filled it in (always from 0) and then recomputed —
+	// Finish must report MPKI = LLCMisses / Instructions × 1000.
+	for _, d := range Designs {
+		s, base := tinySystem(t, d)
+		for i := uint64(0); i < 512<<10; i += 64 {
+			s.LoadF32(base + i)
+		}
+		s.Compute(10000)
+		r := s.Finish("mpki")
+		if r.Instructions == 0 {
+			t.Fatalf("%v: no instructions", d)
+		}
+		want := float64(r.LLCMisses) / float64(r.Instructions) * 1000
+		if r.MPKI != want {
+			t.Errorf("%v: MPKI = %v, want %v (LLCMisses=%d, Instructions=%d)",
+				d, r.MPKI, want, r.LLCMisses, r.Instructions)
+		}
+		if r.LLCMisses > 0 && r.MPKI == 0 {
+			t.Errorf("%v: MPKI zero despite %d LLC misses", d, r.LLCMisses)
+		}
+	}
+}
+
+func TestSamplerZeroIntervalDoesNotPanic(t *testing.T) {
+	// Regression: a Sampler with SampleEvery == 0 used to divide by zero
+	// on the first access; 0 must mean "never sample".
+	s, base := tinySystem(t, Baseline)
+	fired := 0
+	s.Sampler = func(*System) { fired++ }
+	s.SampleEvery = 0
+	for i := uint64(0); i < 64; i++ {
+		s.LoadF32(base + i*64)
+	}
+	if fired != 0 {
+		t.Errorf("sampler fired %d times with SampleEvery=0", fired)
+	}
+	s.SampleEvery = 16
+	for i := uint64(0); i < 64; i++ {
+		s.LoadF32(base + i*64)
+	}
+	if fired != 4 {
+		t.Errorf("sampler fired %d times over 64 accesses at interval 16, want 4", fired)
+	}
+}
+
+func TestBaselineWritebackMissChargesFillRead(t *testing.T) {
+	// Regression: a writeback miss in the write-allocate baseline LLC
+	// allocated the line dirty without charging the DRAM fill read,
+	// undercounting read traffic relative to the Access path.
+	cfg := PresetSmall(Baseline)
+	cfg.SpaceBytes = 16 << 20
+	s := New(cfg)
+	base := s.Space.Alloc(1<<20, 64)
+
+	before := s.Dram.Stats()
+	// A writeback of a line the LLC has never seen must read the line
+	// from DRAM (fill) — and nothing else.
+	s.base.WriteBack(0, base)
+	after := s.Dram.Stats()
+	if got := after.BytesRead - before.BytesRead; got != 64 {
+		t.Errorf("writeback miss read %d bytes from DRAM, want 64 (fill)", got)
+	}
+	if after.BytesWritten != before.BytesWritten {
+		t.Errorf("writeback miss wrote %d bytes, want 0 (no victim)",
+			after.BytesWritten-before.BytesWritten)
+	}
+
+	// A writeback hit must stay free of DRAM traffic.
+	before = after
+	s.base.WriteBack(0, base)
+	after = s.Dram.Stats()
+	if after.BytesRead != before.BytesRead || after.BytesWritten != before.BytesWritten {
+		t.Error("writeback hit generated DRAM traffic")
+	}
+}
+
 func TestDgangerDedupCounted(t *testing.T) {
 	s, base := tinySystem(t, Dganger)
 	for i := uint64(0); i < 1<<20; i += 4 {

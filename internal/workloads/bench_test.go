@@ -1,0 +1,29 @@
+package workloads
+
+import (
+	"testing"
+
+	"avr/internal/sim"
+)
+
+// BenchmarkPresetSmallStep measures one full Jacobi sweep of the heat
+// workload through a PresetSmall AVR system — the end-to-end
+// simulation-speed number scripts/bench.sh tracks (simulated accesses
+// per wall-clock second roll up into ns/op here).
+func BenchmarkPresetSmallStep(b *testing.B) {
+	h := NewHeat()
+	sys := sim.New(sim.PresetSmall(sim.AVR))
+	h.Setup(sys, ScaleSmall)
+	sys.Prime()
+	h.iters = 1 // one Run == one grid sweep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Run(sys)
+	}
+	insts := sys.Core.Instructions()
+	b.StopTimer()
+	if insts > 0 {
+		b.ReportMetric(float64(insts)/float64(b.N), "sim-insts/op")
+	}
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the simulator benchmark suite and emit
+# BENCH_sim.json (ns/op, B/op, allocs/op and custom metrics per
+# benchmark), then enforce the zero-allocation gate on the hot-path
+# benchmarks.
+#
+# Usage: scripts/bench.sh [outfile]            (default BENCH_sim.json)
+#   BENCHTIME=1s|100x   go test -benchtime value (default 1s; CI smoke
+#                       uses a small fixed count for speed)
+#   BENCHFILTER=regex   override the benchmark selection
+#
+# Compare two runs over time with benchstat:
+#   go test -run '^$' -bench ... -count 10 > old.txt   (repeat as new.txt)
+#   benchstat old.txt new.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_sim.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep}"
+
+PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/sim ./internal/workloads"
+
+# Hot-path benchmarks that must report 0 allocs/op: every demand access
+# in the simulator goes through these paths, and a single allocation per
+# access dominates run time at scale.
+GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLookupMiss BenchmarkDRAMAccess BenchmarkDRAMAccessRandom BenchmarkSystemAccess BenchmarkSystemAccessAVR"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench '$BENCHFILTER' -benchtime $BENCHTIME =="
+go test -run '^$' -bench "$BENCHFILTER" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
+
+# Render the benchmark lines into JSON.
+awk '
+BEGIN {
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = "null"; bop = "null"; aop = "null"; extra = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") ns = v
+        else if (u == "B/op") bop = v
+        else if (u == "allocs/op") aop = v
+        else extra = extra sprintf("%s\"%s\": %s", (extra == "" ? "" : ", "), u, v)
+    }
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, iters, ns, bop, aop)
+    if (extra != "") line = line ", " extra
+    line = line "}"
+    bench[n++] = line
+    nsof[name] = ns
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
+    printf "  ],\n"
+    printf "  \"derived\": {"
+    if (("BenchmarkCMTLookup" in nsof) && ("BenchmarkCMTLookupMapBacked" in nsof) && nsof["BenchmarkCMTLookup"] + 0 > 0)
+        printf "\"cmt_lookup_speedup_vs_map\": %.2f", nsof["BenchmarkCMTLookupMapBacked"] / nsof["BenchmarkCMTLookup"]
+    printf "}\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
+
+# Zero-allocation gate.
+fail=0
+for b in $GATED; do
+    line="$(grep -E "^$b(-[0-9]+)? " "$RAW" | head -1 || true)"
+    if [ -z "$line" ]; then
+        echo "ALLOC GATE: $b did not run (filter '$BENCHFILTER')" >&2
+        fail=1
+        continue
+    fi
+    allocs="$(echo "$line" | awk '{for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i}')"
+    if [ "$allocs" != "0" ]; then
+        echo "ALLOC GATE: $b reports $allocs allocs/op, want 0" >&2
+        fail=1
+    else
+        echo "alloc gate ok: $b (0 allocs/op)"
+    fi
+done
+exit $fail
