@@ -5,60 +5,64 @@
 //
 //	avrsim -bench heat -design AVR [-scale small|slice] [-t1 0.03125]
 //	avrsim -cache-dir .avrcache   # reuse results across invocations
+//	avrsim -json                  # machine-readable result (with histograms)
+//	avrsim -debug-addr :6060      # live expvar + pprof while running
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"avr/internal/cliutil"
 	"avr/internal/compress"
 	"avr/internal/experiments"
 	"avr/internal/sim"
-	"avr/internal/workloads"
 )
 
 func main() {
-	bench := flag.String("bench", "heat", "benchmark: heat, lattice, lbm, orbit, kmeans, bscholes, wrf")
-	design := flag.String("design", "AVR", "design: baseline, dganger, truncate, ZeroAVR, AVR")
-	scale := flag.String("scale", "small", "input scale: small or slice")
+	f := cliutil.Register(flag.CommandLine)
 	t1 := flag.Float64("t1", compress.DefaultThresholds().T1, "per-value error threshold T1 (T2 = T1/2)")
 	cores := flag.Int("cores", 1, "simulate an n-core shared-LLC CMP (heat, kmeans, bscholes only)")
 	cacheDir := flag.String("cache-dir", "", "persistent result cache directory; repeated runs skip simulation")
+	manifestDir := flag.String("manifest-dir", "", "directory to write one JSON run manifest per completed run (optional)")
+	jsonOut := flag.Bool("json", false, "print the full result as JSON (enables histogram collection)")
 	flag.Parse()
 
-	d, err := sim.DesignByName(*design)
+	_, sc, cfg, err := f.ResolveRun()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	sc := workloads.ScaleSmall
-	cfg := sim.PresetSmall(d)
-	if *scale == "slice" {
-		sc = workloads.ScaleSlice
-		cfg = sim.PresetSlice(d)
+		cliutil.Fatal(err)
 	}
 	cfg.Thresholds = compress.Thresholds{T1: *t1, T2: *t1 / 2}
+	if *jsonOut {
+		cfg.Histograms = true
+	}
+	cliutil.StartDebug(f.DebugAddr)
 
 	runner := experiments.NewRunner(sc)
 	runner.CacheDir = *cacheDir
+	runner.ManifestDir = *manifestDir
 
 	if *cores > 1 {
-		runMulticore(runner, *bench, cfg, *cores)
+		runMulticore(runner, f.Bench, cfg, *cores, *jsonOut)
 		return
 	}
 
 	start := time.Now()
-	e, err := runner.RunConfig(*bench, cfg)
+	e, err := runner.RunConfig(f.Bench, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Fatal(err)
 	}
 	wall := time.Since(start)
 	r := e.Result
 
-	fmt.Printf("benchmark        %s (%s scale)\n", r.Benchmark, *scale)
+	if *jsonOut {
+		printJSON(r)
+		return
+	}
+
+	fmt.Printf("benchmark        %s (%s scale)\n", r.Benchmark, sc)
 	fmt.Printf("design           %s\n", r.Design)
 	fmt.Printf("simulated cycles %d (%.2f ms at 3.2 GHz)\n", r.Cycles, float64(r.Cycles)/3.2e6)
 	fmt.Printf("instructions     %d (IPC %.2f)\n", r.Instructions, r.IPC)
@@ -94,9 +98,18 @@ func main() {
 	}
 }
 
+// printJSON emits any result as indented JSON on stdout.
+func printJSON(v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
 // runMulticore executes the benchmark on an n-core shared-resource CMP
 // and prints the aggregate statistics.
-func runMulticore(runner *experiments.Runner, bench string, cfg sim.Config, n int) {
+func runMulticore(runner *experiments.Runner, bench string, cfg sim.Config, n int, jsonOut bool) {
 	// Shared-resource CMP: undo the per-core slicing.
 	cfg.LLCBytes *= 4
 	cfg.DRAMChannels = 2
@@ -104,8 +117,11 @@ func runMulticore(runner *experiments.Runner, bench string, cfg sim.Config, n in
 	start := time.Now()
 	r, err := runner.RunMultiConfig(bench, cfg, n)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Fatal(err)
+	}
+	if jsonOut {
+		printJSON(r)
+		return
 	}
 	fmt.Printf("benchmark        %s on %d cores (shared %d kB LLC)\n", bench, n, cfg.LLCBytes>>10)
 	fmt.Printf("design           %s\n", r.Design)

@@ -11,6 +11,8 @@
 //	avrtables -workers 4      # bound the worker pool (default GOMAXPROCS)
 //	avrtables -cache-dir .avr # persist results; reruns skip simulation
 //	avrtables -q              # suppress per-run progress lines
+//	avrtables -manifest-dir m # write one JSON run manifest per run
+//	avrtables -debug-addr :0  # live expvar + pprof while the matrix runs
 //
 // Results are bit-identical for every worker count: the simulated
 // clocks are deterministic and reports render from a memoised matrix.
@@ -24,26 +26,31 @@ import (
 	"strings"
 	"time"
 
+	"avr/internal/cliutil"
 	"avr/internal/experiments"
-	"avr/internal/workloads"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
-	scale := flag.String("scale", "small", "input scale: small or slice")
+	var scale, debugAddr string
+	cliutil.RegisterScale(flag.CommandLine, &scale)
+	cliutil.RegisterDebug(flag.CommandLine, &debugAddr)
 	csvDir := flag.String("csv", "", "directory to write CSV files into (optional)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "persistent result cache directory (optional)")
+	manifestDir := flag.String("manifest-dir", "", "directory to write one JSON run manifest per completed run (optional)")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	flag.Parse()
 
-	sc := workloads.ScaleSmall
-	if *scale == "slice" {
-		sc = workloads.ScaleSlice
+	sc, err := cliutil.ResolveScale(scale)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
+	cliutil.StartDebug(debugAddr)
 	r := experiments.NewRunner(sc)
 	r.Workers = *workers
 	r.CacheDir = *cacheDir
+	r.ManifestDir = *manifestDir
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
@@ -59,7 +66,7 @@ func main() {
 	start := time.Now()
 	if *exp == "all" {
 		fmt.Fprintf(os.Stderr, "running benchmark x design matrix and sweeps (%s scale, %d workers)...\n",
-			*scale, r.PoolSize())
+			sc, r.PoolSize())
 		if err := r.PrefetchAll(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,65 +1,71 @@
-// Command avrtrace runs one benchmark and emits a CSV time series of the
-// memory system's behaviour — cycles, instructions, DRAM traffic, LLC
-// misses and (for AVR) compression activity — sampled every N demand
-// accesses. Useful for plotting how the designs diverge over a run.
+// Command avrtrace runs one benchmark and streams an epoch time series
+// of the memory system's behaviour — per-epoch deltas and cumulative
+// totals of cycles, instructions, DRAM traffic, LLC misses and (for
+// AVR) compression activity, one epoch every N demand accesses. Useful
+// for plotting how the designs diverge over a run.
+//
+// Epoch deltas are exact: the final (partial) epoch includes the
+// end-of-run flush, so per-counter sums over the series equal the
+// totals avrsim reports for the same run.
 //
 // Usage:
 //
 //	avrtrace -bench heat -design AVR -every 100000 > heat_avr.csv
+//	avrtrace -format jsonl | jq .ipc   # one JSON object per epoch
 package main
 
 import (
+	"bufio"
 	"flag"
-	"fmt"
 	"os"
 
+	"avr/internal/cliutil"
+	"avr/internal/obs"
 	"avr/internal/sim"
 	"avr/internal/workloads"
 )
 
 func main() {
-	bench := flag.String("bench", "heat", "benchmark name")
-	design := flag.String("design", "AVR", "memory-system design")
-	scale := flag.String("scale", "small", "input scale: small or slice")
-	every := flag.Uint64("every", 100000, "sample every N demand accesses")
+	f := cliutil.Register(flag.CommandLine)
+	every := flag.Uint64("every", 100000, "epoch length in demand accesses")
+	format := flag.String("format", "csv", "output format: csv or jsonl")
 	flag.Parse()
 
-	d, err := sim.DesignByName(*design)
+	_, sc, cfg, err := f.ResolveRun()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Fatal(err)
 	}
-	sc := workloads.ScaleSmall
-	cfg := sim.PresetSmall(d)
-	if *scale == "slice" {
-		sc = workloads.ScaleSlice
-		cfg = sim.PresetSlice(d)
-	}
-	w, err := workloads.ByName(*bench)
+	w, err := workloads.ByName(f.Bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cliutil.Fatal(err)
 	}
+	out := bufio.NewWriter(os.Stdout)
+	ew, err := obs.NewEpochWriter(*format, out)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	cliutil.StartDebug(f.DebugAddr)
 
 	sys := sim.New(cfg)
-	fmt.Println("sample,cycles,instructions,dram_read_mb,dram_written_mb,compresses,decompresses")
-	n := 0
-	sys.SampleEvery = *every
-	sys.Sampler = func(s *sim.System) {
-		n++
-		ds := s.Dram.Stats()
-		var comp, decomp uint64
-		if a := s.AVRLLC(); a != nil {
-			st := a.Stats()
-			comp, decomp = st.Compresses, st.Decompresses
+	// Epochs stream through the sink as they complete; the ring only
+	// needs to hold the one being handed over.
+	rec := obs.NewRecorder(*every, 1)
+	rec.SetSink(func(e obs.Epoch) {
+		if err := ew.WriteEpoch(e); err != nil {
+			cliutil.Fatal(err)
 		}
-		fmt.Printf("%d,%d,%d,%.3f,%.3f,%d,%d\n",
-			n, s.Core.Now(), s.Core.Instructions(),
-			float64(ds.BytesRead)/1e6, float64(ds.BytesWritten)/1e6,
-			comp, decomp)
-	}
+	})
+	sys.SetRecorder(rec)
+
 	w.Setup(sys, sc)
 	sys.Prime()
 	w.Run(sys)
-	sys.Finish(*bench)
+	sys.Finish(f.Bench)
+
+	if err := ew.Flush(); err != nil {
+		cliutil.Fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		cliutil.Fatal(err)
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"avr/internal/dram"
 	"avr/internal/lossless"
 	"avr/internal/mem"
+	"avr/internal/obs"
 )
 
 // Config parameterises the AVR LLC.
@@ -114,6 +115,15 @@ type Stats struct {
 	Decompresses uint64
 	Prefetches   uint64 // DBUF lines saved into the LLC by the PFE
 	Accesses     uint64 // array accesses, for the energy model
+
+	// Outliers counts outlier values stored by successful compressions.
+	Outliers uint64
+	// CompressedFromLines and CompressedToLines accumulate the original
+	// (BlockLines) vs stored cacheline counts over successful
+	// compressions; their delta ratio is the running compression ratio
+	// of the epoch time-series.
+	CompressedFromLines uint64
+	CompressedToLines   uint64
 }
 
 type tagEntry struct {
@@ -165,6 +175,10 @@ type LLC struct {
 	stats    Stats
 
 	scratch [compress.BlockValues]uint32
+
+	// Compression histograms (nil when disabled; one predicted branch per
+	// successful compression when off).
+	sizeHist, outHist, errHist *obs.Histogram
 }
 
 // New creates the AVR LLC over the given address space and DRAM model.
@@ -200,6 +214,14 @@ func (l *LLC) Stats() Stats { return l.stats }
 // CMT exposes the metadata table (for footprint/compression-ratio
 // reporting and tests).
 func (l *LLC) CMT() *cmt.Table { return l.table }
+
+// SetHistograms attaches the compression histograms: compressed block
+// size in cachelines, outliers per block, and average reconstruction
+// error, each observed once per successful compression. nil histograms
+// (the default) disable observation.
+func (l *LLC) SetHistograms(blockSize, outliers, reconErr *obs.Histogram) {
+	l.sizeHist, l.outHist, l.errHist = blockSize, outliers, reconErr
+}
 
 // ---- address plumbing ----
 
@@ -620,10 +642,23 @@ func (l *LLC) linkBytes(addr uint64) int {
 func (l *LLC) compressBlock(blockAddr uint64, dt compress.DataType) compress.Result {
 	l.stats.Compresses++
 	l.space.ReadBlock(blockAddr, &l.scratch)
+	var res compress.Result
 	if th := l.space.Info(blockAddr).Thresholds; th != nil {
-		return l.comp.CompressWith(&l.scratch, dt, *th)
+		res = l.comp.CompressWith(&l.scratch, dt, *th)
+	} else {
+		res = l.comp.Compress(&l.scratch, dt)
 	}
-	return l.comp.Compress(&l.scratch, dt)
+	if res.OK {
+		l.stats.Outliers += uint64(len(res.Outliers))
+		l.stats.CompressedFromLines += compress.BlockLines
+		l.stats.CompressedToLines += uint64(res.SizeLines)
+		if l.sizeHist != nil {
+			l.sizeHist.Observe(float64(res.SizeLines))
+			l.outHist.Observe(float64(len(res.Outliers)))
+			l.errHist.Observe(res.AvgError)
+		}
+	}
+	return res
 }
 
 // writeReconstruction commits a successful compression's approximate

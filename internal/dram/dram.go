@@ -11,7 +11,11 @@
 // row-buffer hits.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"avr/internal/obs"
+)
 
 // Config describes the memory system geometry and timing.
 type Config struct {
@@ -87,6 +91,7 @@ type DRAM struct {
 	busFree  []uint64 // per channel
 	stats    Stats
 	lineMask uint64
+	latHist  *obs.Histogram // nil when latency observation is disabled
 }
 
 // New creates a DRAM model from cfg.
@@ -111,6 +116,12 @@ func New(cfg Config) *DRAM {
 
 // Config returns the model's configuration.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// SetLatencyHistogram attaches a histogram observing every burst's
+// latency in CPU cycles (issue to data-transfer completion, queueing
+// included). nil (the default) disables observation at the cost of one
+// predicted branch per access.
+func (d *DRAM) SetLatencyHistogram(h *obs.Histogram) { d.latHist = h }
 
 func (d *DRAM) cpu(dramCycles int) uint64 {
 	return uint64(dramCycles * d.cfg.CPUPerDRAMCycle)
@@ -197,6 +208,9 @@ func (d *DRAM) AccessBytes(now uint64, addr uint64, bytes int, write bool, appro
 	}
 	if approx {
 		d.stats.ApproxBytes += n
+	}
+	if d.latHist != nil {
+		d.latHist.Observe(float64(done - now))
 	}
 	return done
 }

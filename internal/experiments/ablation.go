@@ -81,14 +81,16 @@ func (r *Runner) ablationJobs() []job {
 	var jobs []job
 	for _, bench := range ablationBenchmarks {
 		bench := bench
-		jobs = append(jobs, job{label: key(bench, sim.Baseline), run: func() error {
+		jobs = append(jobs, job{label: key(bench, sim.Baseline), bench: bench, design: sim.Baseline.String(), run: func() error {
 			_, err := r.Run(bench, sim.Baseline)
 			return err
 		}})
 		for _, v := range ablationVariants() {
 			v := v
 			jobs = append(jobs, job{
-				label: bench + "/ablation/" + v.name,
+				label:  bench + "/ablation/" + v.name,
+				bench:  bench,
+				design: "ablation/" + v.name,
 				run: func() error {
 					_, err := r.runVariant(bench, v)
 					return err

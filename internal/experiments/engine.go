@@ -13,19 +13,21 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"avr/internal/obs"
 	"avr/internal/sim"
 	"avr/internal/workloads"
 )
 
 // cacheSalt versions the on-disk result cache. Bump it whenever a
 // simulator change alters results so stale entries are never reused.
-const cacheSalt = "avr-results-v1"
+const cacheSalt = "avr-results-v2"
 
 // call is an in-flight single-core run other callers can wait on.
 type call struct {
@@ -41,10 +43,13 @@ type multiCall struct {
 	err  error
 }
 
-// job is one unit of sharded work with a label for progress reporting.
+// job is one unit of sharded work. bench and design identify the run
+// for structured progress logging; label is the human-readable memo key.
 type job struct {
-	label string
-	run   func() error
+	label  string
+	bench  string
+	design string
+	run    func() error
 }
 
 // PoolSize returns the effective worker count.
@@ -59,8 +64,31 @@ func (r *Runner) PoolSize() int {
 // (memory/disk cache hits and deduplicated callers excluded).
 func (r *Runner) Simulations() int64 { return r.simulations.Load() }
 
+// logger resolves the structured progress logger: an explicit Logger
+// wins, otherwise Progress is wrapped in a text handler (timestamps
+// stripped — the per-job duration is already an attribute), otherwise
+// logging is off.
+func (r *Runner) logger() *slog.Logger {
+	if r.Logger != nil {
+		return r.Logger
+	}
+	if r.Progress == nil {
+		return nil
+	}
+	return slog.New(slog.NewTextHandler(r.Progress, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
 // runJobs shards jobs across the worker pool and returns the first
-// error. Progress, when configured, gets one timed line per job.
+// error. Each completed job emits one structured log line tagged with
+// the worker that ran it and the (benchmark, design, scale) identity of
+// the run, so interleaved lines from a parallel sweep stay attributable.
 func (r *Runner) runJobs(jobs []job) error {
 	if len(jobs) == 0 {
 		return nil
@@ -70,24 +98,31 @@ func (r *Runner) runJobs(jobs []job) error {
 		workers = len(jobs)
 	}
 	r.total.Add(int64(len(jobs)))
+	log := r.logger()
 	ch := make(chan job)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for j := range ch {
 				start := time.Now()
+				obs.WorkersBusy.Add(1)
 				err := j.run()
+				obs.WorkersBusy.Add(-1)
 				n := r.done.Add(1)
-				if w := r.Progress; w != nil {
+				if log != nil {
+					attrs := []any{
+						"done", n, "total", r.total.Load(), "worker", worker,
+						"bench", j.bench, "design", j.design, "scale", r.Scale.String(),
+					}
 					if err != nil {
-						fmt.Fprintf(w, "[%d/%d] %s: %v\n", n, r.total.Load(), j.label, err)
+						log.Error("run failed", append(attrs, "err", err)...)
 					} else {
-						fmt.Fprintf(w, "[%d/%d] %s (%v)\n", n, r.total.Load(), j.label,
-							time.Since(start).Round(time.Millisecond))
+						log.Info("run done", append(attrs,
+							"dur", time.Since(start).Round(time.Millisecond))...)
 					}
 				}
 				if err != nil {
@@ -98,7 +133,7 @@ func (r *Runner) runJobs(jobs []job) error {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(i)
 	}
 	for _, j := range jobs {
 		ch <- j
@@ -130,6 +165,7 @@ func (r *Runner) runSim(key, bench string, cfg sim.Config) (*Entry, error) {
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		obs.MemoHits.Add(1)
 		return e, nil
 	}
 	if c, ok := r.inflight[key]; ok {
@@ -144,15 +180,27 @@ func (r *Runner) runSim(key, bench string, cfg sim.Config) (*Entry, error) {
 	r.inflight[key] = c
 	r.mu.Unlock()
 
+	start := time.Now()
 	path := r.diskPath(key, cfg, 1)
 	e, ok := r.loadDisk(path, key)
+	provenance := ProvenanceDiskCache
 	var err error
-	if !ok {
+	if ok {
+		obs.DiskHits.Add(1)
+	} else {
+		provenance = ProvenanceSimulated
 		r.simulations.Add(1)
+		obs.Simulations.Add(1)
+		obs.RunsInFlight.Add(1)
 		e, err = r.simulate(bench, cfg)
+		obs.RunsInFlight.Add(-1)
 		if err == nil {
 			r.storeDisk(path, key, e, sim.MultiResult{}, false)
 		}
+	}
+	if err == nil {
+		obs.RunsCompleted.Add(1)
+		r.writeManifest(key, bench, cfg, 1, provenance, time.Since(start))
 	}
 
 	r.mu.Lock()
@@ -174,6 +222,7 @@ func (r *Runner) runMultiSim(key, bench string, cfg sim.Config, n int) (sim.Mult
 	}
 	if res, ok := r.multiCache[key]; ok {
 		r.mu.Unlock()
+		obs.MemoHits.Add(1)
 		return res, nil
 	}
 	if c, ok := r.multiInflight[key]; ok {
@@ -188,18 +237,29 @@ func (r *Runner) runMultiSim(key, bench string, cfg sim.Config, n int) (sim.Mult
 	r.multiInflight[key] = c
 	r.mu.Unlock()
 
+	start := time.Now()
 	path := r.diskPath(key, cfg, n)
 	var res sim.MultiResult
 	var err error
+	provenance := ProvenanceDiskCache
 	de, ok := r.loadDiskRaw(path, key)
 	if ok && de.Multi != nil {
 		res = *de.Multi
+		obs.DiskHits.Add(1)
 	} else {
+		provenance = ProvenanceSimulated
 		r.simulations.Add(1)
+		obs.Simulations.Add(1)
+		obs.RunsInFlight.Add(1)
 		res, err = r.simulateMulti(bench, cfg, n)
+		obs.RunsInFlight.Add(-1)
 		if err == nil {
 			r.storeDisk(path, key, nil, res, true)
 		}
+	}
+	if err == nil {
+		obs.RunsCompleted.Add(1)
+		r.writeManifest(key, bench, cfg, n, provenance, time.Since(start))
 	}
 
 	r.mu.Lock()

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"log/slog"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -93,7 +96,7 @@ func TestDiskCachePersistsRuns(t *testing.T) {
 	if n := r2.Simulations(); n != 0 {
 		t.Errorf("second runner simulated %d times, want 0 (disk hit)", n)
 	}
-	if e1.Result != e2.Result {
+	if !reflect.DeepEqual(e1.Result, e2.Result) {
 		t.Errorf("cached result differs:\n%+v\nvs\n%+v", e1.Result, e2.Result)
 	}
 	if len(e1.Output) != len(e2.Output) {
@@ -127,8 +130,9 @@ func TestDiskCacheKeyedByConfig(t *testing.T) {
 	}
 }
 
-// TestProgressReporting checks the per-run progress lines of a sharded
-// pool pass.
+// TestProgressReporting checks the structured progress lines of a
+// sharded pool pass: one line per job, each carrying the (benchmark,
+// design, scale) identity and the worker that ran it.
 func TestProgressReporting(t *testing.T) {
 	r := NewRunner(workloads.ScaleSmall)
 	var buf bytes.Buffer
@@ -144,11 +148,49 @@ func TestProgressReporting(t *testing.T) {
 	mu.Lock()
 	out := buf.String()
 	mu.Unlock()
-	if strings.Count(out, "\n") != 2 {
-		t.Errorf("progress lines = %q, want 2 lines", out)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %q, want 2 lines", out)
 	}
-	if !strings.Contains(out, "/2] heat/") {
-		t.Errorf("progress lines missing [n/2] counter: %q", out)
+	for _, l := range lines {
+		for _, want := range []string{"bench=heat", "design=", "scale=small", "worker=", "done=", "total=2", "dur="} {
+			if !strings.Contains(l, want) {
+				t.Errorf("progress line missing %s: %q", want, l)
+			}
+		}
+	}
+	if !strings.Contains(out, "design=baseline") || !strings.Contains(out, "design=ZeroAVR") {
+		t.Errorf("progress lines missing a design: %q", out)
+	}
+}
+
+// TestProgressExplicitLogger checks Logger overrides the Progress
+// writer's default text handler.
+func TestProgressExplicitLogger(t *testing.T) {
+	r := NewRunner(workloads.ScaleSmall)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	r.Logger = slog.New(slog.NewJSONHandler(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), nil))
+	if err := r.Prefetch([]string{"heat"}, []sim.Design{sim.Baseline}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	var line struct {
+		Msg   string `json:"msg"`
+		Bench string `json:"bench"`
+		Scale string `json:"scale"`
+	}
+	if err := json.Unmarshal([]byte(out), &line); err != nil {
+		t.Fatalf("progress line not JSON: %q (%v)", out, err)
+	}
+	if line.Msg != "run done" || line.Bench != "heat" || line.Scale != "small" {
+		t.Errorf("logged %+v", line)
 	}
 }
 

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -43,9 +44,17 @@ type Runner struct {
 	// full configuration, the workload scale and a code-version salt, so
 	// repeated invocations skip simulation entirely.
 	CacheDir string
-	// Progress, when non-nil, receives one timed line per completed
-	// sharded unit so long sweeps are observable.
+	// Progress, when non-nil, receives one structured log line per
+	// completed sharded unit so long sweeps are observable. Lines are
+	// rendered by a slog text handler unless Logger overrides it.
 	Progress io.Writer
+	// Logger, when non-nil, overrides the handler progress lines are
+	// emitted through (Progress is then ignored).
+	Logger *slog.Logger
+	// ManifestDir, when non-empty, receives one JSON run manifest per
+	// completed unit: config hash, cache salt, scale, wall time and
+	// cache provenance. See manifest.go.
+	ManifestDir string
 
 	mu            sync.Mutex
 	cache         map[string]*Entry
@@ -83,7 +92,7 @@ func (r *Runner) matrixJobs(benches []string, designs []sim.Design) []job {
 	for _, b := range benches {
 		for _, d := range designs {
 			b, d := b, d
-			jobs = append(jobs, job{label: key(b, d), run: func() error {
+			jobs = append(jobs, job{label: key(b, d), bench: b, design: d.String(), run: func() error {
 				_, err := r.Run(b, d)
 				return err
 			}})
@@ -108,6 +117,7 @@ func (r *Runner) PrefetchAll() error {
 	jobs = append(jobs, r.llcSweepJobs()...)
 	jobs = append(jobs, r.losslessJobs()...)
 	jobs = append(jobs, r.multicoreJobs()...)
+	jobs = append(jobs, r.histogramJobs()...)
 	return r.runJobs(jobs)
 }
 
@@ -517,13 +527,15 @@ func (r *Runner) ByID(id string) (Report, error) {
 		return r.Lossless()
 	case "thresholds":
 		return r.ThresholdSweep()
+	case "histograms":
+		return r.Histograms()
 	}
 	return Report{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 }
 
 // IDs lists all experiment identifiers.
 func IDs() []string {
-	ids := []string{"table3", "table4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "overhead", "ablation", "llcsweep", "multicore", "lossless", "thresholds"}
+	ids := []string{"table3", "table4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "overhead", "ablation", "llcsweep", "multicore", "lossless", "thresholds", "histograms"}
 	sort.Strings(ids)
 	return ids
 }

@@ -129,7 +129,7 @@ func TestByIDUnknown(t *testing.T) {
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("ids = %v", ids)
 	}
 	seen := map[string]bool{}

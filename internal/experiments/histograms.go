@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"avr/internal/obs"
+	"avr/internal/sim"
+)
+
+// Histograms renders the instrumentation appendix: per-benchmark AVR
+// runs with Config.Histograms enabled, reporting the shape of the DRAM
+// latency, compressed block size, outliers-per-block and reconstruction
+// error distributions that the headline tables collapse into means.
+// The runs are keyed separately from the plain matrix (the config
+// fingerprint differs), so enabling them never perturbs — or reuses —
+// the figures' cache entries.
+func (r *Runner) Histograms() (Report, error) {
+	if err := r.runJobs(r.histogramJobs()); err != nil {
+		return Report{}, err
+	}
+	header := []string{"benchmark", "histogram", "count", "mean", "min", "max", "p50<=", "p99<="}
+	var rows [][]string
+	for _, b := range Benchmarks() {
+		e, err := r.runHistograms(b)
+		if err != nil {
+			return Report{}, err
+		}
+		for _, h := range e.Result.Histograms {
+			rows = append(rows, []string{
+				b, h.Name,
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.4g", h.Mean()),
+				fmt.Sprintf("%.4g", h.Min),
+				fmt.Sprintf("%.4g", h.Max),
+				quantileCell(h, 0.50),
+				quantileCell(h, 0.99),
+			})
+		}
+	}
+	text, csv := renderTable(header, rows)
+	return Report{
+		ID:    "histograms",
+		Title: "Appendix: latency / compression / error distributions (AVR)",
+		Text:  text,
+		CSV:   csv,
+	}, nil
+}
+
+// quantileCell renders the upper bound of the bucket containing the
+// q-quantile, or ">max-bucket" when it lands in the overflow.
+func quantileCell(h obs.Summary, q float64) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	target := uint64(q * float64(h.Count))
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum > target {
+			return fmt.Sprintf("%.4g", b.Le)
+		}
+	}
+	if len(h.Buckets) == 0 {
+		return "-"
+	}
+	return fmt.Sprintf(">%.4g", h.Buckets[len(h.Buckets)-1].Le)
+}
+
+// histogramJobs enumerates the appendix units for the worker pool.
+func (r *Runner) histogramJobs() []job {
+	var jobs []job
+	for _, b := range Benchmarks() {
+		b := b
+		jobs = append(jobs, job{
+			label:  b + "/AVR/histograms",
+			bench:  b,
+			design: "AVR/histograms",
+			run: func() error {
+				_, err := r.runHistograms(b)
+				return err
+			},
+		})
+	}
+	return jobs
+}
+
+// runHistograms runs one benchmark under AVR with distribution
+// collection enabled (memoised under its own key).
+func (r *Runner) runHistograms(bench string) (*Entry, error) {
+	cfg := r.ConfigFor(sim.AVR)
+	cfg.Histograms = true
+	return r.runSim(bench+"/AVR/histograms", bench, cfg)
+}

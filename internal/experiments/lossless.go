@@ -40,7 +40,9 @@ func (r *Runner) losslessJobs() []job {
 		for _, v := range losslessVariants {
 			b, v := b, v
 			jobs = append(jobs, job{
-				label: b + "/" + v.name,
+				label:  b + "/" + v.name,
+				bench:  b,
+				design: v.name,
 				run: func() error {
 					_, err := r.runLossless(b, v.design, v.link, v.algo)
 					return err

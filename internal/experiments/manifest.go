@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+
+	"avr/internal/sim"
+)
+
+// Provenance records where a run's result came from.
+const (
+	ProvenanceSimulated = "simulated"
+	ProvenanceDiskCache = "disk-cache"
+)
+
+// Manifest is the structured record of one completed experiment unit.
+// One JSON file per distinct run key lands in Runner.ManifestDir, so a
+// finished sweep leaves an auditable trail of exactly what was run,
+// under which configuration, and whether it was simulated fresh or
+// served from the persistent cache.
+type Manifest struct {
+	// Key is the human-readable memo key, e.g. "heat/AVR" or
+	// "heat/AVR/t1=0.03125".
+	Key string `json:"key"`
+	// Benchmark is the workload name.
+	Benchmark string `json:"benchmark"`
+	// Scale is the input scale ("small" or "slice").
+	Scale string `json:"scale"`
+	// Cores is the simulated core count (1 for single-core runs).
+	Cores int `json:"cores"`
+	// ConfigHash fingerprints the full sim.Config; runs with equal
+	// hashes are bit-identical reproductions of each other.
+	ConfigHash string `json:"config_hash"`
+	// Salt is the cache-version salt the run was keyed under.
+	Salt string `json:"salt"`
+	// Provenance is "simulated" or "disk-cache".
+	Provenance string `json:"provenance"`
+	// WallMS is the wall-clock time of the unit in milliseconds
+	// (near zero for cache hits).
+	WallMS int64 `json:"wall_ms"`
+	// Finished is the completion time in RFC 3339 format.
+	Finished string `json:"finished"`
+}
+
+// writeManifest records one completed run. Failures only lose the
+// manifest, never the run; the write is atomic (temp file + rename)
+// like the result cache, so concurrent runners sharing a directory
+// never read torn files.
+func (r *Runner) writeManifest(key, bench string, cfg sim.Config, cores int, provenance string, wall time.Duration) {
+	if r.ManifestDir == "" {
+		return
+	}
+	ch := sha256.Sum256([]byte(cfg.Fingerprint()))
+	m := Manifest{
+		Key:        key,
+		Benchmark:  bench,
+		Scale:      r.Scale.String(),
+		Cores:      cores,
+		ConfigHash: hex.EncodeToString(ch[:16]),
+		Salt:       cacheSalt,
+		Provenance: provenance,
+		WallMS:     wall.Milliseconds(),
+		Finished:   time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(r.ManifestDir, 0o755); err != nil {
+		return
+	}
+	// Filename: hash of the fully-qualified run identity, so distinct
+	// configs under the same key (e.g. LLC-sweep points) never collide.
+	fh := sha256.Sum256([]byte(m.Salt + "|" + m.Scale + "|" + key + "|" + m.ConfigHash))
+	path := filepath.Join(r.ManifestDir, hex.EncodeToString(fh[:12])+".json")
+	tmp, err := os.CreateTemp(r.ManifestDir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// ReadManifests loads every manifest in a directory, newest-file order
+// not guaranteed. Unreadable files are skipped.
+func ReadManifests(dir string) ([]Manifest, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Manifest
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

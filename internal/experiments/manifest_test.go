@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"avr/internal/sim"
+	"avr/internal/workloads"
+)
+
+// TestManifestWrittenPerRun checks one manifest per distinct run lands
+// in ManifestDir with the right identity and provenance.
+func TestManifestWrittenPerRun(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(workloads.ScaleSmall)
+	r.ManifestDir = dir
+	if _, err := r.Run("heat", sim.Baseline); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run("heat", sim.AVR); err != nil {
+		t.Fatal(err)
+	}
+	// Memo hits must not duplicate manifests.
+	if _, err := r.Run("heat", sim.AVR); err != nil {
+		t.Fatal(err)
+	}
+
+	ms, err := ReadManifests(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("manifests = %d, want 2: %+v", len(ms), ms)
+	}
+	byKey := map[string]Manifest{}
+	for _, m := range ms {
+		byKey[m.Key] = m
+	}
+	m, ok := byKey["heat/AVR"]
+	if !ok {
+		t.Fatalf("no manifest for heat/AVR: %+v", ms)
+	}
+	if m.Benchmark != "heat" || m.Scale != "small" || m.Cores != 1 {
+		t.Errorf("manifest identity wrong: %+v", m)
+	}
+	if m.Provenance != ProvenanceSimulated {
+		t.Errorf("provenance = %q, want %q", m.Provenance, ProvenanceSimulated)
+	}
+	if m.Salt != cacheSalt || m.ConfigHash == "" || m.Finished == "" {
+		t.Errorf("manifest metadata incomplete: %+v", m)
+	}
+}
+
+// TestManifestProvenanceDiskCache checks a second runner sharing the
+// result cache records its run as served from disk.
+func TestManifestProvenanceDiskCache(t *testing.T) {
+	cache := t.TempDir()
+
+	r1 := NewRunner(workloads.ScaleSmall)
+	r1.CacheDir = cache
+	if _, err := r1.Run("heat", sim.Baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	mdir := t.TempDir()
+	r2 := NewRunner(workloads.ScaleSmall)
+	r2.CacheDir = cache
+	r2.ManifestDir = mdir
+	if _, err := r2.Run("heat", sim.Baseline); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ReadManifests(mdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Provenance != ProvenanceDiskCache {
+		t.Errorf("manifests = %+v, want one disk-cache entry", ms)
+	}
+}
+
+// TestManifestDistinctConfigsDistinctFiles checks sweep points sharing
+// a benchmark but not a configuration never overwrite each other.
+func TestManifestDistinctConfigsDistinctFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(workloads.ScaleSmall)
+	r.ManifestDir = dir
+	if _, err := r.runThreshold("heat", 1.0/32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.runThreshold("heat", 1.0/64); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ReadManifests(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Errorf("manifests = %d, want 2 (distinct configs): %+v", len(ms), ms)
+	}
+}
+
+// TestHistogramsReport smoke-tests the appendix report end to end.
+func TestHistogramsReport(t *testing.T) {
+	r := NewRunner(workloads.ScaleSmall)
+	rep, err := r.Histograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dram_latency", "compressed_block_lines", "outliers_per_block", "reconstruction_error"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("histograms report missing %s:\n%s", want, rep.Text)
+		}
+	}
+}

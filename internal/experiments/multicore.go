@@ -68,7 +68,9 @@ func (r *Runner) multicoreJobs() []job {
 		for _, d := range []sim.Design{sim.Baseline, sim.AVR} {
 			n, d := n, d
 			jobs = append(jobs, job{
-				label: fmt.Sprintf("heat/%s/cores%d", d, n),
+				label:  fmt.Sprintf("heat/%s/cores%d", d, n),
+				bench:  "heat",
+				design: fmt.Sprintf("%s/cores%d", d, n),
 				run: func() error {
 					_, err := r.runMulticore("heat", d, n)
 					return err

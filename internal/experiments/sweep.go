@@ -55,7 +55,9 @@ func (r *Runner) llcSweepJobs() []job {
 		for _, d := range []sim.Design{sim.Baseline, sim.AVR} {
 			capBytes, d := capBytes, d
 			jobs = append(jobs, job{
-				label: fmt.Sprintf("heat/%s/llc%dk", d, capBytes>>10),
+				label:  fmt.Sprintf("heat/%s/llc%dk", d, capBytes>>10),
+				bench:  "heat",
+				design: fmt.Sprintf("%s/llc%dk", d, capBytes>>10),
 				run: func() error {
 					_, err := r.runWithLLC("heat", d, capBytes)
 					return err

@@ -59,14 +59,16 @@ func (r *Runner) thresholdJobs() []job {
 	var jobs []job
 	for _, bench := range thresholdBenchmarks {
 		bench := bench
-		jobs = append(jobs, job{label: key(bench, sim.Baseline), run: func() error {
+		jobs = append(jobs, job{label: key(bench, sim.Baseline), bench: bench, design: sim.Baseline.String(), run: func() error {
 			_, err := r.Run(bench, sim.Baseline)
 			return err
 		}})
 		for _, t1 := range thresholdPoints {
 			t1 := t1
 			jobs = append(jobs, job{
-				label: fmt.Sprintf("%s/AVR/t1=1_%.0f", bench, 1/t1),
+				label:  fmt.Sprintf("%s/AVR/t1=1_%.0f", bench, 1/t1),
+				bench:  bench,
+				design: fmt.Sprintf("AVR/t1=1_%.0f", 1/t1),
 				run: func() error {
 					_, err := r.runThreshold(bench, t1)
 					return err

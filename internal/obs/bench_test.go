@@ -1,0 +1,49 @@
+package obs
+
+import "testing"
+
+// Observability-layer hot-path benchmarks. The disabled (nil-receiver)
+// paths and the enabled steady-state paths are all CI-gated at
+// 0 allocs/op via scripts/bench.sh: instrumentation must be free when
+// off and allocation-free when on.
+
+// BenchmarkRecorderDisabled measures the disabled recorder path: the
+// nil check a simulator pays per epoch boundary when recording is off.
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var r *Recorder
+	c := Counters{Accesses: 1, Cycles: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(c)
+	}
+}
+
+// BenchmarkRecorderRecord measures one enabled epoch capture into the
+// preallocated ring.
+func BenchmarkRecorderRecord(b *testing.B) {
+	r := NewRecorder(1, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(Counters{Accesses: uint64(i), Cycles: uint64(i) * 10, Instructions: uint64(i) * 20})
+	}
+}
+
+// BenchmarkHistogramDisabled measures the disabled histogram path (nil
+// receiver).
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+// BenchmarkHistogramObserve measures one enabled observation across a
+// spread of buckets.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := DRAMLatencyHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}

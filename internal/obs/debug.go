@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+)
+
+// Live introspection counters, published under /debug/vars. The
+// experiment engine updates them as runs flow through its cache layers;
+// they are process-global (expvar is), cheap atomics, and never on the
+// per-access simulation hot path.
+var (
+	// RunsInFlight is the number of runs currently resolving (simulating
+	// or loading from the disk cache).
+	RunsInFlight = expvar.NewInt("avr.runs_in_flight")
+	// RunsCompleted counts runs resolved since process start.
+	RunsCompleted = expvar.NewInt("avr.runs_completed")
+	// MemoHits counts runs answered from the in-memory memo cache.
+	MemoHits = expvar.NewInt("avr.memo_hits")
+	// DiskHits counts runs answered from the persistent disk cache.
+	DiskHits = expvar.NewInt("avr.disk_hits")
+	// Simulations counts actual simulations executed.
+	Simulations = expvar.NewInt("avr.simulations")
+	// WorkersBusy is the number of pool workers currently running a job
+	// (worker occupancy).
+	WorkersBusy = expvar.NewInt("avr.workers_busy")
+)
+
+// ServeDebug starts an HTTP server on addr exposing expvar counters at
+// /debug/vars and the pprof profiling endpoints at /debug/pprof/ for
+// live introspection of long sweeps. It returns the bound address
+// (useful with ":0") and serves until the process exits.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) // serves until process exit
+	return ln.Addr().String(), nil
+}

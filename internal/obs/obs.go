@@ -1,0 +1,116 @@
+// Package obs is the simulator's observability layer: epoch time-series
+// recording, fixed-bucket histograms, and live introspection (expvar +
+// pprof) for long experiment sweeps.
+//
+// Everything here is built around one contract: *disabled instrumentation
+// is free*. A nil *Recorder or nil *Histogram is a valid receiver whose
+// methods return immediately, so the simulator's per-access hot path pays
+// one predicted branch and zero allocations when observability is off —
+// enforced by the benchmarks in this package, which are part of the
+// scripts/bench.sh allocs/op CI gate. Enabled instrumentation is also
+// allocation-free in steady state: the recorder writes into a
+// preallocated ring and histograms bump preallocated bucket counters.
+//
+// The package deliberately has no dependency on the simulator packages;
+// internal/sim adapts its counters into the Counters snapshot type below.
+package obs
+
+// Counters is one cumulative snapshot of the simulator's hot counters.
+// The recorder differences consecutive snapshots into per-epoch deltas;
+// every field is monotonically non-decreasing over a run, and the sum of
+// all epoch deltas of a finished recording equals the final totals.
+type Counters struct {
+	// Accesses counts demand accesses observed by the hierarchy.
+	Accesses uint64 `json:"accesses"`
+	// Cycles and Instructions are the core's clock and retired count.
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	// LLCMisses counts demand misses at the last-level cache.
+	LLCMisses uint64 `json:"llc_misses"`
+	// DRAM activity: burst counts and bytes moved per direction, plus the
+	// bytes flagged as approximate traffic (Figure 11's split).
+	DRAMReads       uint64 `json:"dram_reads"`
+	DRAMWrites      uint64 `json:"dram_writes"`
+	DRAMReadBytes   uint64 `json:"dram_read_bytes"`
+	DRAMWriteBytes  uint64 `json:"dram_write_bytes"`
+	DRAMApproxBytes uint64 `json:"dram_approx_bytes"`
+	// CMTBytes is AVR metadata traffic (zero for other designs).
+	CMTBytes uint64 `json:"cmt_bytes"`
+	// Compressor activity (AVR designs only).
+	Compresses   uint64 `json:"compresses"`
+	Decompresses uint64 `json:"decompresses"`
+	// Outliers counts outlier values stored by successful compressions.
+	Outliers uint64 `json:"outliers"`
+	// CompFromLines/CompToLines accumulate original vs stored cacheline
+	// counts over successful compressions; their ratio is the running
+	// compression ratio of the epoch.
+	CompFromLines uint64 `json:"comp_from_lines"`
+	CompToLines   uint64 `json:"comp_to_lines"`
+}
+
+// Sub returns the field-wise difference c - prev.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Accesses:        c.Accesses - prev.Accesses,
+		Cycles:          c.Cycles - prev.Cycles,
+		Instructions:    c.Instructions - prev.Instructions,
+		LLCMisses:       c.LLCMisses - prev.LLCMisses,
+		DRAMReads:       c.DRAMReads - prev.DRAMReads,
+		DRAMWrites:      c.DRAMWrites - prev.DRAMWrites,
+		DRAMReadBytes:   c.DRAMReadBytes - prev.DRAMReadBytes,
+		DRAMWriteBytes:  c.DRAMWriteBytes - prev.DRAMWriteBytes,
+		DRAMApproxBytes: c.DRAMApproxBytes - prev.DRAMApproxBytes,
+		CMTBytes:        c.CMTBytes - prev.CMTBytes,
+		Compresses:      c.Compresses - prev.Compresses,
+		Decompresses:    c.Decompresses - prev.Decompresses,
+		Outliers:        c.Outliers - prev.Outliers,
+		CompFromLines:   c.CompFromLines - prev.CompFromLines,
+		CompToLines:     c.CompToLines - prev.CompToLines,
+	}
+}
+
+// Add returns the field-wise sum c + d.
+func (c Counters) Add(d Counters) Counters {
+	return Counters{
+		Accesses:        c.Accesses + d.Accesses,
+		Cycles:          c.Cycles + d.Cycles,
+		Instructions:    c.Instructions + d.Instructions,
+		LLCMisses:       c.LLCMisses + d.LLCMisses,
+		DRAMReads:       c.DRAMReads + d.DRAMReads,
+		DRAMWrites:      c.DRAMWrites + d.DRAMWrites,
+		DRAMReadBytes:   c.DRAMReadBytes + d.DRAMReadBytes,
+		DRAMWriteBytes:  c.DRAMWriteBytes + d.DRAMWriteBytes,
+		DRAMApproxBytes: c.DRAMApproxBytes + d.DRAMApproxBytes,
+		CMTBytes:        c.CMTBytes + d.CMTBytes,
+		Compresses:      c.Compresses + d.Compresses,
+		Decompresses:    c.Decompresses + d.Decompresses,
+		Outliers:        c.Outliers + d.Outliers,
+		CompFromLines:   c.CompFromLines + d.CompFromLines,
+		CompToLines:     c.CompToLines + d.CompToLines,
+	}
+}
+
+// IPC is instructions per cycle over the snapshot (0 when no cycles).
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// MPKI is LLC misses per kilo-instruction (0 when no instructions).
+func (c Counters) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(c.Instructions) * 1000
+}
+
+// CompressionRatio is original/stored size over the snapshot's
+// successful compressions (1 when there were none).
+func (c Counters) CompressionRatio() float64 {
+	if c.CompToLines == 0 {
+		return 1
+	}
+	return float64(c.CompFromLines) / float64(c.CompToLines)
+}

@@ -26,6 +26,7 @@ import (
 	"avr/internal/energy"
 	"avr/internal/lossless"
 	"avr/internal/mem"
+	"avr/internal/obs"
 )
 
 // Design selects the memory-system design under evaluation.
@@ -105,6 +106,13 @@ type Config struct {
 	// orthogonal layer); LosslessAlgo picks BDI (default) or FPC.
 	LosslessLink bool
 	LosslessAlgo lossless.Algorithm
+
+	// Histograms enables the observability histograms (DRAM access
+	// latency, and for AVR designs compressed block size, outliers per
+	// block and reconstruction error), surfaced in Result.Histograms.
+	// Collection is allocation-free and does not perturb simulated
+	// timing; disabled (the default) it costs one predicted branch.
+	Histograms bool
 }
 
 // Fingerprint renders the complete configuration (every field, in
@@ -170,12 +178,19 @@ type System struct {
 	Core  *cpu.Core
 	Dram  *dram.DRAM
 
-	// Sampler, when set, is invoked every SampleEvery demand accesses —
-	// the hook behind cmd/avrtrace's time series. SampleEvery == 0 means
-	// "never sample" (the Sampler is ignored rather than dividing by zero).
-	Sampler     func(s *System)
-	SampleEvery uint64
+	// Epoch recorder (SetRecorder): when attached, the hierarchy captures
+	// a counter snapshot into it every rec.Every() demand accesses — the
+	// hook behind cmd/avrtrace's time series. rec == nil (the default)
+	// costs one predicted branch per access.
+	rec         *obs.Recorder
+	recEvery    uint64
 	accessCount uint64
+
+	// Observability histograms (Cfg.Histograms); all nil when disabled.
+	histDramLat   *obs.Histogram
+	histBlockSize *obs.Histogram
+	histOutliers  *obs.Histogram
+	histReconErr  *obs.Histogram
 
 	l1, l2 *cache.Cache
 	llc    llcDesign
@@ -233,7 +248,57 @@ func New(cfg Config) *System {
 	default:
 		panic(fmt.Sprintf("sim: unknown design %v", cfg.Design))
 	}
+	if cfg.Histograms {
+		s.histDramLat = obs.DRAMLatencyHistogram()
+		s.Dram.SetLatencyHistogram(s.histDramLat)
+		if s.avr != nil {
+			s.histBlockSize = obs.BlockSizeHistogram()
+			s.histOutliers = obs.OutlierHistogram()
+			s.histReconErr = obs.ReconErrorHistogram()
+			s.avr.SetHistograms(s.histBlockSize, s.histOutliers, s.histReconErr)
+		}
+	}
 	return s
+}
+
+// SetRecorder attaches an epoch recorder: every rec.Every() demand
+// accesses (and once more at Finish, for the partial tail) the system
+// snapshots its cumulative counters into it. A nil recorder — or one
+// with interval 0 — disables recording.
+func (s *System) SetRecorder(rec *obs.Recorder) {
+	s.rec = rec
+	s.recEvery = rec.Every()
+	if s.recEvery == 0 {
+		s.rec = nil
+	}
+}
+
+// Counters snapshots the cumulative hot counters of the run so far (the
+// epoch time-series feed).
+func (s *System) Counters() obs.Counters {
+	ds := s.Dram.Stats()
+	c := obs.Counters{
+		Accesses:        s.accessCount,
+		Cycles:          s.Core.Now(),
+		Instructions:    s.Core.Instructions(),
+		DRAMReads:       ds.Reads,
+		DRAMWrites:      ds.Writes,
+		DRAMReadBytes:   ds.BytesRead,
+		DRAMWriteBytes:  ds.BytesWritten,
+		DRAMApproxBytes: ds.ApproxBytes,
+	}
+	_, misses, _, comp, decomp := s.llcActivity()
+	c.LLCMisses = misses
+	c.Compresses = comp
+	c.Decompresses = decomp
+	if s.avr != nil {
+		st := s.avr.Stats()
+		c.Outliers = st.Outliers
+		c.CompFromLines = st.CompressedFromLines
+		c.CompToLines = st.CompressedToLines
+		c.CMTBytes = s.avr.CMT().Stats().TrafficBytes
+	}
+	return c
 }
 
 // AVRLLC returns the AVR LLC when the design has one (AVR/ZeroAVR).
@@ -258,10 +323,10 @@ func (s *System) Prime() {
 
 // access runs one demand access through the hierarchy.
 func (s *System) access(addr uint64, write bool) {
-	if s.Sampler != nil && s.SampleEvery > 0 {
+	if s.rec != nil {
 		s.accessCount++
-		if s.accessCount%s.SampleEvery == 0 {
-			s.Sampler(s)
+		if s.accessCount%s.recEvery == 0 {
+			s.rec.Record(s.Counters())
 		}
 	}
 	line := addr &^ 63
@@ -458,6 +523,12 @@ type Result struct {
 
 	// OutputError is filled in by the experiment harness.
 	OutputError float64
+
+	// Histograms carries the observability distributions when
+	// Config.Histograms is enabled: DRAM access latency for every
+	// design, plus compressed block size, outliers per block and
+	// reconstruction error for AVR designs. nil when disabled.
+	Histograms []obs.Summary `json:",omitempty"`
 }
 
 // Finish flushes the hierarchy and collects all statistics.
@@ -509,6 +580,18 @@ func (s *System) Finish(benchmark string) Result {
 		r.MPKI = float64(r.LLCMisses) / float64(r.Instructions) * 1000
 	}
 	r.Energy = energy.Default32nm().Compute(counts)
+	if s.Cfg.Histograms {
+		r.Histograms = append(r.Histograms, s.histDramLat.Summary())
+		if s.avr != nil {
+			r.Histograms = append(r.Histograms,
+				s.histBlockSize.Summary(), s.histOutliers.Summary(), s.histReconErr.Summary())
+		}
+	}
+	// The final (partial) epoch closes after the flush above, so the
+	// recorded deltas sum exactly to this Result's totals.
+	if s.rec != nil {
+		s.rec.Finish(s.Counters())
+	}
 	return r
 }
 

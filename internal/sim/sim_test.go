@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"avr/internal/compress"
+	"avr/internal/obs"
 )
 
 // tinySystem builds a system with an approx region for direct plumbing
@@ -264,25 +265,21 @@ func TestFinishMPKIConsistentWithLLCMisses(t *testing.T) {
 	}
 }
 
-func TestSamplerZeroIntervalDoesNotPanic(t *testing.T) {
-	// Regression: a Sampler with SampleEvery == 0 used to divide by zero
-	// on the first access; 0 must mean "never sample".
+func TestRecorderZeroIntervalNeverSamples(t *testing.T) {
+	// Regression (from the Sampler era): a sampling interval of 0 used
+	// to divide by zero on the first access; 0 must mean "never sample".
 	s, base := tinySystem(t, Baseline)
-	fired := 0
-	s.Sampler = func(*System) { fired++ }
-	s.SampleEvery = 0
+	s.SetRecorder(obs.NewRecorder(0, 8))
 	for i := uint64(0); i < 64; i++ {
 		s.LoadF32(base + i*64)
 	}
-	if fired != 0 {
-		t.Errorf("sampler fired %d times with SampleEvery=0", fired)
-	}
-	s.SampleEvery = 16
+	rec := obs.NewRecorder(16, 8)
+	s.SetRecorder(rec)
 	for i := uint64(0); i < 64; i++ {
 		s.LoadF32(base + i*64)
 	}
-	if fired != 4 {
-		t.Errorf("sampler fired %d times over 64 accesses at interval 16, want 4", fired)
+	if rec.Count() != 4 {
+		t.Errorf("recorder captured %d epochs over 64 accesses at interval 16, want 4", rec.Count())
 	}
 }
 

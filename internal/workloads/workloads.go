@@ -32,6 +32,17 @@ const (
 	ScaleSlice
 )
 
+// String names the scale for logs and run manifests.
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScaleSlice:
+		return "slice"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
 // Workload is one benchmark application.
 type Workload interface {
 	// Name returns the paper's benchmark name.

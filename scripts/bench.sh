@@ -17,14 +17,16 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_sim.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep}"
+BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep|Recorder|Histogram}"
 
-PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/sim ./internal/workloads"
+PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/obs ./internal/sim ./internal/workloads"
 
 # Hot-path benchmarks that must report 0 allocs/op: every demand access
 # in the simulator goes through these paths, and a single allocation per
-# access dominates run time at scale.
-GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLookupMiss BenchmarkDRAMAccess BenchmarkDRAMAccessRandom BenchmarkSystemAccess BenchmarkSystemAccessAVR"
+# access dominates run time at scale. The obs instrumentation is held to
+# the same bar both disabled (nil receiver) and enabled (preallocated
+# ring/buckets).
+GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLookupMiss BenchmarkDRAMAccess BenchmarkDRAMAccessRandom BenchmarkSystemAccess BenchmarkSystemAccessAVR BenchmarkRecorderDisabled BenchmarkRecorderRecord BenchmarkHistogramDisabled BenchmarkHistogramObserve"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
