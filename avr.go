@@ -2,15 +2,20 @@
 // Value Reconstruction (Eldstål-Damlin, Trancoso, Sourdis — ICPP 2019),
 // an architecture for approximate memory compression.
 //
-// The package exposes three layers:
+// The package exposes four layers:
 //
 //   - Codec: the AVR downsampling compressor as a standalone lossy codec
 //     for float32/int32 data, with the paper's error-threshold knobs.
+//     A Codec is not safe for concurrent use; see the type's doc.
 //   - Simulation: the full architectural simulator (interval cores,
 //     cache hierarchy, the AVR decoupled LLC, DDR4 timing, energy) and
 //     the five memory-system designs of the paper's evaluation.
 //   - Experiments: the harness regenerating every table and figure of
 //     the paper (see cmd/avrtables).
+//   - Serving: the codec as a network service — cmd/avrd exposes
+//     encode/decode over HTTP with pooled codecs, bounded-queue
+//     admission and graceful drain (internal/server), and cmd/avrload
+//     is its load harness.
 //
 // The heavy lifting lives in internal/ packages; this facade keeps a
 // small, stable surface.

@@ -1,0 +1,95 @@
+// Command avrd serves the AVR fp32/fp64 codec over HTTP: raw
+// little-endian values in, AVR streams out, and the reverse. It is the
+// serving face of the repository — bounded concurrency with 429
+// load-shedding instead of unbounded queues, per-request error
+// thresholds, graceful drain on SIGTERM, and the avr.* expvar
+// counters/histograms on -debug-addr.
+//
+// Usage:
+//
+//	avrd -addr localhost:8080 -workers 8 -queue 64 -t1 0.03125
+//	curl -s --data-binary @values.f32le 'localhost:8080/v1/encode?t1=0.0625' > out.avr
+//	curl -s --data-binary @out.avr localhost:8080/v1/decode > approx.f32le
+//	curl -s localhost:8080/v1/stats | jq .latency
+//
+// With -addr :0 the bound address is printed on startup and, with
+// -addr-file, written to a file for scripts (see scripts/serve_smoke.sh).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"avr/internal/cliutil"
+	"avr/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts, with -addr :0)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent codec operations")
+	queue := flag.Int("queue", 0, "admission queue depth; 0 = 4×workers (beyond it requests shed with 429)")
+	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes (413 above)")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for a codec worker before 503")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	var t1 float64
+	cliutil.RegisterT1(flag.CommandLine, &t1)
+	var debugAddr string
+	cliutil.RegisterDebug(flag.CommandLine, &debugAddr)
+	flag.Parse()
+
+	cliutil.StartDebug(debugAddr)
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxBodyBytes: *maxBody,
+		QueueTimeout: *queueTimeout,
+		T1:           t1,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			cliutil.Fatal(err)
+		}
+	}
+	slog.Info("avrd listening", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue, "max_body", *maxBody)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cliutil.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		slog.Info("avrd draining", "timeout", drainTimeout.String())
+		sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sdCtx); err != nil {
+			slog.Error("avrd drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("avrd drained cleanly")
+	}
+}

@@ -1,0 +1,338 @@
+// Command avrload drives an avrd instance with closed-loop concurrent
+// traffic and reports the serving metrics that matter for capacity
+// planning: throughput, latency percentiles, achieved compression
+// ratio, and shed rate. Each connection generates a realistic dataset
+// (internal/workloads generators), then loops encode→decode against
+// the daemon, verifying every response byte-for-byte against a local
+// codec — a load test that doubles as an end-to-end corruption check.
+//
+// Usage:
+//
+//	avrload -addr localhost:8080 -c 32 -duration 30s -values 4096 -dist heat
+//	avrload -addr-file /tmp/avrd.addr -c 8 -duration 2s   # scripted (CI smoke)
+//
+// Exit status: 0 on a clean run; 1 when no request succeeded or any
+// response mismatched the local codec (corruption).
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"avr"
+	"avr/internal/cliutil"
+	"avr/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "avrd address (host:port)")
+	addrFile := flag.String("addr-file", "", "read the avrd address from this file (written by avrd -addr-file)")
+	conc := flag.Int("c", 32, "concurrent connections")
+	duration := flag.Duration("duration", 30*time.Second, "load duration")
+	values := flag.Int("values", 4096, "values per request")
+	dist := flag.String("dist", "heat", "value distribution: "+strings.Join(workloads.Distributions(), ", "))
+	width := flag.Int("width", 32, "value width in bits: 32 or 64")
+	verify := flag.Bool("verify", true, "check every response byte-for-byte against a local codec")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON (for recorded baselines)")
+	var t1 float64
+	cliutil.RegisterT1(flag.CommandLine, &t1)
+	flag.Parse()
+
+	if *addrFile != "" {
+		b, err := os.ReadFile(*addrFile)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		*addr = strings.TrimSpace(string(b))
+	}
+	if *width != 32 && *width != 64 {
+		cliutil.Fatal(fmt.Errorf("bad -width %d: want 32 or 64", *width))
+	}
+	base := "http://" + *addr
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * *conc,
+			MaxIdleConnsPerHost: 2 * *conc,
+		},
+	}
+
+	// One dataset and local-codec expectation per connection, prepared
+	// before the clock starts.
+	specs := make([]*workerSpec, *conc)
+	for i := range specs {
+		sp, err := newWorkerSpec(*dist, *values, *width, t1, uint64(i)+1)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		specs[i] = sp
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	results := make([]*workerResult, *conc)
+	start := time.Now()
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp *workerSpec) {
+			defer wg.Done()
+			results[i] = sp.run(client, base, deadline, *verify)
+		}(i, sp)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := summarize(results, elapsed, *conc, *values, *width, *dist, t1)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	} else {
+		sum.print(base)
+	}
+	if sum.OK == 0 || sum.Corrupt > 0 {
+		os.Exit(1)
+	}
+}
+
+// workerSpec is one connection's dataset plus the local-codec ground
+// truth its responses are verified against.
+type workerSpec struct {
+	t1      float64
+	width   int
+	payload []byte // raw little-endian values (encode request body)
+	wantEnc []byte // local Codec.Encode of payload
+	wantDec []byte // raw little-endian bytes of local Decode(wantEnc)
+}
+
+func newWorkerSpec(dist string, values, width int, t1 float64, seed uint64) (*workerSpec, error) {
+	sp := &workerSpec{t1: t1, width: width}
+	c := avr.NewCodec(t1)
+	if width == 32 {
+		vals, err := workloads.GenFloat32(dist, values, seed)
+		if err != nil {
+			return nil, err
+		}
+		sp.payload = make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(sp.payload[4*i:], math.Float32bits(v))
+		}
+		sp.wantEnc, err = c.Encode(vals)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := c.Decode(sp.wantEnc)
+		if err != nil {
+			return nil, err
+		}
+		sp.wantDec = make([]byte, 4*len(dec))
+		for i, v := range dec {
+			binary.LittleEndian.PutUint32(sp.wantDec[4*i:], math.Float32bits(v))
+		}
+	} else {
+		vals, err := workloads.GenFloat64(dist, values, seed)
+		if err != nil {
+			return nil, err
+		}
+		sp.payload = make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(sp.payload[8*i:], math.Float64bits(v))
+		}
+		sp.wantEnc, err = c.Encode64(vals)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := c.Decode64(sp.wantEnc)
+		if err != nil {
+			return nil, err
+		}
+		sp.wantDec = make([]byte, 8*len(dec))
+		for i, v := range dec {
+			binary.LittleEndian.PutUint64(sp.wantDec[8*i:], math.Float64bits(v))
+		}
+	}
+	return sp, nil
+}
+
+// workerResult accumulates one connection's counts and latencies.
+type workerResult struct {
+	ok, shed, errs, corrupt int64
+	bytesUp, bytesDown      int64
+	lat                     []float64 // seconds per successful request
+}
+
+// run loops encode→decode against the daemon until the deadline.
+func (sp *workerSpec) run(client *http.Client, base string, deadline time.Time, verify bool) *workerResult {
+	res := &workerResult{}
+	encURL := fmt.Sprintf("%s/v1/encode?width=%d", base, sp.width)
+	if sp.t1 > 0 {
+		encURL += fmt.Sprintf("&t1=%g", sp.t1)
+	}
+	decURL := base + "/v1/decode"
+	for time.Now().Before(deadline) {
+		enc, ok := sp.post(client, encURL, sp.payload, res)
+		if !ok {
+			continue
+		}
+		if verify && !bytes.Equal(enc, sp.wantEnc) {
+			res.corrupt++
+			continue
+		}
+		dec, ok := sp.post(client, decURL, enc, res)
+		if !ok {
+			continue
+		}
+		if verify && !bytes.Equal(dec, sp.wantDec) {
+			res.corrupt++
+		}
+	}
+	return res
+}
+
+// post sends one request and classifies the outcome: (body, true) on
+// 200, shed/error counting otherwise.
+func (sp *workerSpec) post(client *http.Client, url string, body []byte, res *workerResult) ([]byte, bool) {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		res.errs++
+		time.Sleep(10 * time.Millisecond) // avoid hot-looping a dead server
+		return nil, false
+	}
+	out, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK && rerr == nil:
+		res.ok++
+		res.lat = append(res.lat, time.Since(t0).Seconds())
+		res.bytesUp += int64(len(body))
+		res.bytesDown += int64(len(out))
+		return out, true
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable:
+		res.shed++
+		time.Sleep(time.Millisecond) // brief backoff under shed
+	default:
+		res.errs++
+	}
+	return nil, false
+}
+
+// summary is the final report (and the -json document).
+type summary struct {
+	Addr        string  `json:"-"`
+	Concurrency int     `json:"concurrency"`
+	Duration    float64 `json:"duration_seconds"`
+	Values      int     `json:"values_per_request"`
+	Width       int     `json:"width_bits"`
+	Dist        string  `json:"dist"`
+	T1          float64 `json:"t1"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Errors      int64   `json:"errors"`
+	Corrupt     int64   `json:"corrupt"`
+	ShedRate    float64 `json:"shed_rate"`
+	Throughput  float64 `json:"requests_per_second"`
+	MBpsUp      float64 `json:"mb_per_second_up"`
+	MBpsDown    float64 `json:"mb_per_second_down"`
+	P50ms       float64 `json:"p50_ms"`
+	P90ms       float64 `json:"p90_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	EncodeRatio float64 `json:"encode_ratio"`
+}
+
+func summarize(results []*workerResult, elapsed time.Duration, conc, values, width int, dist string, t1 float64) summary {
+	s := summary{
+		Concurrency: conc, Duration: elapsed.Seconds(),
+		Values: values, Width: width, Dist: dist, T1: t1,
+	}
+	var lat []float64
+	var up, down int64
+	for _, r := range results {
+		s.OK += r.ok
+		s.Shed += r.shed
+		s.Errors += r.errs
+		s.Corrupt += r.corrupt
+		up += r.bytesUp
+		down += r.bytesDown
+		lat = append(lat, r.lat...)
+	}
+	total := s.OK + s.Shed + s.Errors
+	if total > 0 {
+		s.ShedRate = float64(s.Shed) / float64(total)
+	}
+	if s.Duration > 0 {
+		s.Throughput = float64(s.OK) / s.Duration
+		s.MBpsUp = float64(up) / 1e6 / s.Duration
+		s.MBpsDown = float64(down) / 1e6 / s.Duration
+	}
+	sort.Float64s(lat)
+	s.P50ms = 1000 * percentile(lat, 0.50)
+	s.P90ms = 1000 * percentile(lat, 0.90)
+	s.P99ms = 1000 * percentile(lat, 0.99)
+	if len(lat) > 0 {
+		s.MaxMs = 1000 * lat[len(lat)-1]
+	}
+	// Achieved ratio from the wire accounting. Per OK request the mean
+	// bytes moved is (up+down)/OK; an encode leg moves payload+enc and a
+	// decode leg enc+payload, so that mean is payload+enc and the
+	// achieved ratio is payload/enc.
+	if down > 0 && up > 0 && s.OK > 0 {
+		perReq := float64(up+down) / float64(s.OK)
+		payload := float64(values * width / 8)
+		if enc := perReq - payload; enc > 0 {
+			s.EncodeRatio = payload / enc
+		}
+	}
+	return s
+}
+
+// percentile returns the p-quantile of sorted (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (s summary) print(base string) {
+	fmt.Printf("avrload: %.1fs @ %d conns against %s (%d × fp%d, dist %s, t1 %g)\n",
+		s.Duration, s.Concurrency, base, s.Values, s.Width, s.Dist, s.T1)
+	fmt.Printf("  requests:   %d ok, %d shed (%.2f%%), %d errors, %d corrupt\n",
+		s.OK, s.Shed, 100*s.ShedRate, s.Errors, s.Corrupt)
+	fmt.Printf("  throughput: %.1f req/s, %.1f MB/s up, %.1f MB/s down\n",
+		s.Throughput, s.MBpsUp, s.MBpsDown)
+	fmt.Printf("  latency:    p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
+		s.P50ms, s.P90ms, s.P99ms, s.MaxMs)
+	if s.EncodeRatio > 0 {
+		fmt.Printf("  ratio:      %.2f:1 achieved on the encode path\n", s.EncodeRatio)
+	}
+	switch {
+	case s.Corrupt > 0:
+		fmt.Printf("  VERIFY FAILED: %d responses differ from the direct codec\n", s.Corrupt)
+	case s.OK == 0:
+		fmt.Println("  FAILED: no successful requests")
+	default:
+		fmt.Println("  verify:     all responses byte-identical to the direct codec")
+	}
+}

@@ -24,6 +24,13 @@ import (
 //
 // The decoded output is the approximate reconstruction — the same values
 // an AVR memory system would deliver to the processor.
+//
+// A Codec is NOT safe for concurrent use: the underlying compressor
+// carries scratch buffers that are reused across Encode calls. Use one
+// Codec per goroutine, or borrow codecs from a pool the way the avrd
+// service does (internal/server.CodecPool) — handing a Codec from one
+// goroutine to another through a pool is fine as long as uses do not
+// overlap.
 type Codec struct {
 	comp *compress.Compressor
 }
@@ -88,6 +95,16 @@ func (c *Codec) Decode(data []byte) ([]float32, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(data[4:]))
 	data = data[8:]
+	// Guard the length header against allocation bombs: every block
+	// record covering 256 values is at least 2 header bytes plus one
+	// cacheline of payload, so a stream claiming count values has a hard
+	// minimum length. Checking it up front keeps the output allocation
+	// proportional to the input size for untrusted streams.
+	minRecord := 2 + compress.LineBytes
+	blocks := (count + compress.BlockValues - 1) / compress.BlockValues
+	if len(data) < blocks*minRecord {
+		return nil, errTruncated
+	}
 	out := make([]float32, 0, count)
 	for len(out) < count {
 		if len(data) < 2 {
@@ -126,9 +143,10 @@ func (c *Codec) Decode(data []byte) ([]float32, error) {
 }
 
 // Ratio reports the compression ratio achieved by an encoded stream for
-// the given original value count.
+// the given original value count. A non-positive value count or an
+// empty stream yields 0, never ±Inf or a negative ratio.
 func Ratio(valueCount int, encoded []byte) float64 {
-	if len(encoded) == 0 {
+	if valueCount <= 0 || len(encoded) == 0 {
 		return 0
 	}
 	return float64(4*valueCount) / float64(len(encoded))

@@ -73,6 +73,14 @@ func (c *Codec) Decode64(data []byte) ([]float64, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(data[4:]))
 	data = data[8:]
+	// Length-header allocation-bomb guard, mirroring Decode: a block
+	// record covering 128 doubles is at least 3 header bytes plus one
+	// cacheline of payload.
+	minRecord := 3 + compress.LineBytes
+	blocks := (count + compress.BlockValues64 - 1) / compress.BlockValues64
+	if len(data) < blocks*minRecord {
+		return nil, errTruncated
+	}
 	out := make([]float64, 0, count)
 	for len(out) < count {
 		if len(data) < 3 {
@@ -134,9 +142,11 @@ func (c *Codec) Decode64(data []byte) ([]float64, error) {
 	return out, nil
 }
 
-// Ratio64 reports the compression ratio of an Encode64 stream.
+// Ratio64 reports the compression ratio of an Encode64 stream. A
+// non-positive value count or an empty stream yields 0, never ±Inf or a
+// negative ratio.
 func Ratio64(valueCount int, encoded []byte) float64 {
-	if len(encoded) == 0 {
+	if valueCount <= 0 || len(encoded) == 0 {
 		return 0
 	}
 	return float64(8*valueCount) / float64(len(encoded))

@@ -160,8 +160,39 @@ func TestCodecErrorBoundProperty(t *testing.T) {
 	}
 }
 
-func TestRatioZeroDivision(t *testing.T) {
-	if Ratio(100, nil) != 0 {
-		t.Error("Ratio on empty stream should be 0")
+func TestRatioEdgeCases(t *testing.T) {
+	// A real stream for the valid-ratio rows: 256 values -> some bytes.
+	c := NewCodec(0)
+	enc, err := c.Encode(smoothSignal(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc64, err := c.Encode64(make([]float64, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		got   float64
+		want  float64
+		exact bool
+	}{
+		{"empty stream", Ratio(100, nil), 0, true},
+		{"zero count", Ratio(0, enc), 0, true},
+		{"negative count", Ratio(-7, enc), 0, true},
+		{"zero count empty stream", Ratio(0, nil), 0, true},
+		{"valid", Ratio(256, enc), float64(4*256) / float64(len(enc)), true},
+		{"64 empty stream", Ratio64(100, nil), 0, true},
+		{"64 zero count", Ratio64(0, enc64), 0, true},
+		{"64 negative count", Ratio64(-1, enc64), 0, true},
+		{"64 valid", Ratio64(128, enc64), float64(8*128) / float64(len(enc64)), true},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.got, tc.want)
+		}
+		if math.IsInf(tc.got, 0) || math.IsNaN(tc.got) || tc.got < 0 {
+			t.Errorf("%s: non-finite or negative ratio %v", tc.name, tc.got)
+		}
 	}
 }

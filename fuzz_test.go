@@ -1,0 +1,110 @@
+package avr
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// codecFuzzSeeds returns valid encoded streams (one compressible, one
+// raw-fallback, one with a partial block) plus adversarial mutations of
+// them, shared by both fuzz targets via the enc function.
+func codecFuzzSeeds(f *testing.F, enc func(n int, smooth bool) []byte) {
+	f.Add(enc(1024, true))
+	f.Add(enc(1024, false))
+	f.Add(enc(100, true)) // partial trailing block
+	// Valid stream with the count header inflated to an absurd value: a
+	// classic allocation bomb, which Decode must reject cheaply.
+	bomb := enc(1024, true)
+	binary.LittleEndian.PutUint32(bomb[4:], math.MaxUint32)
+	f.Add(bomb)
+	// Truncated mid-record.
+	tr := enc(1024, true)
+	f.Add(tr[:len(tr)-len(tr)/3])
+	f.Add([]byte("AVR1"))
+	f.Add([]byte("AVR8"))
+	f.Add([]byte{})
+}
+
+// fuzzVals returns a deterministic test signal: smooth (compresses) or
+// bit-noisy (falls back to raw blocks).
+func fuzzVals(n int, smooth bool) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if smooth {
+			out[i] = 100 + math.Sin(float64(i)/30)
+		} else {
+			out[i] = math.Float64frombits(0x9E3779B97F4A7C15 * uint64(i+1))
+		}
+	}
+	return out
+}
+
+// FuzzCodecDecode feeds arbitrary bytes to the fp32 wire-format decoder
+// — the surface avrd exposes to untrusted input. The contract: Decode
+// returns an error or exactly the header's value count; it never panics,
+// and never allocates more output than the input length can justify
+// (the length-header guard caps the result at BlockValues values per
+// minimal block record).
+func FuzzCodecDecode(f *testing.F) {
+	codecFuzzSeeds(f, func(n int, smooth bool) []byte {
+		vals := make([]float32, n)
+		for i, v := range fuzzVals(n, smooth) {
+			vals[i] = float32(v)
+		}
+		enc, err := NewCodec(0).Encode(vals)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return enc
+	})
+
+	c := NewCodec(0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		if len(data) < 8 {
+			t.Fatalf("accepted %d-byte stream", len(data))
+		}
+		count := int(binary.LittleEndian.Uint32(data[4:]))
+		if len(dec) != count {
+			t.Fatalf("decoded %d values, header says %d", len(dec), count)
+		}
+		// Over-allocation guard: output bytes must be proportional to
+		// input bytes (a minimal 66-byte record covers 256 values).
+		if 4*len(dec) > 16*len(data)+4096 {
+			t.Fatalf("decoded %d values from %d input bytes", len(dec), len(data))
+		}
+	})
+}
+
+// FuzzCodecDecode64 is FuzzCodecDecode for the fp64 wire format.
+func FuzzCodecDecode64(f *testing.F) {
+	codecFuzzSeeds(f, func(n int, smooth bool) []byte {
+		enc, err := NewCodec(0).Encode64(fuzzVals(n, smooth))
+		if err != nil {
+			f.Fatal(err)
+		}
+		return enc
+	})
+
+	c := NewCodec(0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := c.Decode64(data)
+		if err != nil {
+			return
+		}
+		if len(data) < 8 {
+			t.Fatalf("accepted %d-byte stream", len(data))
+		}
+		count := int(binary.LittleEndian.Uint32(data[4:]))
+		if len(dec) != count {
+			t.Fatalf("decoded %d values, header says %d", len(dec), count)
+		}
+		if 8*len(dec) > 16*len(data)+4096 {
+			t.Fatalf("decoded %d values from %d input bytes", len(dec), len(data))
+		}
+	})
+}

@@ -45,6 +45,13 @@ func RegisterDebug(fs *flag.FlagSet, dst *string) {
 		"serve expvar and pprof on this address (e.g. localhost:6060); empty disables")
 }
 
+// RegisterT1 installs the -t1 error-threshold flag shared by the codec
+// service commands (avrd, avrload).
+func RegisterT1(fs *flag.FlagSet, dst *float64) {
+	fs.Float64Var(dst, "t1", 0,
+		"per-value relative error threshold in (0,1); 0 selects the experiment default (1/32)")
+}
+
 // ResolveScale maps a -scale value to its workloads constant.
 func ResolveScale(name string) (workloads.Scale, error) {
 	switch name {

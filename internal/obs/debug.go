@@ -28,6 +28,30 @@ var (
 	WorkersBusy = expvar.NewInt("avr.workers_busy")
 )
 
+// Serving-path counters, published by the avrd codec service
+// (internal/server). Same contract as the run counters above: cheap
+// process-global atomics, updated per request, never per value.
+var (
+	// ServerRequests counts codec requests accepted for processing
+	// (admission passed; includes requests that later fail).
+	ServerRequests = expvar.NewInt("avr.server_requests")
+	// ServerEncodes and ServerDecodes count successful codec operations.
+	ServerEncodes = expvar.NewInt("avr.server_encodes")
+	ServerDecodes = expvar.NewInt("avr.server_decodes")
+	// ServerErrors counts requests rejected for malformed input (bad
+	// body, bad stream, bad parameters) or failed mid-operation.
+	ServerErrors = expvar.NewInt("avr.server_errors")
+	// ServerShed counts requests shed by the admission layer (429).
+	ServerShed = expvar.NewInt("avr.server_shed")
+	// ServerInFlight is the number of codec requests currently being
+	// served (queued or executing).
+	ServerInFlight = expvar.NewInt("avr.server_in_flight")
+	// ServerBytesIn/Out count request/response body bytes of successful
+	// codec operations.
+	ServerBytesIn  = expvar.NewInt("avr.server_bytes_in")
+	ServerBytesOut = expvar.NewInt("avr.server_bytes_out")
+)
+
 // ServeDebug starts an HTTP server on addr exposing expvar counters at
 // /debug/vars and the pprof profiling endpoints at /debug/pprof/ for
 // live introspection of long sweeps. It returns the bound address

@@ -150,3 +150,18 @@ func ReconErrorHistogram() *Histogram {
 	return NewHistogram("reconstruction_error", "relative error",
 		[]float64{1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1})
 }
+
+// ServerLatencyHistogram bins codec-service request latency in
+// microseconds, admission queueing included (internal/server).
+func ServerLatencyHistogram() *Histogram {
+	return NewHistogram("server_latency", "µs",
+		[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+			25000, 50000, 100000, 250000, 1e6})
+}
+
+// CodecRatioHistogram bins codec-service requests by achieved
+// compression ratio (original bytes / stream bytes).
+func CodecRatioHistogram() *Histogram {
+	return NewHistogram("codec_ratio", "ratio",
+		[]float64{0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16})
+}

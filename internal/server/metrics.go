@@ -1,0 +1,66 @@
+package server
+
+import (
+	"expvar"
+	"time"
+
+	"avr/internal/obs"
+)
+
+// Serving-path histograms. Process-global like the obs expvar counters
+// (expvar.Publish panics on duplicate names, and avrd runs one service
+// per process); concurrent observers go through the SyncHistogram lock.
+var (
+	latencyHist = obs.NewSyncHistogram(obs.ServerLatencyHistogram())
+	ratioHist   = obs.NewSyncHistogram(obs.CodecRatioHistogram())
+)
+
+func init() {
+	expvar.Publish("avr.server_latency", expvar.Func(func() any {
+		return latencyHist.Summary()
+	}))
+	expvar.Publish("avr.server_ratio", expvar.Func(func() any {
+		return ratioHist.Summary()
+	}))
+}
+
+// observeLatency records one request's service latency (µs buckets).
+func observeLatency(d time.Duration) {
+	latencyHist.Observe(float64(d.Microseconds()))
+}
+
+// Stats is the JSON document served at /v1/stats: the serving-path
+// counters plus histogram snapshots, mirroring the expvar avr.* vars in
+// one fetch.
+type Stats struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Ready         bool        `json:"ready"`
+	Requests      int64       `json:"requests"`
+	Encodes       int64       `json:"encodes"`
+	Decodes       int64       `json:"decodes"`
+	Errors        int64       `json:"errors"`
+	Shed          int64       `json:"shed"`
+	InFlight      int64       `json:"in_flight"`
+	BytesIn       int64       `json:"bytes_in"`
+	BytesOut      int64       `json:"bytes_out"`
+	Latency       obs.Summary `json:"latency"`
+	Ratio         obs.Summary `json:"ratio"`
+}
+
+// snapshotStats collects the current serving-path statistics.
+func (s *Server) snapshotStats() Stats {
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Ready:         s.Ready(),
+		Requests:      obs.ServerRequests.Value(),
+		Encodes:       obs.ServerEncodes.Value(),
+		Decodes:       obs.ServerDecodes.Value(),
+		Errors:        obs.ServerErrors.Value(),
+		Shed:          obs.ServerShed.Value(),
+		InFlight:      obs.ServerInFlight.Value(),
+		BytesIn:       obs.ServerBytesIn.Value(),
+		BytesOut:      obs.ServerBytesOut.Value(),
+		Latency:       latencyHist.Summary(),
+		Ratio:         ratioHist.Summary(),
+	}
+}

@@ -1,0 +1,71 @@
+// Package server implements avrd, the AVR codec service: the fp32/fp64
+// lossy codec exposed over HTTP with per-request error thresholds, a
+// bounded admission layer that sheds load instead of queueing without
+// limit, pooled codecs (a Codec is not concurrency-safe), and graceful
+// drain. cmd/avrd is the daemon entry point; cmd/avrload drives it.
+package server
+
+import (
+	"sync"
+
+	"avr"
+)
+
+// CodecPool hands out *avr.Codec instances keyed by their t1 error
+// threshold. A Codec is not safe for concurrent use — its compressor
+// carries scratch buffers reused across Encode calls — so the server
+// borrows one codec per request and returns it afterwards. sync.Pool
+// keeps steady-state churn at zero while letting idle codecs be
+// reclaimed under memory pressure; the handoff through the pool is the
+// synchronization point that makes cross-goroutine reuse race-clean.
+type CodecPool struct {
+	mu    sync.RWMutex
+	pools map[float64]*sync.Pool
+}
+
+// NewCodecPool creates an empty pool.
+func NewCodecPool() *CodecPool {
+	return &CodecPool{pools: make(map[float64]*sync.Pool)}
+}
+
+// normT1 maps the "use the default" sentinel onto the concrete default
+// threshold so both spellings share one pool bucket.
+func normT1(t1 float64) float64 {
+	if t1 <= 0 {
+		t1, _ = avr.DefaultThresholds()
+	}
+	return t1
+}
+
+// Get borrows a codec configured with per-value threshold t1
+// (non-positive selects the experiment default). Pair with Put.
+func (p *CodecPool) Get(t1 float64) *avr.Codec {
+	t1 = normT1(t1)
+	p.mu.RLock()
+	sp := p.pools[t1]
+	p.mu.RUnlock()
+	if sp == nil {
+		p.mu.Lock()
+		if sp = p.pools[t1]; sp == nil {
+			sp = &sync.Pool{New: func() any { return avr.NewCodec(t1) }}
+			p.pools[t1] = sp
+		}
+		p.mu.Unlock()
+	}
+	return sp.Get().(*avr.Codec)
+}
+
+// Put returns a codec borrowed with Get(t1). The caller must not use c
+// after Put.
+func (p *CodecPool) Put(t1 float64, c *avr.Codec) {
+	if c == nil {
+		return
+	}
+	t1 = normT1(t1)
+	p.mu.RLock()
+	sp := p.pools[t1]
+	p.mu.RUnlock()
+	if sp != nil {
+		sp.Put(c)
+	}
+}

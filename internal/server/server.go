@@ -1,0 +1,403 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"avr/internal/obs"
+)
+
+// Config tunes the codec service. The zero value of any field selects
+// its default.
+type Config struct {
+	// Workers caps concurrent codec operations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps requests waiting for a worker slot; arrivals
+	// beyond it are shed with 429 (default 4×Workers).
+	QueueDepth int
+	// MaxBodyBytes caps request bodies; larger bodies get 413
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// QueueTimeout bounds how long a request may wait for a worker slot
+	// before being shed with 503 (default 2s). The request's own
+	// context (client disconnect) also cancels the wait.
+	QueueTimeout time.Duration
+	// T1 is the per-value error threshold for requests that do not pass
+	// ?t1= (non-positive selects the experiment default, 1/32).
+	T1 float64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Server is the avrd codec service: HTTP handlers over a pooled codec
+// set behind a bounded worker/queue admission layer.
+//
+// Endpoints:
+//
+//	POST /v1/encode   raw little-endian values in (fp32, or fp64 with
+//	                  ?width=64), AVR stream out; ?t1= overrides the
+//	                  error threshold per request
+//	POST /v1/decode   AVR stream in (AVR1/AVR8 sniffed from the magic),
+//	                  raw little-endian values out
+//	GET  /v1/stats    serving-path counters and histograms as JSON
+//	GET  /healthz     process liveness (always 200)
+//	GET  /readyz      load-balancer readiness (503 once draining)
+type Server struct {
+	cfg  Config
+	pool *CodecPool
+	mux  *http.ServeMux
+	http *http.Server
+
+	// slots is the worker semaphore: holding a token = executing.
+	slots chan struct{}
+	// queued counts requests waiting for a token; bounded by QueueDepth.
+	queued   atomic.Int64
+	draining atomic.Bool
+	start    time.Time
+}
+
+// New creates a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  NewCodecPool(),
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.Workers),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/encode", s.handleEncode)
+	s.mux.HandleFunc("POST /v1/decode", s.handleDecode)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(ln net.Listener) error { return s.http.Serve(ln) }
+
+// Shutdown drains the server gracefully: readiness flips to 503 so load
+// balancers stop sending traffic, in-flight requests (queued included)
+// run to completion, and new connections are refused. It returns when
+// everything in flight has finished or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.http.Shutdown(ctx)
+}
+
+// Ready reports whether the server is accepting traffic (false once
+// draining).
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// errQueueFull is sent as 429: the admission queue is at capacity.
+var errQueueFull = errors.New("server: admission queue full")
+
+// acquire claims a worker slot, waiting in the bounded admission queue
+// if none is free. It returns errQueueFull when the queue is at
+// capacity (shed immediately — this is the backpressure signal) and
+// ctx.Err() when the wait outlives the request. On nil return the
+// caller must release().
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// fail records and writes one error response.
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	obs.ServerErrors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// shed writes the backpressure response: 429 plus a Retry-After hint
+// sized to the configured queue wait.
+func (s *Server) shed(w http.ResponseWriter) {
+	obs.ServerShed.Add(1)
+	secs := int(s.cfg.QueueTimeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "codec queue full, retry later", http.StatusTooManyRequests)
+}
+
+// parseT1 resolves the per-request error threshold: ?t1= in (0,1), or
+// the server default when absent.
+func (s *Server) parseT1(r *http.Request) (float64, error) {
+	q := r.URL.Query().Get("t1")
+	if q == "" {
+		return s.cfg.T1, nil
+	}
+	t1, err := strconv.ParseFloat(q, 64)
+	if err != nil || math.IsNaN(t1) || t1 <= 0 || t1 >= 1 {
+		return 0, fmt.Errorf("bad t1 %q: want a value in (0,1)", q)
+	}
+	return t1, nil
+}
+
+// readBody slurps the size-capped request body. A limit overrun
+// surfaces as *http.MaxBytesError.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+	return io.ReadAll(body)
+}
+
+// handleEncode serves POST /v1/encode: raw little-endian values in, AVR
+// stream out.
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	obs.ServerInFlight.Add(1)
+	defer obs.ServerInFlight.Add(-1)
+
+	t1, err := s.parseT1(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	width := 32
+	if q := r.URL.Query().Get("width"); q != "" {
+		width, err = strconv.Atoi(q)
+		if err != nil || (width != 32 && width != 64) {
+			fail(w, http.StatusBadRequest, "bad width %q: want 32 or 64", q)
+			return
+		}
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			fail(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			fail(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return
+	}
+	if len(body)%(width/8) != 0 {
+		fail(w, http.StatusBadRequest,
+			"body length %d not a multiple of %d-bit values", len(body), width)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.shed(w)
+		} else {
+			obs.ServerShed.Add(1)
+			http.Error(w, "timed out waiting for a codec worker",
+				http.StatusServiceUnavailable)
+		}
+		return
+	}
+	defer s.release()
+	obs.ServerRequests.Add(1)
+
+	codec := s.pool.Get(t1)
+	var enc []byte
+	var nvals int
+	if width == 32 {
+		vals := bytesToF32(body)
+		nvals = len(vals)
+		enc, err = codec.Encode(vals)
+	} else {
+		vals := bytesToF64(body)
+		nvals = len(vals)
+		enc, err = codec.Encode64(vals)
+	}
+	s.pool.Put(t1, codec)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+
+	ratio := float64(len(body)) / float64(len(enc))
+	ratioHist.Observe(ratio)
+	obs.ServerEncodes.Add(1)
+	obs.ServerBytesIn.Add(int64(len(body)))
+	obs.ServerBytesOut.Add(int64(len(enc)))
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-AVR-Values", strconv.Itoa(nvals))
+	w.Header().Set("X-AVR-Ratio", strconv.FormatFloat(ratio, 'f', 3, 64))
+	w.Write(enc)
+	observeLatency(time.Since(t0))
+}
+
+// handleDecode serves POST /v1/decode: AVR stream in (format sniffed
+// from the magic), raw little-endian values out.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	obs.ServerInFlight.Add(1)
+	defer obs.ServerInFlight.Add(-1)
+
+	body, err := s.readBody(w, r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			fail(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			fail(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.shed(w)
+		} else {
+			obs.ServerShed.Add(1)
+			http.Error(w, "timed out waiting for a codec worker",
+				http.StatusServiceUnavailable)
+		}
+		return
+	}
+	defer s.release()
+	obs.ServerRequests.Add(1)
+
+	// Decoding is threshold-independent; any pooled codec serves.
+	codec := s.pool.Get(s.cfg.T1)
+	var out []byte
+	switch {
+	case len(body) >= 4 && string(body[:4]) == "AVR1":
+		vals, derr := codec.Decode(body)
+		err = derr
+		if err == nil {
+			out = f32ToBytes(vals)
+		}
+	case len(body) >= 4 && string(body[:4]) == "AVR8":
+		vals, derr := codec.Decode64(body)
+		err = derr
+		if err == nil {
+			out = f64ToBytes(vals)
+		}
+	default:
+		err = errors.New("unrecognised stream magic (want AVR1 or AVR8)")
+	}
+	s.pool.Put(s.cfg.T1, codec)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+
+	obs.ServerDecodes.Add(1)
+	obs.ServerBytesIn.Add(int64(len(body)))
+	obs.ServerBytesOut.Add(int64(len(out)))
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+	observeLatency(time.Since(t0))
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshotStats())
+}
+
+// handleHealthz serves GET /healthz: the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz serves GET /readyz: 200 while accepting traffic, 503
+// once draining so load balancers rotate the instance out.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// Wire conversions: the HTTP body formats are raw little-endian values,
+// matching the codec's internal layout.
+
+func bytesToF32(b []byte) []float32 {
+	vals := make([]float32, len(b)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return vals
+}
+
+func f32ToBytes(vals []float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+func bytesToF64(b []byte) []float64 {
+	vals := make([]float64, len(b)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}
+
+func f64ToBytes(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}

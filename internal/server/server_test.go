@@ -1,0 +1,392 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"avr"
+	"avr/internal/workloads"
+)
+
+// testServer wires a Server into httptest. The returned Server is the
+// same instance behind the test listener, so white-box tests can reach
+// the admission internals.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func f32Payload(t *testing.T, dist string, n int, seed uint64) ([]float32, []byte) {
+	t.Helper()
+	vals, err := workloads.GenFloat32(dist, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	return vals, b
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestEncodeDecodeRoundTripMatchesDirectCodec(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	vals, payload := f32Payload(t, "heat", 4096, 1)
+
+	resp, enc := post(t, ts.URL+"/v1/encode", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode status %d: %s", resp.StatusCode, enc)
+	}
+	c := avr.NewCodec(0)
+	wantEnc, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, wantEnc) {
+		t.Fatalf("server encode differs from direct codec (%d vs %d bytes)", len(enc), len(wantEnc))
+	}
+	if got := resp.Header.Get("X-AVR-Values"); got != "4096" {
+		t.Errorf("X-AVR-Values = %q", got)
+	}
+
+	resp, dec := post(t, ts.URL+"/v1/decode", enc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode status %d: %s", resp.StatusCode, dec)
+	}
+	wantVals, err := c.Decode(wantEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDec := make([]byte, 4*len(wantVals))
+	for i, v := range wantVals {
+		binary.LittleEndian.PutUint32(wantDec[4*i:], math.Float32bits(v))
+	}
+	if !bytes.Equal(dec, wantDec) {
+		t.Fatal("server decode differs from direct codec")
+	}
+}
+
+func TestEncodeDecode64RoundTrip(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	vals, err := workloads.GenFloat64("wave", 1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(v))
+	}
+	resp, enc := post(t, ts.URL+"/v1/encode?width=64", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("encode status %d: %s", resp.StatusCode, enc)
+	}
+	wantEnc, err := avr.NewCodec(0).Encode64(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, wantEnc) {
+		t.Fatal("server encode64 differs from direct codec")
+	}
+	resp, dec := post(t, ts.URL+"/v1/decode", enc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode status %d", resp.StatusCode)
+	}
+	if len(dec) != 8*len(vals) {
+		t.Fatalf("decoded %d bytes, want %d", len(dec), 8*len(vals))
+	}
+}
+
+func TestPerRequestThreshold(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	// Noisy-ish signal so the threshold matters.
+	_, payload := f32Payload(t, "mixed", 4096, 3)
+	_, loose := post(t, ts.URL+"/v1/encode?t1=0.125", payload)
+	_, tight := post(t, ts.URL+"/v1/encode?t1=0.00390625", payload)
+	if len(loose) >= len(tight) {
+		t.Errorf("loose t1 stream (%d B) not smaller than tight (%d B)", len(loose), len(tight))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	_, payload := f32Payload(t, "heat", 256, 1)
+	cases := []struct {
+		name, url string
+		body      []byte
+		want      int
+	}{
+		{"bad t1", ts.URL + "/v1/encode?t1=2", payload, http.StatusBadRequest},
+		{"bad t1 syntax", ts.URL + "/v1/encode?t1=abc", payload, http.StatusBadRequest},
+		{"bad width", ts.URL + "/v1/encode?width=16", payload, http.StatusBadRequest},
+		{"misaligned body", ts.URL + "/v1/encode", payload[:5], http.StatusBadRequest},
+		{"decode garbage", ts.URL + "/v1/decode", []byte("not a stream"), http.StatusBadRequest},
+		{"decode truncated", ts.URL + "/v1/decode", []byte("AVR1\xff\xff\xff\xff"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, tc.url, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+	// Method enforcement comes from the Go 1.22 mux patterns.
+	resp, err := http.Get(ts.URL + "/v1/encode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/encode: status %d want 405", resp.StatusCode)
+	}
+}
+
+func TestOversizedBodyGets413(t *testing.T) {
+	_, ts := testServer(t, Config{MaxBodyBytes: 1024})
+	_, payload := f32Payload(t, "heat", 1024, 1) // 4 KiB > 1 KiB cap
+	resp, _ := post(t, ts.URL+"/v1/encode", payload)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/v1/decode", payload)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("decode status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestQueueFullSheds429(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 1, QueueTimeout: 5 * time.Second})
+	_, payload := f32Payload(t, "heat", 256, 1)
+
+	// Occupy the only worker slot so requests queue.
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+
+	// Fill the queue's single seat.
+	queuedDone := make(chan struct{})
+	go func() {
+		defer close(queuedDone)
+		resp, _ := post(t, ts.URL+"/v1/encode", payload)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("queued request finished with %d, want 200", resp.StatusCode)
+		}
+	}()
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	// Queue at capacity: the next arrival must shed with 429+Retry-After.
+	resp, _ := post(t, ts.URL+"/v1/encode", payload)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Free the slot; the queued request must complete.
+	<-s.slots
+	select {
+	case <-queuedDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never completed after slot release")
+	}
+	s.slots <- struct{}{} // restore for the deferred release
+}
+
+func TestQueueTimeoutSheds503(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 4, QueueTimeout: 50 * time.Millisecond})
+	_, payload := f32Payload(t, "heat", 256, 1)
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	resp, _ := post(t, ts.URL+"/v1/encode", payload)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHealthzReadyzAndDrain(t *testing.T) {
+	s := New(Config{Workers: 1, QueueTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	waitFor(t, func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return true
+	})
+	if c := get("/healthz"); c != http.StatusOK {
+		t.Fatalf("healthz %d", c)
+	}
+	if c := get("/readyz"); c != http.StatusOK {
+		t.Fatalf("readyz %d", c)
+	}
+
+	// Park one request in the admission queue, then drain: readiness
+	// must flip, the in-flight request must complete, and Shutdown must
+	// return only after it has.
+	_, payload := f32Payload(t, "heat", 256, 1)
+	s.slots <- struct{}{}
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/encode", "application/octet-stream", bytes.NewReader(payload))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	waitFor(t, func() bool { return !s.Ready() })
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	<-s.slots // free the worker: the parked request now runs
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain, want 200", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	_, payload := f32Payload(t, "heat", 1024, 1)
+	post(t, ts.URL+"/v1/encode", payload)
+
+	resp, body := post(t, ts.URL+"/v1/decode", []byte("junk"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk decode: %d (%s)", resp.StatusCode, body)
+	}
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	// Counters are process-global; assert floors, not exact values.
+	if st.Requests < 1 || st.Encodes < 1 || st.Errors < 1 {
+		t.Errorf("stats floors not met: %+v", st)
+	}
+	if st.Latency.Count < 1 {
+		t.Error("latency histogram empty after a successful request")
+	}
+	if st.Ratio.Count < 1 {
+		t.Error("ratio histogram empty after a successful encode")
+	}
+	if !st.Ready {
+		t.Error("stats says not ready on a live server")
+	}
+}
+
+// TestConcurrentRoundTripsRaceClean hammers one server from many
+// goroutines so `go test -race` exercises codecs crossing goroutines
+// through the pool, admission accounting, and the metrics path. Every
+// response is still checked against the direct codec.
+func TestConcurrentRoundTripsRaceClean(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2, QueueDepth: 64, QueueTimeout: 10 * time.Second})
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals, payload := f32Payload(t, "heat", 1024, uint64(g)+1)
+			want, err := avr.NewCodec(0).Encode(vals)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(ts.URL+"/v1/encode", "application/octet-stream", bytes.NewReader(payload))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				enc, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+					return
+				}
+				if !bytes.Equal(enc, want) {
+					t.Errorf("goroutine %d: encode differs from direct codec", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

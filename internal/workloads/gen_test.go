@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	for _, dist := range Distributions() {
+		a, err := GenFloat32(dist, 2048, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		b, _ := GenFloat32(dist, 2048, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: value %d differs across same-seed runs", dist, i)
+			}
+		}
+		c, _ := GenFloat32(dist, 2048, 43)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Errorf("%s: seed has no effect", dist)
+		}
+	}
+}
+
+func TestGenUnknownDistribution(t *testing.T) {
+	if _, err := GenFloat32("zipf", 16, 1); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := GenFloat64("", 16, 1); err == nil {
+		t.Error("empty distribution accepted")
+	}
+}
+
+func TestGenLengthsAndFiniteness(t *testing.T) {
+	for _, dist := range Distributions() {
+		for _, n := range []int{0, 1, 255, 256, 4096} {
+			v, err := GenFloat64(dist, n, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(v) != n {
+				t.Fatalf("%s n=%d: got %d values", dist, n, len(v))
+			}
+			for i, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("%s: value %d is %v", dist, i, x)
+				}
+			}
+		}
+	}
+}
+
+// smoothness is mean |v[i+1]-v[i]| over mean |v|: low for fields with
+// value locality, high for iid noise. It proxies AVR compressibility
+// without importing the codec (the root package depends on workloads).
+func smoothness(v []float64) float64 {
+	var dsum, vsum float64
+	for i := range v {
+		vsum += math.Abs(v[i])
+		if i > 0 {
+			dsum += math.Abs(v[i] - v[i-1])
+		}
+	}
+	if vsum == 0 {
+		return 0
+	}
+	return (dsum / float64(len(v)-1)) / (vsum / float64(len(v)))
+}
+
+func TestGenSmoothDistributionsHaveValueLocality(t *testing.T) {
+	for _, dist := range []string{"heat", "ramp", "wave"} {
+		v, err := GenFloat64(dist, 8192, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := smoothness(v); s > 0.05 {
+			t.Errorf("%s: smoothness %.4f, want < 0.05 (compressible)", dist, s)
+		}
+	}
+	v, _ := GenFloat64("normal", 8192, 11)
+	if s := smoothness(v); s < 0.5 {
+		t.Errorf("normal: smoothness %.4f, want > 0.5 (incompressible)", s)
+	}
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# scripts/serve_smoke.sh — end-to-end smoke of the serving stack: build
+# avrd + avrload, start the daemon on an ephemeral port, run a short
+# verified load (avrload exits non-zero when no request succeeds or any
+# response mismatches the direct codec), then check graceful SIGTERM
+# drain. A CI gate, not a benchmark — see EXPERIMENTS.md for the
+# recorded load baseline workflow.
+#
+# Usage: scripts/serve_smoke.sh [duration] [concurrency]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${1:-2s}"
+CONC="${2:-8}"
+
+TMP="$(mktemp -d)"
+AVRD_PID=""
+cleanup() {
+    [ -n "$AVRD_PID" ] && kill "$AVRD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/avrd" ./cmd/avrd
+go build -o "$TMP/avrload" ./cmd/avrload
+
+"$TMP/avrd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" &
+AVRD_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$TMP/addr" ] && break
+    sleep 0.1
+done
+[ -s "$TMP/addr" ] || { echo "avrd never wrote its address"; exit 1; }
+ADDR="$(cat "$TMP/addr")"
+echo "avrd up on $ADDR"
+
+curl -sf "http://$ADDR/healthz" > /dev/null
+curl -sf "http://$ADDR/readyz" > /dev/null
+
+"$TMP/avrload" -addr "$ADDR" -c "$CONC" -duration "$DURATION" -values 4096 -dist heat
+
+# expvar counters must be visible on the service's own stats endpoint.
+curl -sf "http://$ADDR/v1/stats" | grep -q '"encodes"'
+
+# Graceful drain: SIGTERM must exit 0 after completing in-flight work.
+kill -TERM "$AVRD_PID"
+wait "$AVRD_PID"
+AVRD_PID=""
+echo "serve smoke OK (graceful drain clean)"
