@@ -12,6 +12,14 @@
 //	curl -s --data-binary @out.avr localhost:8080/v1/decode > approx.f32le
 //	curl -s localhost:8080/v1/stats | jq .latency
 //
+// With -store-dir the daemon also serves the persistent approximate
+// block store (internal/store) at /v1/store/{put,get,key,stats}:
+//
+//	avrd -addr localhost:8080 -store-dir /var/lib/avr
+//	curl -s -X PUT --data-binary @values.f32le 'localhost:8080/v1/store/put?key=temps'
+//	curl -s 'localhost:8080/v1/store/get?key=temps' > approx.f32le
+//	curl -s localhost:8080/v1/store/stats | jq .achieved_ratio
+//
 // With -addr :0 the bound address is printed on startup and, with
 // -addr-file, written to a file for scripts (see scripts/serve_smoke.sh).
 package main
@@ -31,6 +39,7 @@ import (
 
 	"avr/internal/cliutil"
 	"avr/internal/server"
+	"avr/internal/store"
 )
 
 func main() {
@@ -41,6 +50,11 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes (413 above)")
 	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for a codec worker before 503")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	storeDir := flag.String("store-dir", "", "enable the persistent block store rooted at this directory (/v1/store/*)")
+	storeRatioFloor := flag.Float64("store-ratio-floor", 0, "min AVR compression ratio before a block falls back to lossless; 0 = default")
+	storeSegmentBytes := flag.Int64("store-segment-bytes", 0, "segment roll size in bytes; 0 = default (64 MiB)")
+	storeCompactEvery := flag.Duration("store-compact-interval", 30*time.Second, "background compaction cadence; 0 disables the worker")
+	storeSync := flag.Bool("store-sync", false, "fsync the active segment after every put (durability over throughput)")
 	var t1 float64
 	cliutil.RegisterT1(flag.CommandLine, &t1)
 	var debugAddr string
@@ -49,12 +63,36 @@ func main() {
 
 	cliutil.StartDebug(debugAddr)
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		// The store runs at the same quantized threshold the codec pool
+		// serves, so clients verifying against the grid (avrload) see one
+		// consistent bound across /v1/encode and /v1/store.
+		st, err = store.Open(store.Config{
+			Dir:                *storeDir,
+			T1:                 server.QuantizeT1(t1),
+			RatioFloor:         *storeRatioFloor,
+			SegmentTargetBytes: *storeSegmentBytes,
+			CompactEvery:       *storeCompactEvery,
+			SyncEveryPut:       *storeSync,
+		})
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		slog.Info("store open", "dir", *storeDir, "keys", stats.Keys,
+			"segments", stats.Segments, "disk_bytes", stats.DiskBytes)
+	}
+
 	srv := server.New(server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		QueueTimeout: *queueTimeout,
 		T1:           t1,
+		Store:        st,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -11,8 +11,14 @@
 //	avrload -addr localhost:8080 -c 32 -duration 30s -values 4096 -dist heat
 //	avrload -addr-file /tmp/avrd.addr -c 8 -duration 2s   # scripted (CI smoke)
 //
+// With -mode store the loop targets the persistent block store instead
+// (avrd -store-dir): each connection owns one key and loops put→get,
+// verifying every returned value is within the error threshold of what
+// it stored — approximate durability checked end to end.
+//
 // Exit status: 0 on a clean run; 1 when no request succeeded or any
-// response mismatched the local codec (corruption).
+// response mismatched the local codec / exceeded the error bound
+// (corruption).
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 
 	"avr"
 	"avr/internal/cliutil"
+	"avr/internal/server"
 	"avr/internal/workloads"
 )
 
@@ -44,6 +51,7 @@ func main() {
 	dist := flag.String("dist", "heat", "value distribution: "+strings.Join(workloads.Distributions(), ", "))
 	width := flag.Int("width", 32, "value width in bits: 32 or 64")
 	verify := flag.Bool("verify", true, "check every response byte-for-byte against a local codec")
+	mode := flag.String("mode", "codec", "traffic shape: codec (encode→decode) or store (put→get against /v1/store)")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON (for recorded baselines)")
 	var t1 float64
 	cliutil.RegisterT1(flag.CommandLine, &t1)
@@ -58,6 +66,9 @@ func main() {
 	}
 	if *width != 32 && *width != 64 {
 		cliutil.Fatal(fmt.Errorf("bad -width %d: want 32 or 64", *width))
+	}
+	if *mode != "codec" && *mode != "store" {
+		cliutil.Fatal(fmt.Errorf("bad -mode %q: want codec or store", *mode))
 	}
 	base := "http://" + *addr
 
@@ -77,6 +88,7 @@ func main() {
 		if err != nil {
 			cliutil.Fatal(err)
 		}
+		sp.key = fmt.Sprintf("load-%d", i)
 		specs[i] = sp
 	}
 
@@ -88,13 +100,23 @@ func main() {
 		wg.Add(1)
 		go func(i int, sp *workerSpec) {
 			defer wg.Done()
-			results[i] = sp.run(client, base, deadline, *verify)
+			if *mode == "store" {
+				results[i] = sp.runStore(client, base, deadline, *verify)
+			} else {
+				results[i] = sp.run(client, base, deadline, *verify)
+			}
 		}(i, sp)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	sum := summarize(results, elapsed, *conc, *values, *width, *dist, t1)
+	sum.Mode = *mode
+	if *mode == "store" {
+		// The wire accounting cannot see the stored size (puts and gets
+		// both move raw bytes); ask the daemon for the achieved ratio.
+		sum.EncodeRatio = fetchStoreRatio(client, base)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -111,6 +133,8 @@ func main() {
 // truth its responses are verified against.
 type workerSpec struct {
 	t1      float64
+	t1eff   float64 // resolved threshold (default applied) for bound checks
+	key     string  // store-mode key owned by this connection
 	width   int
 	payload []byte // raw little-endian values (encode request body)
 	wantEnc []byte // local Codec.Encode of payload
@@ -119,7 +143,11 @@ type workerSpec struct {
 
 func newWorkerSpec(dist string, values, width int, t1 float64, seed uint64) (*workerSpec, error) {
 	sp := &workerSpec{t1: t1, width: width}
-	c := avr.NewCodec(t1)
+	// The daemon quantizes thresholds onto the codec-pool grid; the
+	// local reference codec must do the same or byte-verification fails
+	// for off-grid -t1 values.
+	sp.t1eff = server.QuantizeT1(t1)
+	c := avr.NewCodec(sp.t1eff)
 	if width == 32 {
 		vals, err := workloads.GenFloat32(dist, values, seed)
 		if err != nil {
@@ -201,6 +229,103 @@ func (sp *workerSpec) run(client *http.Client, base string, deadline time.Time, 
 	return res
 }
 
+// runStore loops put→get against the block store until the deadline,
+// checking every returned value against the stored one at the error
+// threshold. Lossless-fallback blocks come back exact, AVR blocks within
+// t1, so one bound covers both.
+func (sp *workerSpec) runStore(client *http.Client, base string, deadline time.Time, verify bool) *workerResult {
+	res := &workerResult{}
+	putURL := fmt.Sprintf("%s/v1/store/put?key=%s&width=%d", base, sp.key, sp.width)
+	getURL := fmt.Sprintf("%s/v1/store/get?key=%s", base, sp.key)
+	for time.Now().Before(deadline) {
+		if _, ok := sp.post(client, putURL, sp.payload, res); !ok {
+			continue
+		}
+		got, ok := sp.get(client, getURL, res)
+		if !ok {
+			continue
+		}
+		if verify && !sp.withinBound(got) {
+			res.corrupt++
+		}
+	}
+	return res
+}
+
+// get fetches one stored vector, with the same outcome classification as
+// post.
+func (sp *workerSpec) get(client *http.Client, url string, res *workerResult) ([]byte, bool) {
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		res.errs++
+		time.Sleep(10 * time.Millisecond)
+		return nil, false
+	}
+	out, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	// A 206 (torn vector) is corruption here: this process wrote the
+	// vector moments ago and nothing crashed.
+	case resp.StatusCode == http.StatusOK && rerr == nil:
+		res.ok++
+		res.lat = append(res.lat, time.Since(t0).Seconds())
+		res.bytesDown += int64(len(out))
+		return out, true
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable:
+		res.shed++
+		time.Sleep(time.Millisecond)
+	default:
+		res.errs++
+	}
+	return nil, false
+}
+
+// withinBound checks a store get response value-by-value against the
+// put payload: same length, every value within the relative error
+// threshold.
+func (sp *workerSpec) withinBound(got []byte) bool {
+	if len(got) != len(sp.payload) {
+		return false
+	}
+	n := len(got) / (sp.width / 8)
+	for i := 0; i < n; i++ {
+		var g, w float64
+		if sp.width == 32 {
+			g = float64(math.Float32frombits(binary.LittleEndian.Uint32(got[4*i:])))
+			w = float64(math.Float32frombits(binary.LittleEndian.Uint32(sp.payload[4*i:])))
+		} else {
+			g = math.Float64frombits(binary.LittleEndian.Uint64(got[8*i:]))
+			w = math.Float64frombits(binary.LittleEndian.Uint64(sp.payload[8*i:]))
+		}
+		if math.Abs(g-w) > sp.t1eff*math.Abs(w)*(1+1e-9) {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchStoreRatio reads the achieved compression ratio from the
+// daemon's store stats (0 when unavailable).
+func fetchStoreRatio(client *http.Client, base string) float64 {
+	resp, err := client.Get(base + "/v1/store/stats")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var st struct {
+		AchievedRatio float64 `json:"achieved_ratio"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return 0
+	}
+	return st.AchievedRatio
+}
+
 // post sends one request and classifies the outcome: (body, true) on
 // 200, shed/error counting otherwise.
 func (sp *workerSpec) post(client *http.Client, url string, body []byte, res *workerResult) ([]byte, bool) {
@@ -233,6 +358,7 @@ func (sp *workerSpec) post(client *http.Client, url string, body []byte, res *wo
 // summary is the final report (and the -json document).
 type summary struct {
 	Addr        string  `json:"-"`
+	Mode        string  `json:"mode"`
 	Concurrency int     `json:"concurrency"`
 	Duration    float64 `json:"duration_seconds"`
 	Values      int     `json:"values_per_request"`
@@ -316,8 +442,8 @@ func percentile(sorted []float64, p float64) float64 {
 }
 
 func (s summary) print(base string) {
-	fmt.Printf("avrload: %.1fs @ %d conns against %s (%d × fp%d, dist %s, t1 %g)\n",
-		s.Duration, s.Concurrency, base, s.Values, s.Width, s.Dist, s.T1)
+	fmt.Printf("avrload: %s mode, %.1fs @ %d conns against %s (%d × fp%d, dist %s, t1 %g)\n",
+		s.Mode, s.Duration, s.Concurrency, base, s.Values, s.Width, s.Dist, s.T1)
 	fmt.Printf("  requests:   %d ok, %d shed (%.2f%%), %d errors, %d corrupt\n",
 		s.OK, s.Shed, 100*s.ShedRate, s.Errors, s.Corrupt)
 	fmt.Printf("  throughput: %.1f req/s, %.1f MB/s up, %.1f MB/s down\n",
@@ -325,13 +451,21 @@ func (s summary) print(base string) {
 	fmt.Printf("  latency:    p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 		s.P50ms, s.P90ms, s.P99ms, s.MaxMs)
 	if s.EncodeRatio > 0 {
-		fmt.Printf("  ratio:      %.2f:1 achieved on the encode path\n", s.EncodeRatio)
+		if s.Mode == "store" {
+			fmt.Printf("  ratio:      %.2f:1 achieved on disk (store stats)\n", s.EncodeRatio)
+		} else {
+			fmt.Printf("  ratio:      %.2f:1 achieved on the encode path\n", s.EncodeRatio)
+		}
 	}
 	switch {
+	case s.Corrupt > 0 && s.Mode == "store":
+		fmt.Printf("  VERIFY FAILED: %d gets beyond the t1 bound\n", s.Corrupt)
 	case s.Corrupt > 0:
 		fmt.Printf("  VERIFY FAILED: %d responses differ from the direct codec\n", s.Corrupt)
 	case s.OK == 0:
 		fmt.Println("  FAILED: no successful requests")
+	case s.Mode == "store":
+		fmt.Println("  verify:     every get within the t1 bound of its put")
 	default:
 		fmt.Println("  verify:     all responses byte-identical to the direct codec")
 	}

@@ -1,0 +1,345 @@
+// Command avrstore packs, inspects and verifies persistent approximate
+// block stores (internal/store) offline — the operational face of the
+// store that scripts/store_smoke.sh and the crash-safety drills use.
+//
+// Subcommands:
+//
+//	avrstore pack -dir D -keys 8 -values 100000 -dist heat [-width 64] [-t1 X]
+//	    Generate workload vectors, put them, and record a manifest
+//	    (manifest.json in the store directory) naming each key's
+//	    generator and seed so verify can regenerate the ground truth.
+//
+//	avrstore inspect -dir D [-blocks]
+//	    Print the store's stats snapshot as JSON; -blocks adds the
+//	    per-key block layout.
+//
+//	avrstore verify -dir D [-allow-partial]
+//	    Reopen the store, regenerate every manifest vector, and check
+//	    each get: every value within the store's t1, bit-exact where the
+//	    block table says the block was stored lossless. -allow-partial
+//	    accepts vectors truncated by a crash (the recovered prefix must
+//	    still verify) — without it any incomplete vector fails.
+//
+//	avrstore compact -dir D
+//	    Run compaction passes until no segment qualifies, printing each
+//	    pass's result.
+//
+// Exit status: 0 on success, 1 on any verification failure or error.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"avr/internal/cliutil"
+	"avr/internal/store"
+	"avr/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "pack":
+		err = cmdPack(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: avrstore {pack|inspect|verify|compact} [flags]")
+	os.Exit(2)
+}
+
+// manifest records what pack wrote, so verify can regenerate the exact
+// ground truth without storing it.
+type manifest struct {
+	Width   int             `json:"width"`
+	T1      float64         `json:"t1"`
+	Entries []manifestEntry `json:"entries"`
+}
+
+type manifestEntry struct {
+	Key    string `json:"key"`
+	Dist   string `json:"dist"`
+	Seed   uint64 `json:"seed"`
+	Values int    `json:"values"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+func cmdPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	keys := fs.Int("keys", 8, "number of keys to write")
+	values := fs.Int("values", 100000, "values per key")
+	dist := fs.String("dist", "heat", "value distribution: "+strings.Join(workloads.Distributions(), ", ")+", or mixed-all to cycle")
+	width := fs.Int("width", 32, "value width in bits: 32 or 64")
+	seed := fs.Uint64("seed", 1, "base generator seed (key i uses seed+i)")
+	sync := fs.Bool("sync", false, "fsync after every put")
+	var t1 float64
+	cliutil.RegisterT1(fs, &t1)
+	fs.Parse(args)
+	if *dir == "" {
+		return errors.New("pack: -dir is required")
+	}
+	if *width != 32 && *width != 64 {
+		return fmt.Errorf("pack: bad -width %d", *width)
+	}
+
+	s, err := store.Open(store.Config{Dir: *dir, T1: t1, SyncEveryPut: *sync})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	dists := []string{*dist}
+	if *dist == "mixed-all" {
+		dists = workloads.Distributions()
+	}
+	m := manifest{Width: *width, T1: s.T1()}
+	for i := 0; i < *keys; i++ {
+		e := manifestEntry{
+			Key:    fmt.Sprintf("pack-%04d", i),
+			Dist:   dists[i%len(dists)],
+			Seed:   *seed + uint64(i),
+			Values: *values,
+		}
+		var res store.PutResult
+		if *width == 32 {
+			vals, gerr := workloads.GenFloat32(e.Dist, e.Values, e.Seed)
+			if gerr != nil {
+				return gerr
+			}
+			res, err = s.Put32(e.Key, vals)
+		} else {
+			vals, gerr := workloads.GenFloat64(e.Dist, e.Values, e.Seed)
+			if gerr != nil {
+				return gerr
+			}
+			res, err = s.Put64(e.Key, vals)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("packed %s: %d values (%s), %d blocks (%d lossless), ratio %.2f\n",
+			e.Key, res.Values, e.Dist, res.Blocks, res.LosslessBlocks, res.Ratio)
+		m.Entries = append(m.Entries, e)
+	}
+
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(manifestPath(*dir), append(mb, '\n'), 0o644); err != nil {
+		return err
+	}
+	st := s.Stats()
+	fmt.Printf("packed %d keys: %.2f:1 on disk, %d segments, %d flagged blocks\n",
+		len(m.Entries), st.AchievedRatio, st.Segments, st.FlaggedBlocks)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	blocks := fs.Bool("blocks", false, "include the per-key block layout")
+	var t1 float64
+	cliutil.RegisterT1(fs, &t1)
+	fs.Parse(args)
+	if *dir == "" {
+		return errors.New("inspect: -dir is required")
+	}
+
+	s, err := store.Open(store.Config{Dir: *dir, T1: t1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	out := struct {
+		store.Stats
+		Blocks map[string][]store.BlockInfo `json:"blocks,omitempty"`
+	}{Stats: s.Stats()}
+	if *blocks {
+		out.Blocks = make(map[string][]store.BlockInfo)
+		for _, k := range s.Keys() {
+			bi, err := s.BlockInfos(k)
+			if err != nil {
+				return err
+			}
+			out.Blocks[k] = bi
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	allowPartial := fs.Bool("allow-partial", false, "accept crash-truncated vectors (recovered prefix must still verify)")
+	fs.Parse(args)
+	if *dir == "" {
+		return errors.New("verify: -dir is required")
+	}
+
+	mb, err := os.ReadFile(manifestPath(*dir))
+	if err != nil {
+		return fmt.Errorf("verify: reading manifest (run pack first): %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return fmt.Errorf("verify: bad manifest: %w", err)
+	}
+
+	s, err := store.Open(store.Config{Dir: *dir, T1: m.T1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	t1 := s.T1()
+
+	var failures, partial int
+	for _, e := range m.Entries {
+		n, perr := verifyEntry(s, m.Width, t1, e, *allowPartial)
+		if perr != nil {
+			fmt.Printf("FAIL %s: %v\n", e.Key, perr)
+			failures++
+			continue
+		}
+		if n < e.Values {
+			partial++
+			fmt.Printf("ok   %s: %d/%d values (truncated by crash), all within t1\n", e.Key, n, e.Values)
+		} else {
+			fmt.Printf("ok   %s: %d values within t1=%g\n", e.Key, n, t1)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("verify: %d of %d keys failed", failures, len(m.Entries))
+	}
+	fmt.Printf("verify: %d keys ok (%d partial) at t1=%g\n", len(m.Entries), partial, t1)
+	return nil
+}
+
+// verifyEntry checks one key against its regenerated ground truth and
+// returns how many values were served.
+func verifyEntry(s *store.Store, width int, t1 float64, e manifestEntry, allowPartial bool) (int, error) {
+	v32, v64, w, err := s.Get(e.Key)
+	incomplete := errors.Is(err, store.ErrIncomplete)
+	if err != nil && !incomplete {
+		return 0, err
+	}
+	if incomplete && !allowPartial {
+		return 0, errors.New("vector incomplete (crash-truncated); rerun with -allow-partial to accept the prefix")
+	}
+	if w != width {
+		return 0, fmt.Errorf("width %d on disk, manifest says %d", w, width)
+	}
+
+	infos, err := s.BlockInfos(e.Key)
+	if err != nil {
+		return 0, err
+	}
+	lossless := make(map[int]bool)
+	for _, bi := range infos {
+		if bi.Lossless {
+			lossless[bi.Index] = true
+		}
+	}
+
+	check := func(i int, got, want float64, exact bool) error {
+		if lossless[i/store.BlockValues] {
+			if !exact {
+				return fmt.Errorf("value %d: lossless block not bit-exact", i)
+			}
+			return nil
+		}
+		if math.Abs(got-want) > t1*math.Abs(want)*(1+1e-9) {
+			return fmt.Errorf("value %d: |%g - %g| beyond t1=%g", i, got, want, t1)
+		}
+		return nil
+	}
+
+	if width == 32 {
+		want, gerr := workloads.GenFloat32(e.Dist, e.Values, e.Seed)
+		if gerr != nil {
+			return 0, gerr
+		}
+		for i := range v32 {
+			if err := check(i, float64(v32[i]), float64(want[i]),
+				math.Float32bits(v32[i]) == math.Float32bits(want[i])); err != nil {
+				return 0, err
+			}
+		}
+		return len(v32), nil
+	}
+	want, gerr := workloads.GenFloat64(e.Dist, e.Values, e.Seed)
+	if gerr != nil {
+		return 0, gerr
+	}
+	for i := range v64 {
+		if err := check(i, v64[i], want[i],
+			math.Float64bits(v64[i]) == math.Float64bits(want[i])); err != nil {
+			return 0, err
+		}
+	}
+	return len(v64), nil
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	var t1 float64
+	cliutil.RegisterT1(fs, &t1)
+	fs.Parse(args)
+	if *dir == "" {
+		return errors.New("compact: -dir is required")
+	}
+
+	s, err := store.Open(store.Config{Dir: *dir, T1: t1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	start := time.Now()
+	var passes int
+	for {
+		res, did, err := s.CompactOnce()
+		if err != nil {
+			return err
+		}
+		if !did {
+			break
+		}
+		passes++
+		fmt.Printf("compacted segment %d: moved %d frames (%d B), reclaimed %d B, recompress %d tried / %d won / %d skipped\n",
+			res.Segment, res.FramesMoved, res.BytesMoved, res.BytesReclaimed,
+			res.RecompressTried, res.RecompressWon, res.RecompressSkipped)
+	}
+	st := s.Stats()
+	fmt.Printf("compact: %d passes in %s, debt now %.3f, %.2f:1 on disk\n",
+		passes, time.Since(start).Round(time.Millisecond), st.CompactionDebt, st.AchievedRatio)
+	return nil
+}

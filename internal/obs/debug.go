@@ -52,6 +52,45 @@ var (
 	ServerBytesOut = expvar.NewInt("avr.server_bytes_out")
 )
 
+// Block-store counters, published by internal/store. Same contract as
+// the serving-path counters: cheap process-global atomics, updated per
+// operation (put/get/compaction step), never per value. Tests assert
+// deltas, not absolutes, since expvar state is process-wide.
+var (
+	// StorePuts/StoreGets/StoreDeletes count store operations accepted.
+	StorePuts    = expvar.NewInt("avr.store_puts")
+	StoreGets    = expvar.NewInt("avr.store_gets")
+	StoreDeletes = expvar.NewInt("avr.store_deletes")
+	// StorePutBytes/StoreGetBytes count raw (uncompressed) value bytes
+	// moved through Put and Get.
+	StorePutBytes = expvar.NewInt("avr.store_put_bytes")
+	StoreGetBytes = expvar.NewInt("avr.store_get_bytes")
+	// StoreBlocksAVR/StoreBlocksLossless count blocks written per
+	// encoding (lossless = the ratio-floor fallback path).
+	StoreBlocksAVR      = expvar.NewInt("avr.store_blocks_avr")
+	StoreBlocksLossless = expvar.NewInt("avr.store_blocks_lossless")
+	// StoreCompressSkips counts Put-path blocks that skipped the AVR
+	// compression attempt because the badly-compressing-block table
+	// flagged them at the store's current threshold (the paper's
+	// CMT skip policy on the write path).
+	StoreCompressSkips = expvar.NewInt("avr.store_compress_skips")
+	// Recompression-policy counters, bumped by the compaction worker:
+	// Tried counts lossless blocks whose AVR retry ran, Skipped counts
+	// flagged blocks whose retry was elided, Won counts retries that
+	// met the ratio floor and converted the block to AVR.
+	StoreRecompressTried   = expvar.NewInt("avr.store_recompress_tried")
+	StoreRecompressSkipped = expvar.NewInt("avr.store_recompress_skipped")
+	StoreRecompressWon     = expvar.NewInt("avr.store_recompress_won")
+	// Compaction accounting: passes completed and dead bytes reclaimed.
+	StoreCompactions     = expvar.NewInt("avr.store_compactions")
+	StoreCompactedBytes  = expvar.NewInt("avr.store_compacted_bytes")
+	StoreSegmentsCreated = expvar.NewInt("avr.store_segments_created")
+	StoreSegmentsDeleted = expvar.NewInt("avr.store_segments_deleted")
+	// StoreTornTails counts torn tail segments truncated during reopen
+	// recovery (crash mid-append).
+	StoreTornTails = expvar.NewInt("avr.store_torn_tails")
+)
+
 // ServeDebug starts an HTTP server on addr exposing expvar counters at
 // /debug/vars and the pprof profiling endpoints at /debug/pprof/ for
 // live introspection of long sweeps. It returns the bound address

@@ -165,3 +165,27 @@ func CodecRatioHistogram() *Histogram {
 	return NewHistogram("codec_ratio", "ratio",
 		[]float64{0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16})
 }
+
+// StorePutLatencyHistogram bins block-store Put latency in microseconds
+// (encode + segment append, fsync excluded unless configured).
+func StorePutLatencyHistogram() *Histogram {
+	return NewHistogram("store_put_latency", "µs",
+		[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+			25000, 50000, 100000, 250000, 1e6})
+}
+
+// StoreGetLatencyHistogram bins block-store Get latency in microseconds
+// (segment read + CRC check + decode).
+func StoreGetLatencyHistogram() *Histogram {
+	return NewHistogram("store_get_latency", "µs",
+		[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+			25000, 50000, 100000, 250000, 1e6})
+}
+
+// StoreBlockRatioHistogram bins store blocks by achieved compression
+// ratio at write time (raw value bytes / stored payload bytes); the
+// lossless fallback lands near 1.
+func StoreBlockRatioHistogram() *Histogram {
+	return NewHistogram("store_block_ratio", "ratio",
+		[]float64{0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16})
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"avr/internal/obs"
+	"avr/internal/store"
 )
 
 // Config tunes the codec service. The zero value of any field selects
@@ -36,6 +37,10 @@ type Config struct {
 	// T1 is the per-value error threshold for requests that do not pass
 	// ?t1= (non-positive selects the experiment default, 1/32).
 	T1 float64
+	// Store, when set, enables the persistent block store endpoints
+	// (/v1/store/*). The server does not own the store's lifecycle; the
+	// caller opens and closes it.
+	Store *store.Store
 }
 
 // withDefaults fills unset fields.
@@ -62,7 +67,8 @@ func (c Config) withDefaults() Config {
 //
 //	POST /v1/encode   raw little-endian values in (fp32, or fp64 with
 //	                  ?width=64), AVR stream out; ?t1= overrides the
-//	                  error threshold per request
+//	                  error threshold per request (snapped down onto
+//	                  the codec-pool grid, see QuantizeT1)
 //	POST /v1/decode   AVR stream in (AVR1/AVR8 sniffed from the magic),
 //	                  raw little-endian values out
 //	GET  /v1/stats    serving-path counters and histograms as JSON
@@ -97,6 +103,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.Store != nil {
+		s.registerStore()
+	}
 	s.http = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,

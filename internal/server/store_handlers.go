@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"avr/internal/obs"
+	"avr/internal/store"
+)
+
+// Store endpoints, registered only when Config.Store is set (avrd
+// -store-dir). They ride the same admission layer as the codec
+// endpoints: encode/decode work on the put/get paths competes for the
+// same bounded worker slots, so a storm of store traffic sheds with 429
+// instead of starving the stateless codec service.
+//
+//	PUT  /v1/store/put?key=K[&width=64]  raw little-endian values in,
+//	                                     PutResult JSON out
+//	GET  /v1/store/get?key=K             raw little-endian values out;
+//	                                     a torn vector returns its
+//	                                     recovered prefix as 206 with
+//	                                     X-AVR-Complete: false
+//	DELETE /v1/store/key?key=K           durable tombstone
+//	GET  /v1/store/stats                 store snapshot JSON
+
+// registerStore wires the store endpoints onto the mux.
+func (s *Server) registerStore() {
+	s.mux.HandleFunc("PUT /v1/store/put", s.handleStorePut)
+	s.mux.HandleFunc("POST /v1/store/put", s.handleStorePut) // curl-friendly alias
+	s.mux.HandleFunc("GET /v1/store/get", s.handleStoreGet)
+	s.mux.HandleFunc("DELETE /v1/store/key", s.handleStoreDelete)
+	s.mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
+}
+
+// storeFail maps store errors onto HTTP status codes.
+func storeFail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		fail(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, store.ErrWidth):
+		fail(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, store.ErrClosed):
+		fail(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		fail(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleStorePut serves PUT /v1/store/put: raw little-endian values in,
+// persisted approximate blocks out.
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	obs.ServerInFlight.Add(1)
+	defer obs.ServerInFlight.Add(-1)
+
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		fail(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	width := 32
+	if q := r.URL.Query().Get("width"); q != "" {
+		var err error
+		width, err = strconv.Atoi(q)
+		if err != nil || (width != 32 && width != 64) {
+			fail(w, http.StatusBadRequest, "bad width %q: want 32 or 64", q)
+			return
+		}
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			fail(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		} else {
+			fail(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return
+	}
+	if len(body) == 0 || len(body)%(width/8) != 0 {
+		fail(w, http.StatusBadRequest,
+			"body length %d not a positive multiple of %d-bit values", len(body), width)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.shed(w)
+		} else {
+			obs.ServerShed.Add(1)
+			http.Error(w, "timed out waiting for a worker",
+				http.StatusServiceUnavailable)
+		}
+		return
+	}
+	defer s.release()
+	obs.ServerRequests.Add(1)
+
+	var res store.PutResult
+	if width == 32 {
+		res, err = s.cfg.Store.Put32(key, bytesToF32(body))
+	} else {
+		res, err = s.cfg.Store.Put64(key, bytesToF64(body))
+	}
+	if err != nil {
+		if errors.Is(err, store.ErrClosed) {
+			storeFail(w, err)
+		} else {
+			fail(w, http.StatusBadRequest, "put: %v", err)
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+}
+
+// handleStoreGet serves GET /v1/store/get: raw little-endian values
+// out. A vector whose tail was lost to a crash is served as 206 Partial
+// Content with X-AVR-Complete: false — the recovered prefix is still
+// within the error bound, and the client decides whether a prefix is
+// acceptable.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	obs.ServerInFlight.Add(1)
+	defer obs.ServerInFlight.Add(-1)
+
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		fail(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.shed(w)
+		} else {
+			obs.ServerShed.Add(1)
+			http.Error(w, "timed out waiting for a worker",
+				http.StatusServiceUnavailable)
+		}
+		return
+	}
+	defer s.release()
+	obs.ServerRequests.Add(1)
+
+	v32, v64, width, err := s.cfg.Store.Get(key)
+	incomplete := errors.Is(err, store.ErrIncomplete)
+	if err != nil && !incomplete {
+		storeFail(w, err)
+		return
+	}
+	var out []byte
+	var nvals int
+	if width == 32 {
+		out = f32ToBytes(v32)
+		nvals = len(v32)
+	} else {
+		out = f64ToBytes(v64)
+		nvals = len(v64)
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-AVR-Width", strconv.Itoa(width))
+	w.Header().Set("X-AVR-Values", strconv.Itoa(nvals))
+	w.Header().Set("X-AVR-Complete", strconv.FormatBool(!incomplete))
+	if incomplete {
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	w.Write(out)
+}
+
+// handleStoreDelete serves DELETE /v1/store/key.
+func (s *Server) handleStoreDelete(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		fail(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	if err := s.cfg.Store.Delete(key); err != nil {
+		storeFail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStoreStats serves GET /v1/store/stats.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.cfg.Store.Stats())
+}

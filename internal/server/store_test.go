@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"avr/internal/store"
+)
+
+// storeServer wires a Server over a fresh on-disk store.
+func storeServer(t *testing.T, cfg Config) (*store.Store, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg.Store = st
+	_, ts := testServer(t, cfg)
+	return st, ts
+}
+
+func doReq(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	st, ts := storeServer(t, Config{})
+	vals, payload := f32Payload(t, "heat", 6000, 1)
+
+	resp, body := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=temps", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d %s", resp.StatusCode, body)
+	}
+	var res store.PutResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Values != len(vals) || res.Blocks != 2 {
+		t.Fatalf("put result %+v", res)
+	}
+
+	resp, got := doReq(t, http.MethodGet, ts.URL+"/v1/store/get?key=temps", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d %s", resp.StatusCode, got)
+	}
+	if h := resp.Header.Get("X-AVR-Complete"); h != "true" {
+		t.Fatalf("X-AVR-Complete = %q", h)
+	}
+	if h := resp.Header.Get("X-AVR-Width"); h != "32" {
+		t.Fatalf("X-AVR-Width = %q", h)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(payload))
+	}
+	t1 := st.T1()
+	for i := range vals {
+		g := float64(math.Float32frombits(binary.LittleEndian.Uint32(got[4*i:])))
+		w := float64(vals[i])
+		if math.Abs(g-w) > t1*math.Abs(w)*(1+1e-9) {
+			t.Fatalf("value %d: got %g want %g beyond t1", i, g, w)
+		}
+	}
+}
+
+func TestStoreGetErrors(t *testing.T) {
+	_, ts := storeServer(t, Config{})
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/get?key=nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing key: %d", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/get", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no key param: %d", resp.StatusCode)
+	}
+	// Odd body length for the declared width.
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=k", []byte{1, 2, 3}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged body: %d", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=k&width=13", make([]byte, 8)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad width: %d", resp.StatusCode)
+	}
+}
+
+func TestStoreDeleteAndStats(t *testing.T) {
+	_, ts := storeServer(t, Config{})
+	_, payload := f32Payload(t, "wave", 4096, 2)
+	if resp, b := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=gone", payload); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d %s", resp.StatusCode, b)
+	}
+	if resp, _ := doReq(t, http.MethodDelete, ts.URL+"/v1/store/key?key=gone", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/get?key=gone", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", resp.StatusCode)
+	}
+
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/store/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var stats store.Stats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keys != 0 || stats.Tombstones != 1 || stats.DeadBytes == 0 {
+		t.Fatalf("stats after delete: %+v", stats)
+	}
+}
+
+// TestStoreWidthConflict: a key written as fp32 then fetched after an
+// fp64 overwrite must serve the new width; a stale-width expectation is
+// the client's problem, but a width mismatch error from the store maps
+// to 409.
+func TestStoreWidthConflict(t *testing.T) {
+	_, ts := storeServer(t, Config{})
+	_, payload := f32Payload(t, "heat", 1024, 3)
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=w", payload); resp.StatusCode != http.StatusOK {
+		t.Fatal("put32 failed")
+	}
+	resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/get?key=w", nil)
+	if resp.Header.Get("X-AVR-Width") != "32" {
+		t.Fatalf("width header %q", resp.Header.Get("X-AVR-Width"))
+	}
+	if resp, b := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=w&width=64", make([]byte, 8*512)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put64 overwrite: %d %s", resp.StatusCode, b)
+	}
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/v1/store/get?key=w", nil)
+	if resp.Header.Get("X-AVR-Width") != "64" {
+		t.Fatalf("width header after overwrite %q", resp.Header.Get("X-AVR-Width"))
+	}
+}
+
+// TestStoreEndpointsAbsentWithoutStore: a store-less server 404s the
+// store routes rather than panicking on a nil store.
+func TestStoreEndpointsAbsentWithoutStore(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/stats", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("store route on store-less server: %d", resp.StatusCode)
+	}
+}

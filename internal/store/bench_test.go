@@ -1,0 +1,170 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"avr/internal/workloads"
+)
+
+func benchStore(b *testing.B, cfg Config) *Store {
+	b.Helper()
+	cfg.Dir = b.TempDir()
+	s, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+func benchVals32(b *testing.B, dist string, n int) []float32 {
+	b.Helper()
+	vals, err := workloads.GenFloat32(dist, n, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vals
+}
+
+func benchVals64(b *testing.B, dist string, n int) []float64 {
+	b.Helper()
+	vals, err := workloads.GenFloat64(dist, n, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vals
+}
+
+// BenchmarkStorePut32 measures the full put path — encode, frame, CRC,
+// write — for a compressible fp32 vector, overwriting one key.
+func BenchmarkStorePut32(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals32(b, "heat", 4*BlockValues)
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put32("bench", vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.AchievedRatio > 0 {
+		b.ReportMetric(st.AchievedRatio, "ratio")
+	}
+}
+
+// BenchmarkStorePut32Noise is the worst case: incompressible data that
+// falls through to the lossless path (and, after the first put, the
+// flagged skip path).
+func BenchmarkStorePut32Noise(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals32(b, "normal", 4*BlockValues)
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put32("bench", vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorePut64(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals64(b, "wave", 2*BlockValues)
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put64("bench", vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet32 measures the read path: pread, CRC verify, decode.
+func BenchmarkStoreGet32(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals32(b, "heat", 4*BlockValues)
+	if _, err := s.Put32("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get32("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreGet64(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals64(b, "wave", 2*BlockValues)
+	if _, err := s.Put64("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get64("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreScan measures the recovery scan rate over an in-memory
+// segment image — the cost of Open after a crash, per input byte.
+func BenchmarkStoreScan(b *testing.B) {
+	img := segmentHeader()
+	data := benchVals32(b, "heat", BlockValues)
+	raw := f32ToRaw(data)
+	for i := 0; i < 64; i++ {
+		img = appendFrame(img, &record{
+			Kind: recordBlock, Seq: uint64(i + 1), Key: fmt.Sprintf("k%02d", i),
+			BlockIdx: 0, TotalVals: BlockValues, Width: 32, Enc: encLossless,
+			ValCount: BlockValues, T1: 1.0 / 32, Data: encodeLossless(raw),
+		})
+	}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scanSegment(bytes.NewReader(img), func(record, int64, int64) error {
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreCompact measures one full compaction pass over a
+// half-dead segment, recompression skips included.
+func BenchmarkStoreCompact(b *testing.B) {
+	live := benchVals32(b, "normal", BlockValues)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchStore(b, Config{SegmentTargetBytes: 64 << 10, MinDeadFraction: 0.1})
+		for r := 0; r < 8; r++ {
+			if _, err := s.Put32(fmt.Sprintf("keep-%d", r), live); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Put32("churn", live); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		for {
+			_, did, err := s.CompactOnce()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !did {
+				break
+			}
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"avr/internal/lossless"
+)
+
+// Lossless fallback encoding for blocks whose AVR ratio falls below the
+// store's floor: the raw little-endian value bytes are cut into 64-byte
+// cachelines (the trailing partial line zero-padded) and each line is
+// BDI-encoded (internal/lossless). BDI round-trips bit-exactly, so
+// fallback blocks reconstruct their values exactly — the store's analog
+// of the paper's "store uncompressed when approximation does not pay",
+// with the lossless link-layer compressor still squeezing what it can.
+//
+// Frame: concatenated BDI line encodings. Each line encoding is
+// self-delimiting — its first byte is the BDI form tag, which fixes the
+// payload length — so no per-line length prefix is needed. Decoding
+// validates the tag and the remaining length before touching
+// lossless.Decode, which assumes well-formed input.
+
+// bdiLineLen returns the full encoded length (tag byte included) for a
+// BDI form tag, or 0 for an invalid tag.
+func bdiLineLen(tag byte) int {
+	switch tag {
+	case 0: // raw
+		return 1 + lossless.LineBytes
+	case 1: // zeros
+		return 2
+	case 8: // repeated 8-byte value
+		return 9
+	case 2: // base8-Δ1
+		return 1 + 8 + 8
+	case 3: // base8-Δ2
+		return 1 + 8 + 16
+	case 4: // base4-Δ1
+		return 1 + 4 + 16
+	case 5: // base8-Δ4
+		return 1 + 8 + 32
+	case 6: // base4-Δ2
+		return 1 + 4 + 32
+	case 7: // base2-Δ1
+		return 1 + 2 + 32
+	}
+	return 0
+}
+
+// encodeLossless encodes raw value bytes as BDI lines.
+func encodeLossless(raw []byte) []byte {
+	out := make([]byte, 0, len(raw)+len(raw)/lossless.LineBytes+lossless.LineBytes)
+	var line [lossless.LineBytes]byte
+	for off := 0; off < len(raw); off += lossless.LineBytes {
+		end := off + lossless.LineBytes
+		if end > len(raw) {
+			clear(line[:])
+			copy(line[:], raw[off:])
+			out = append(out, lossless.Encode(line[:])...)
+			break
+		}
+		out = append(out, lossless.Encode(raw[off:end])...)
+	}
+	return out
+}
+
+// decodeLossless reconstructs rawLen value bytes from BDI lines,
+// validating every tag and length so corrupt payloads surface as errors
+// rather than panics inside the line decoder.
+func decodeLossless(data []byte, rawLen int) ([]byte, error) {
+	out := make([]byte, 0, rawLen)
+	for len(out) < rawLen {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("%w: lossless payload exhausted at %d/%d bytes",
+				ErrCorrupt, len(out), rawLen)
+		}
+		n := bdiLineLen(data[0])
+		if n == 0 || n > len(data) {
+			return nil, fmt.Errorf("%w: bad lossless line tag %d", ErrCorrupt, data[0])
+		}
+		out = append(out, lossless.Decode(data[:n])...)
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing lossless bytes", ErrCorrupt, len(data))
+	}
+	return out[:rawLen], nil
+}
+
+// Raw little-endian value conversions shared by the put/get paths.
+
+func f32ToRaw(vals []float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+func rawToF32(b []byte) []float32 {
+	vals := make([]float32, len(b)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return vals
+}
+
+func f64ToRaw(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func rawToF64(b []byte) []float64 {
+	vals := make([]float64, len(b)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

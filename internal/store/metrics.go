@@ -1,0 +1,118 @@
+package store
+
+import (
+	"expvar"
+
+	"avr/internal/obs"
+)
+
+// Store histograms. Process-global like the serving-path histograms in
+// internal/server (expvar.Publish panics on duplicate names, and a
+// process runs one logical store service); concurrent observers go
+// through the SyncHistogram lock. Tests assert deltas, not absolutes.
+var (
+	putLatencyHist = obs.NewSyncHistogram(obs.StorePutLatencyHistogram())
+	getLatencyHist = obs.NewSyncHistogram(obs.StoreGetLatencyHistogram())
+	blockRatioHist = obs.NewSyncHistogram(obs.StoreBlockRatioHistogram())
+)
+
+func init() {
+	expvar.Publish("avr.store_put_latency", expvar.Func(func() any {
+		return putLatencyHist.Summary()
+	}))
+	expvar.Publish("avr.store_get_latency", expvar.Func(func() any {
+		return getLatencyHist.Summary()
+	}))
+	expvar.Publish("avr.store_block_ratio", expvar.Func(func() any {
+		return blockRatioHist.Summary()
+	}))
+}
+
+// SegmentStats describes one segment file.
+type SegmentStats struct {
+	ID        uint32  `json:"id"`
+	Bytes     int64   `json:"bytes"`
+	LiveBytes int64   `json:"live_bytes"`
+	DeadBytes int64   `json:"dead_bytes"`
+	DeadFrac  float64 `json:"dead_fraction"`
+	Active    bool    `json:"active"`
+}
+
+// Stats is a point-in-time snapshot of the store, served by avrd at
+// /v1/store/stats and printed by cmd/avrstore inspect.
+type Stats struct {
+	Dir           string  `json:"dir"`
+	T1            float64 `json:"t1"`
+	RatioFloor    float64 `json:"ratio_floor"`
+	Keys          int     `json:"keys"`
+	Blocks        int     `json:"blocks"`
+	FlaggedBlocks int     `json:"flagged_blocks"`
+	Tombstones    int     `json:"tombstones"`
+	Segments      int     `json:"segments"`
+	// RawBytes is the uncompressed size of every live value; DiskBytes
+	// is the on-disk footprint (dead frames included); LiveBytes is the
+	// on-disk footprint of live frames only.
+	RawBytes  int64 `json:"raw_bytes"`
+	DiskBytes int64 `json:"disk_bytes"`
+	LiveBytes int64 `json:"live_bytes"`
+	DeadBytes int64 `json:"dead_bytes"`
+	// AchievedRatio is raw bytes over live on-disk bytes: the effective
+	// compression of the data actually reachable.
+	AchievedRatio float64 `json:"achieved_ratio"`
+	// CompactionDebt is the dead-byte fraction of the whole store — the
+	// work the background worker has not yet reclaimed.
+	CompactionDebt float64 `json:"compaction_debt"`
+
+	SegmentList []SegmentStats `json:"segment_list,omitempty"`
+
+	PutLatency obs.Summary `json:"put_latency"`
+	GetLatency obs.Summary `json:"get_latency"`
+	BlockRatio obs.Summary `json:"block_ratio"`
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Dir:           s.cfg.Dir,
+		T1:            s.cfg.T1,
+		RatioFloor:    s.cfg.RatioFloor,
+		Keys:          len(s.index),
+		FlaggedBlocks: len(s.flags),
+		Tombstones:    len(s.tombs),
+		Segments:      len(s.segs),
+		RawBytes:      s.rawBytes,
+	}
+	for _, e := range s.index {
+		for i := range e.refs {
+			if e.refs[i].seg != 0 {
+				st.Blocks++
+			}
+		}
+	}
+	for id, m := range s.segs {
+		st.DiskBytes += m.size
+		st.LiveBytes += m.liveBytes
+		st.DeadBytes += m.deadBytes
+		ss := SegmentStats{
+			ID: id, Bytes: m.size,
+			LiveBytes: m.liveBytes, DeadBytes: m.deadBytes,
+			Active: s.active != nil && id == s.active.id,
+		}
+		if total := m.liveBytes + m.deadBytes; total > 0 {
+			ss.DeadFrac = float64(m.deadBytes) / float64(total)
+		}
+		st.SegmentList = append(st.SegmentList, ss)
+	}
+	if st.LiveBytes > 0 {
+		st.AchievedRatio = float64(st.RawBytes) / float64(st.LiveBytes)
+	}
+	if st.DiskBytes > 0 {
+		st.CompactionDebt = float64(st.DeadBytes) / float64(st.DiskBytes)
+	}
+	st.PutLatency = putLatencyHist.Summary()
+	st.GetLatency = getLatencyHist.Summary()
+	st.BlockRatio = blockRatioHist.Summary()
+	return st
+}

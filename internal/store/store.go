@@ -1,0 +1,899 @@
+// Package store is a persistent, error-bounded block store built on the
+// AVR codec: the storage-engine rendering of the paper's memory-side
+// machinery. Values are written in fixed-size blocks, each block encoded
+// with the AVR lossy codec at the store's t1 threshold and appended to
+// CRC-guarded segment files. Blocks whose achieved compression ratio
+// falls below a configurable floor are stored exactly through the
+// internal/lossless fallback and flagged in a badly-compressing-block
+// table, so both the Put path and the background recompression worker
+// skip pointless compression attempts — the paper's CMT policy (§4)
+// applied at rest.
+//
+// Durability contract: segments are append-only and every frame is
+// CRC-32C guarded, so no WAL is needed. On reopen the in-memory block
+// index is rebuilt by a forward scan of every segment; a torn tail
+// (crash mid-append) is detected by the checksum, truncated away, and
+// every fully-written block before it is recovered. Within a multi-block
+// Put the blocks land in order, so a torn Put recovers as a prefix of
+// the vector and Get reports it with ErrIncomplete. Writes reach the OS
+// on every Put and are fsynced on segment roll and Close (every Put
+// when Config.SyncEveryPut is set).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"avr"
+	"avr/internal/obs"
+)
+
+// BlockValues is the store's fixed block size in values. Each block is
+// encoded independently (16 AVR codec blocks for fp32, 32 for fp64), so
+// it is the granularity of crash recovery, of the ratio-floor decision
+// and of the badly-compressing-block table.
+const BlockValues = 4096
+
+// Config tunes a store. The zero value of any field selects its
+// default.
+type Config struct {
+	// Dir is the segment directory (required; created if missing).
+	Dir string
+	// T1 is the per-value relative error bound blocks are encoded at
+	// (non-positive selects the experiment default, 1/32).
+	T1 float64
+	// RatioFloor is the minimum acceptable AVR compression ratio (raw
+	// bytes / encoded bytes). Blocks achieving less are stored through
+	// the lossless fallback and flagged (default 1.2).
+	RatioFloor float64
+	// SegmentTargetBytes rolls the active segment once it exceeds this
+	// size (default 64 MiB).
+	SegmentTargetBytes int64
+	// CompactEvery starts a background compaction/recompression worker
+	// with this period (0 disables; compaction can still be driven
+	// explicitly via CompactOnce).
+	CompactEvery time.Duration
+	// MinDeadFraction is the dead-byte fraction a sealed segment must
+	// reach before the worker rewrites it (default 0.25).
+	MinDeadFraction float64
+	// SyncEveryPut fsyncs the active segment after every Put (durable
+	// but slow); by default data is fsynced on segment roll and Close.
+	SyncEveryPut bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.T1 <= 0 {
+		c.T1, _ = avr.DefaultThresholds()
+	}
+	if c.RatioFloor <= 0 {
+		c.RatioFloor = 1.2
+	}
+	if c.SegmentTargetBytes <= 0 {
+		c.SegmentTargetBytes = 64 << 20
+	}
+	if c.MinDeadFraction <= 0 {
+		c.MinDeadFraction = 0.25
+	}
+	return c
+}
+
+// Lookup errors.
+var (
+	// ErrNotFound reports a Get/Delete of a key with no live value.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrIncomplete reports a Get of a vector whose tail blocks were
+	// lost to a torn segment; the returned prefix is valid.
+	ErrIncomplete = errors.New("store: incomplete vector (torn tail recovered a prefix)")
+	// ErrWidth reports a typed Get against a vector of the other width.
+	ErrWidth = errors.New("store: value width mismatch")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("store: closed")
+)
+
+// blockKey identifies one block slot of one key for the
+// badly-compressing-block table.
+type blockKey struct {
+	key string
+	idx uint32
+}
+
+// flagEntry is one badly-compressing-block table entry: the threshold
+// the block failed to compress at, and how many attempts failed. A block
+// is skipped only when the store's current t1 equals the failed t1 —
+// reopening the store with a different threshold re-arms the retry.
+type flagEntry struct {
+	t1    float64
+	fails uint32
+}
+
+// blockRef locates one live block record inside a segment.
+type blockRef struct {
+	seg      uint32
+	off      int64
+	frameLen int64
+	enc      uint8
+	valCount uint32
+	t1       float64
+}
+
+// entry is one key's live vector: the winning put's sequence number and
+// its block refs in vector order. A recovered torn put may have fewer
+// refs than blocks(); missing slots are nil-valued (seg 0 is never a
+// real segment, so a zero blockRef marks a hole).
+type entry struct {
+	seq       uint64
+	totalVals uint64
+	width     uint8
+	refs      []blockRef
+}
+
+// blocks returns the vector's full block count.
+func (e *entry) blocks() int {
+	return int((e.totalVals + BlockValues - 1) / BlockValues)
+}
+
+// complete reports whether every block of the vector is present.
+func (e *entry) complete() bool {
+	if len(e.refs) != e.blocks() {
+		return false
+	}
+	for i := range e.refs {
+		if e.refs[i].seg == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tombRef locates a live tombstone record.
+type tombRef struct {
+	seq      uint64
+	seg      uint32
+	off      int64
+	frameLen int64
+}
+
+// segMeta is one segment file's bookkeeping.
+type segMeta struct {
+	id        uint32
+	path      string
+	f         *os.File
+	size      int64
+	liveBytes int64
+	deadBytes int64
+}
+
+// Store is a persistent approximate block store. All methods are safe
+// for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	segs     map[uint32]*segMeta
+	active   *segMeta
+	nextSeg  uint32
+	seq      uint64
+	index    map[string]*entry
+	tombs    map[string]tombRef
+	flags    map[blockKey]flagEntry
+	closed   bool
+	rawBytes int64 // raw value bytes represented by live blocks
+
+	// codecs pools *avr.Codec instances at the store threshold (a Codec
+	// is not concurrency-safe; see the avr.Codec doc).
+	codecs sync.Pool
+
+	stopCompact chan struct{}
+	compactWG   sync.WaitGroup
+}
+
+// Open opens or creates the store in cfg.Dir, rebuilding the block
+// index by scanning every segment. Torn tail segments (crash
+// mid-append) are truncated to their last intact frame; corruption
+// anywhere else fails the open.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:   cfg,
+		segs:  make(map[uint32]*segMeta),
+		index: make(map[string]*entry),
+		tombs: make(map[string]tombRef),
+		flags: make(map[blockKey]flagEntry),
+	}
+	s.codecs.New = func() any { return avr.NewCodec(cfg.T1) }
+	if err := s.recover(); err != nil {
+		s.closeSegments()
+		return nil, err
+	}
+	if err := s.ensureActive(); err != nil {
+		s.closeSegments()
+		return nil, err
+	}
+	if cfg.CompactEvery > 0 {
+		s.stopCompact = make(chan struct{})
+		s.compactWG.Add(1)
+		go s.compactLoop(cfg.CompactEvery)
+	}
+	return s, nil
+}
+
+// segPath names a segment file.
+func (s *Store) segPath(id uint32) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("seg-%08d.avrseg", id))
+}
+
+// segIDs returns the sorted segment IDs present in the directory.
+func segIDs(dir string) ([]uint32, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.avrseg"))
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint32, 0, len(names))
+	for _, n := range names {
+		var id uint32
+		if _, err := fmt.Sscanf(filepath.Base(n), "seg-%08d.avrseg", &id); err != nil {
+			return nil, fmt.Errorf("store: alien file %q in segment directory", n)
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// recover scans existing segments in ID order and rebuilds the index,
+// the tombstone set and the badly-compressing-block table. The newest
+// segment may be torn (crash mid-append) and is truncated to its last
+// intact frame; a torn or corrupt frame in any older segment is fatal,
+// since everything after it would be silently lost.
+func (s *Store) recover() error {
+	ids, err := segIDs(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for i, id := range ids {
+		isTail := i == len(ids)-1
+		f, err := os.OpenFile(s.segPath(id), os.O_RDWR, 0)
+		if err != nil {
+			return err
+		}
+		meta := &segMeta{id: id, path: s.segPath(id), f: f}
+		// Register before scanning: records inside this segment can
+		// supersede earlier frames of the same segment, and markDead
+		// must find the meta to keep the live/dead split right.
+		s.segs[id] = meta
+		good, err := scanSegment(f, func(rec record, off, frameLen int64) error {
+			meta.liveBytes += frameLen // markDead inside apply corrects this
+			s.apply(id, rec, off, frameLen)
+			return nil
+		})
+		switch {
+		case err == nil:
+			meta.size = good
+		case errors.Is(err, ErrTorn) && isTail:
+			obs.StoreTornTails.Add(1)
+			if terr := f.Truncate(good); terr != nil {
+				return fmt.Errorf("store: truncating torn tail of %s: %w", meta.path, terr)
+			}
+			meta.size = good
+		default:
+			return fmt.Errorf("store: segment %s: %w", meta.path, err)
+		}
+		if id >= s.nextSeg {
+			s.nextSeg = id + 1
+		}
+	}
+	if s.nextSeg == 0 {
+		s.nextSeg = 1 // segment 0 is reserved as the blockRef hole marker
+	}
+	return nil
+}
+
+// apply folds one scanned record into the in-memory state. Caller holds
+// the lock (or is single-threaded recovery).
+func (s *Store) apply(segID uint32, rec record, off, frameLen int64) {
+	if rec.Seq > s.seq {
+		s.seq = rec.Seq
+	}
+	switch rec.Kind {
+	case recordTombstone:
+		if old, ok := s.tombs[rec.Key]; ok {
+			if rec.Seq <= old.seq {
+				s.markDead(segID, frameLen) // stale tombstone
+				return
+			}
+			s.markDead(old.seg, old.frameLen)
+		}
+		s.tombs[rec.Key] = tombRef{seq: rec.Seq, seg: segID, off: off, frameLen: frameLen}
+		if e, ok := s.index[rec.Key]; ok && e.seq < rec.Seq {
+			s.dropEntry(rec.Key, e)
+		}
+	case recordBlock:
+		if t, ok := s.tombs[rec.Key]; ok {
+			if t.seq > rec.Seq {
+				s.markDead(segID, frameLen) // deleted later
+				return
+			}
+			// Re-put after delete: the tombstone is superseded.
+			s.markDead(t.seg, t.frameLen)
+			delete(s.tombs, rec.Key)
+		}
+		e := s.index[rec.Key]
+		switch {
+		case e == nil || rec.Seq > e.seq:
+			if e != nil {
+				s.dropEntry(rec.Key, e)
+			}
+			e = &entry{seq: rec.Seq, totalVals: rec.TotalVals, width: rec.Width}
+			e.refs = make([]blockRef, e.blocks())
+			s.index[rec.Key] = e
+		case rec.Seq < e.seq:
+			s.markDead(segID, frameLen) // superseded put
+			return
+		}
+		if int(rec.BlockIdx) >= len(e.refs) || rec.TotalVals != e.totalVals || rec.Width != e.width {
+			// Same seq but inconsistent shape: writer bug or cross-stitched
+			// corruption that CRC cannot catch. Treat as dead.
+			s.markDead(segID, frameLen)
+			return
+		}
+		if old := e.refs[rec.BlockIdx]; old.seg != 0 {
+			s.markDead(old.seg, old.frameLen)
+		} else {
+			s.rawBytes += int64(rec.ValCount) * int64(rec.Width/8)
+		}
+		e.refs[rec.BlockIdx] = blockRef{
+			seg: segID, off: off, frameLen: frameLen,
+			enc: rec.Enc, valCount: rec.ValCount, t1: rec.T1,
+		}
+		bk := blockKey{rec.Key, rec.BlockIdx}
+		if rec.Enc == encLossless {
+			fe := s.flags[bk]
+			fe.t1 = rec.T1
+			fe.fails++
+			s.flags[bk] = fe
+		} else {
+			delete(s.flags, bk)
+		}
+	}
+}
+
+// dropEntry kills every live frame of e and removes it from the index.
+func (s *Store) dropEntry(key string, e *entry) {
+	for _, ref := range e.refs {
+		if ref.seg != 0 {
+			s.markDead(ref.seg, ref.frameLen)
+			s.rawBytes -= int64(ref.valCount) * int64(e.width/8)
+		}
+	}
+	delete(s.index, key)
+}
+
+// markDead moves frameLen bytes of segment segID from live to dead.
+func (s *Store) markDead(segID uint32, frameLen int64) {
+	if m := s.segs[segID]; m != nil {
+		m.liveBytes -= frameLen
+		m.deadBytes += frameLen
+	}
+}
+
+// ensureActive opens an append target: the newest segment if it has
+// room, else a fresh one.
+func (s *Store) ensureActive() error {
+	var newest *segMeta
+	for _, m := range s.segs {
+		if newest == nil || m.id > newest.id {
+			newest = m
+		}
+	}
+	if newest != nil && newest.size < s.cfg.SegmentTargetBytes {
+		if _, err := newest.f.Seek(newest.size, 0); err != nil {
+			return err
+		}
+		s.active = newest
+		return nil
+	}
+	return s.rollActive()
+}
+
+// rollActive seals the current active segment (fsync) and starts a new
+// one. Caller holds the write lock (or is single-threaded setup).
+func (s *Store) rollActive() error {
+	if s.active != nil {
+		if err := s.active.f.Sync(); err != nil {
+			return err
+		}
+	}
+	id := s.nextSeg
+	s.nextSeg++
+	f, err := os.OpenFile(s.segPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segmentHeader()); err != nil {
+		f.Close()
+		return err
+	}
+	m := &segMeta{id: id, path: s.segPath(id), f: f, size: int64(segHeaderLen)}
+	s.segs[id] = m
+	s.active = m
+	obs.StoreSegmentsCreated.Add(1)
+	return nil
+}
+
+// appendFrameLocked writes one frame to the active segment, rolling
+// first if the target size is exceeded, and returns its ref location.
+// Caller holds the write lock.
+func (s *Store) appendFrameLocked(rec *record, scratch []byte) (segID uint32, off, frameLen int64, err error) {
+	if s.active.size >= s.cfg.SegmentTargetBytes {
+		if err := s.rollActive(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	frame := appendFrame(scratch[:0], rec)
+	off = s.active.size
+	if _, err := s.active.f.WriteAt(frame, off); err != nil {
+		return 0, 0, 0, err
+	}
+	s.active.size += int64(len(frame))
+	s.active.liveBytes += int64(len(frame))
+	if s.cfg.SyncEveryPut {
+		if err := s.active.f.Sync(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return s.active.id, off, int64(len(frame)), nil
+}
+
+// encodedBlock is one block prepared outside the lock by the Put path.
+type encodedBlock struct {
+	enc      uint8
+	valCount uint32
+	data     []byte
+	ratio    float64
+	skipped  bool // compression attempt elided by the flag table
+}
+
+// borrowCodec/returnCodec manage the store's codec pool.
+func (s *Store) borrowCodec() *avr.Codec  { return s.codecs.Get().(*avr.Codec) }
+func (s *Store) returnCodec(c *avr.Codec) { s.codecs.Put(c) }
+
+// encodeBlock32 encodes one fp32 block, honouring the flag table.
+func (s *Store) encodeBlock32(key string, idx uint32, vals []float32) (encodedBlock, error) {
+	raw := f32ToRaw(vals)
+	if s.flagged(key, idx) {
+		obs.StoreCompressSkips.Add(1)
+		return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
+			data: encodeLossless(raw), ratio: 1, skipped: true}, nil
+	}
+	c := s.borrowCodec()
+	enc, err := c.Encode(vals)
+	s.returnCodec(c)
+	if err != nil {
+		return encodedBlock{}, err
+	}
+	return s.pickEncoding(raw, enc, len(vals)), nil
+}
+
+// encodeBlock64 encodes one fp64 block, honouring the flag table.
+func (s *Store) encodeBlock64(key string, idx uint32, vals []float64) (encodedBlock, error) {
+	raw := f64ToRaw(vals)
+	if s.flagged(key, idx) {
+		obs.StoreCompressSkips.Add(1)
+		return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
+			data: encodeLossless(raw), ratio: 1, skipped: true}, nil
+	}
+	c := s.borrowCodec()
+	enc, err := c.Encode64(vals)
+	s.returnCodec(c)
+	if err != nil {
+		return encodedBlock{}, err
+	}
+	return s.pickEncoding(raw, enc, len(vals)), nil
+}
+
+// pickEncoding applies the ratio floor: AVR when it pays, the lossless
+// fallback otherwise.
+func (s *Store) pickEncoding(raw, avrEnc []byte, valCount int) encodedBlock {
+	ratio := float64(len(raw)) / float64(len(avrEnc))
+	if ratio < s.cfg.RatioFloor {
+		ll := encodeLossless(raw)
+		return encodedBlock{enc: encLossless, valCount: uint32(valCount),
+			data: ll, ratio: float64(len(raw)) / float64(len(ll))}
+	}
+	return encodedBlock{enc: encAVR, valCount: uint32(valCount), data: avrEnc, ratio: ratio}
+}
+
+// flagged reports whether the block is flagged at the store's current
+// threshold (so the compression attempt should be skipped).
+func (s *Store) flagged(key string, idx uint32) bool {
+	s.mu.RLock()
+	fe, ok := s.flags[blockKey{key, idx}]
+	s.mu.RUnlock()
+	return ok && fe.t1 == s.cfg.T1
+}
+
+// Put32 stores an fp32 vector under key, replacing any previous value.
+func (s *Store) Put32(key string, vals []float32) (PutResult, error) {
+	if err := checkKey(key); err != nil {
+		return PutResult{}, err
+	}
+	if len(vals) == 0 {
+		return PutResult{}, errors.New("store: empty vector")
+	}
+	t0 := time.Now()
+	blocks := make([]encodedBlock, 0, (len(vals)+BlockValues-1)/BlockValues)
+	for off := 0; off < len(vals); off += BlockValues {
+		end := min(off+BlockValues, len(vals))
+		eb, err := s.encodeBlock32(key, uint32(off/BlockValues), vals[off:end])
+		if err != nil {
+			return PutResult{}, err
+		}
+		blocks = append(blocks, eb)
+	}
+	return s.commitPut(key, 32, uint64(len(vals)), 4*len(vals), blocks, t0)
+}
+
+// Put64 stores an fp64 vector under key, replacing any previous value.
+func (s *Store) Put64(key string, vals []float64) (PutResult, error) {
+	if err := checkKey(key); err != nil {
+		return PutResult{}, err
+	}
+	if len(vals) == 0 {
+		return PutResult{}, errors.New("store: empty vector")
+	}
+	t0 := time.Now()
+	blocks := make([]encodedBlock, 0, (len(vals)+BlockValues-1)/BlockValues)
+	for off := 0; off < len(vals); off += BlockValues {
+		end := min(off+BlockValues, len(vals))
+		eb, err := s.encodeBlock64(key, uint32(off/BlockValues), vals[off:end])
+		if err != nil {
+			return PutResult{}, err
+		}
+		blocks = append(blocks, eb)
+	}
+	return s.commitPut(key, 64, uint64(len(vals)), 8*len(vals), blocks, t0)
+}
+
+// commitPut appends the encoded blocks as frames and installs the new
+// index entry atomically with respect to readers.
+func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes int, blocks []encodedBlock, t0 time.Time) (PutResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return PutResult{}, ErrClosed
+	}
+	s.seq++
+	seq := s.seq
+	e := &entry{seq: seq, totalVals: totalVals, width: width}
+	e.refs = make([]blockRef, len(blocks))
+	res := PutResult{Key: key, Values: int(totalVals), Blocks: len(blocks)}
+	for i, eb := range blocks {
+		rec := record{
+			Kind: recordBlock, Seq: seq, Key: key,
+			BlockIdx: uint32(i), TotalVals: totalVals,
+			Width: width, Enc: eb.enc, ValCount: eb.valCount,
+			T1: s.cfg.T1, Data: eb.data,
+		}
+		segID, off, frameLen, err := s.appendFrameLocked(&rec, nil)
+		if err != nil {
+			// The index keeps the old value; frames appended so far are
+			// dead weight for compaction to reclaim.
+			for _, ref := range e.refs[:i] {
+				s.markDead(ref.seg, ref.frameLen)
+			}
+			return PutResult{}, err
+		}
+		e.refs[i] = blockRef{seg: segID, off: off, frameLen: frameLen,
+			enc: eb.enc, valCount: eb.valCount, t1: s.cfg.T1}
+		res.StoredBytes += int64(frameLen)
+		bk := blockKey{key, uint32(i)}
+		if eb.enc == encLossless {
+			res.LosslessBlocks++
+			obs.StoreBlocksLossless.Add(1)
+			fe := s.flags[bk]
+			fe.t1 = s.cfg.T1
+			fe.fails++
+			s.flags[bk] = fe
+		} else {
+			obs.StoreBlocksAVR.Add(1)
+			delete(s.flags, bk)
+		}
+		blockRatioHist.Observe(eb.ratio)
+	}
+	if old, ok := s.index[key]; ok {
+		s.dropEntry(key, old)
+	}
+	if t, ok := s.tombs[key]; ok {
+		s.markDead(t.seg, t.frameLen)
+		delete(s.tombs, key)
+	}
+	s.index[key] = e
+	s.rawBytes += int64(rawBytes)
+	res.RawBytes = int64(rawBytes)
+	if res.StoredBytes > 0 {
+		res.Ratio = float64(res.RawBytes) / float64(res.StoredBytes)
+	}
+	obs.StorePuts.Add(1)
+	obs.StorePutBytes.Add(int64(rawBytes))
+	putLatencyHist.Observe(float64(time.Since(t0).Microseconds()))
+	return res, nil
+}
+
+// PutResult summarises one Put.
+type PutResult struct {
+	Key            string  `json:"key"`
+	Values         int     `json:"values"`
+	Blocks         int     `json:"blocks"`
+	LosslessBlocks int     `json:"lossless_blocks"`
+	RawBytes       int64   `json:"raw_bytes"`
+	StoredBytes    int64   `json:"stored_bytes"`
+	Ratio          float64 `json:"ratio"`
+}
+
+// Get returns the vector stored under key along with its width (32 or
+// 64); exactly one of the two slices is non-nil. A vector whose tail was
+// lost to a crash returns its recovered prefix plus ErrIncomplete.
+func (s *Store) Get(key string) (vals32 []float32, vals64 []float64, width int, err error) {
+	t0 := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, nil, 0, ErrClosed
+	}
+	e, ok := s.index[key]
+	if !ok {
+		return nil, nil, 0, ErrNotFound
+	}
+	raw, complete, err := s.readVectorLocked(key, e)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	obs.StoreGets.Add(1)
+	obs.StoreGetBytes.Add(int64(len(raw)))
+	getLatencyHist.Observe(float64(time.Since(t0).Microseconds()))
+	if !complete {
+		err = ErrIncomplete
+	}
+	if e.width == 32 {
+		return rawToF32(raw), nil, 32, err
+	}
+	return nil, rawToF64(raw), 64, err
+}
+
+// Get32 returns the fp32 vector stored under key.
+func (s *Store) Get32(key string) ([]float32, error) {
+	v32, _, w, err := s.Get(key)
+	if err != nil && !errors.Is(err, ErrIncomplete) {
+		return nil, err
+	}
+	if w != 32 {
+		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, w)
+	}
+	return v32, err
+}
+
+// Get64 returns the fp64 vector stored under key.
+func (s *Store) Get64(key string) ([]float64, error) {
+	_, v64, w, err := s.Get(key)
+	if err != nil && !errors.Is(err, ErrIncomplete) {
+		return nil, err
+	}
+	if w != 64 {
+		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, w)
+	}
+	return v64, err
+}
+
+// readVectorLocked reads and decodes e's blocks in order, stopping at
+// the first hole (torn put). Caller holds at least the read lock.
+func (s *Store) readVectorLocked(key string, e *entry) (raw []byte, complete bool, err error) {
+	vw := int(e.width / 8)
+	raw = make([]byte, 0, int(e.totalVals)*vw)
+	for i := range e.refs {
+		ref := e.refs[i]
+		if ref.seg == 0 {
+			return raw, false, nil
+		}
+		rec, err := s.readBlockLocked(ref)
+		if err != nil {
+			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
+		}
+		blockRaw, err := s.decodeBlock(rec)
+		if err != nil {
+			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
+		}
+		raw = append(raw, blockRaw...)
+	}
+	return raw, len(e.refs) == e.blocks(), nil
+}
+
+// readBlockLocked reads one frame back from its segment, re-verifying
+// the CRC (reads are guarded exactly like recovery scans).
+func (s *Store) readBlockLocked(ref blockRef) (record, error) {
+	m := s.segs[ref.seg]
+	if m == nil {
+		return record{}, fmt.Errorf("%w: segment %d vanished", ErrCorrupt, ref.seg)
+	}
+	buf := make([]byte, ref.frameLen)
+	if _, err := m.f.ReadAt(buf, ref.off); err != nil {
+		return record{}, err
+	}
+	n := int64(readUint32(buf))
+	if n+frameHeaderLen != ref.frameLen {
+		return record{}, fmt.Errorf("%w: frame length changed underfoot", ErrCorrupt)
+	}
+	payload := buf[frameHeaderLen:]
+	if crc32Of(payload) != readUint32(buf[4:]) {
+		return record{}, fmt.Errorf("%w: frame CRC mismatch on read", ErrCorrupt)
+	}
+	return parseRecord(payload)
+}
+
+// decodeBlock reconstructs a block record's raw value bytes.
+func (s *Store) decodeBlock(rec record) ([]byte, error) {
+	rawLen := int(rec.ValCount) * int(rec.Width/8)
+	switch rec.Enc {
+	case encLossless:
+		return decodeLossless(rec.Data, rawLen)
+	case encAVR:
+		c := s.borrowCodec()
+		defer s.returnCodec(c)
+		if rec.Width == 32 {
+			vals, err := c.Decode(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) != int(rec.ValCount) {
+				return nil, fmt.Errorf("%w: AVR stream holds %d values, record says %d",
+					ErrCorrupt, len(vals), rec.ValCount)
+			}
+			return f32ToRaw(vals), nil
+		}
+		vals, err := c.Decode64(rec.Data)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != int(rec.ValCount) {
+			return nil, fmt.Errorf("%w: AVR stream holds %d values, record says %d",
+				ErrCorrupt, len(vals), rec.ValCount)
+		}
+		return f64ToRaw(vals), nil
+	}
+	return nil, fmt.Errorf("%w: encoding %d", ErrCorrupt, rec.Enc)
+}
+
+// Delete removes key, appending a tombstone so the removal survives
+// reopen. Deleting an absent key returns ErrNotFound.
+func (s *Store) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e, ok := s.index[key]
+	if !ok {
+		return ErrNotFound
+	}
+	s.seq++
+	rec := record{Kind: recordTombstone, Seq: s.seq, Key: key}
+	segID, off, frameLen, err := s.appendFrameLocked(&rec, nil)
+	if err != nil {
+		return err
+	}
+	s.dropEntry(key, e)
+	for i := 0; i < e.blocks(); i++ {
+		delete(s.flags, blockKey{key, uint32(i)})
+	}
+	if old, ok := s.tombs[key]; ok {
+		s.markDead(old.seg, old.frameLen)
+	}
+	s.tombs[key] = tombRef{seq: rec.Seq, seg: segID, off: off, frameLen: frameLen}
+	obs.StoreDeletes.Add(1)
+	return nil
+}
+
+// Keys returns the live keys in unspecified order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	return out
+}
+
+// BlockInfo describes one live block of a key for inspection tools and
+// tests (cmd/avrstore verify uses it to demand exactness of lossless
+// blocks).
+type BlockInfo struct {
+	Index    int     `json:"index"`
+	Lossless bool    `json:"lossless"`
+	Values   int     `json:"values"`
+	T1       float64 `json:"t1"`
+	Segment  uint32  `json:"segment"`
+	Bytes    int64   `json:"bytes"`
+}
+
+// BlockInfos returns the live blocks of key in vector order (holes from
+// a torn put are omitted; the slice is the recovered prefix).
+func (s *Store) BlockInfos(key string) ([]BlockInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]BlockInfo, 0, len(e.refs))
+	for i, ref := range e.refs {
+		if ref.seg == 0 {
+			break
+		}
+		out = append(out, BlockInfo{
+			Index: i, Lossless: ref.enc == encLossless,
+			Values: int(ref.valCount), T1: ref.t1,
+			Segment: ref.seg, Bytes: ref.frameLen,
+		})
+	}
+	return out, nil
+}
+
+// T1 returns the store's per-value error threshold.
+func (s *Store) T1() float64 { return s.cfg.T1 }
+
+// Close stops the background worker, fsyncs and closes every segment.
+func (s *Store) Close() error {
+	if s.stopCompact != nil {
+		close(s.stopCompact)
+		s.compactWG.Wait()
+		s.stopCompact = nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.active != nil {
+		if err := s.active.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, m := range s.segs {
+		if err := m.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// closeSegments releases file handles after a failed open.
+func (s *Store) closeSegments() {
+	for _, m := range s.segs {
+		m.f.Close()
+	}
+}
+
+// checkKey validates a store key.
+func checkKey(key string) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d outside [1,%d]", len(key), maxKeyLen)
+	}
+	return nil
+}

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# scripts/bench.sh — run the simulator benchmark suite and emit
-# BENCH_sim.json (ns/op, B/op, allocs/op and custom metrics per
-# benchmark), then enforce the zero-allocation gate on the hot-path
-# benchmarks.
+# scripts/bench.sh — run the benchmark suites and emit JSON results
+# (ns/op, B/op, allocs/op and custom metrics per benchmark), then
+# enforce the zero-allocation gates.
 #
-# Usage: scripts/bench.sh [outfile]            (default BENCH_sim.json)
+# Two passes:
+#   1. simulator suite  -> BENCH_sim.json    (hot-path alloc gate)
+#   2. store + serving  -> BENCH_store.json  (pool handoff alloc gate)
+#
+# Usage: scripts/bench.sh [sim-outfile] [store-outfile]
+#   (defaults BENCH_sim.json BENCH_store.json)
 #   BENCHTIME=1s|100x   go test -benchtime value (default 1s; CI smoke
 #                       uses a small fixed count for speed)
-#   BENCHFILTER=regex   override the benchmark selection
+#   BENCHFILTER=regex   override the simulator benchmark selection
+#   STOREFILTER=regex   override the store benchmark selection
 #
 # Compare two runs over time with benchstat:
 #   go test -run '^$' -bench ... -count 10 > old.txt   (repeat as new.txt)
@@ -16,10 +21,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_sim.json}"
+STORE_OUT="${2:-BENCH_store.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep|Recorder|Histogram}"
+STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|CodecPool}"
 
 PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/obs ./internal/sim ./internal/workloads"
+STORE_PKGS="./internal/store ./internal/server"
 
 # Hot-path benchmarks that must report 0 allocs/op: every demand access
 # in the simulator goes through these paths, and a single allocation per
@@ -27,63 +35,85 @@ PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./inte
 # the same bar both disabled (nil receiver) and enabled (preallocated
 # ring/buckets).
 GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLookupMiss BenchmarkDRAMAccess BenchmarkDRAMAccessRandom BenchmarkSystemAccess BenchmarkSystemAccessAVR BenchmarkRecorderDisabled BenchmarkRecorderRecord BenchmarkHistogramDisabled BenchmarkHistogramObserve"
+# Serving-path gate: the codec-pool handoff sits on every request. The
+# store put/get paths allocate by design (encode buffers, result
+# vectors) and are tracked in the JSON, not gated.
+STORE_GATED="BenchmarkCodecPoolGetPut"
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW_STORE="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW_STORE"' EXIT
+
+# render_json RAWFILE > out.json — benchmark lines to JSON.
+render_json() {
+    awk '
+    BEGIN {
+        n = 0
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        iters = $2
+        ns = "null"; bop = "null"; aop = "null"; extra = ""
+        for (i = 3; i < NF; i += 2) {
+            v = $i; u = $(i + 1)
+            if (u == "ns/op") ns = v
+            else if (u == "B/op") bop = v
+            else if (u == "allocs/op") aop = v
+            else extra = extra sprintf("%s\"%s\": %s", (extra == "" ? "" : ", "), u, v)
+        }
+        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, iters, ns, bop, aop)
+        if (extra != "") line = line ", " extra
+        line = line "}"
+        bench[n++] = line
+        nsof[name] = ns
+    }
+    END {
+        printf "{\n  \"benchmarks\": [\n"
+        for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
+        printf "  ],\n"
+        printf "  \"derived\": {"
+        if (("BenchmarkCMTLookup" in nsof) && ("BenchmarkCMTLookupMapBacked" in nsof) && nsof["BenchmarkCMTLookup"] + 0 > 0)
+            printf "\"cmt_lookup_speedup_vs_map\": %.2f", nsof["BenchmarkCMTLookupMapBacked"] / nsof["BenchmarkCMTLookup"]
+        printf "}\n}\n"
+    }' "$1"
+}
+
+# alloc_gate RAWFILE FILTER BENCH... — every named benchmark must have
+# run and reported 0 allocs/op.
+alloc_gate() {
+    local raw="$1" filter="$2"
+    shift 2
+    local fail=0 b line allocs
+    for b in "$@"; do
+        line="$(grep -E "^$b(-[0-9]+)? " "$raw" | head -1 || true)"
+        if [ -z "$line" ]; then
+            echo "ALLOC GATE: $b did not run (filter '$filter')" >&2
+            fail=1
+            continue
+        fi
+        allocs="$(echo "$line" | awk '{for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i}')"
+        if [ "$allocs" != "0" ]; then
+            echo "ALLOC GATE: $b reports $allocs allocs/op, want 0" >&2
+            fail=1
+        else
+            echo "alloc gate ok: $b (0 allocs/op)"
+        fi
+    done
+    return $fail
+}
 
 echo "== go test -bench '$BENCHFILTER' -benchtime $BENCHTIME =="
 go test -run '^$' -bench "$BENCHFILTER" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
-
-# Render the benchmark lines into JSON.
-awk '
-BEGIN {
-    n = 0
-}
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    iters = $2
-    ns = "null"; bop = "null"; aop = "null"; extra = ""
-    for (i = 3; i < NF; i += 2) {
-        v = $i; u = $(i + 1)
-        if (u == "ns/op") ns = v
-        else if (u == "B/op") bop = v
-        else if (u == "allocs/op") aop = v
-        else extra = extra sprintf("%s\"%s\": %s", (extra == "" ? "" : ", "), u, v)
-    }
-    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, iters, ns, bop, aop)
-    if (extra != "") line = line ", " extra
-    line = line "}"
-    bench[n++] = line
-    nsof[name] = ns
-}
-END {
-    printf "{\n  \"benchmarks\": [\n"
-    for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
-    printf "  ],\n"
-    printf "  \"derived\": {"
-    if (("BenchmarkCMTLookup" in nsof) && ("BenchmarkCMTLookupMapBacked" in nsof) && nsof["BenchmarkCMTLookup"] + 0 > 0)
-        printf "\"cmt_lookup_speedup_vs_map\": %.2f", nsof["BenchmarkCMTLookupMapBacked"] / nsof["BenchmarkCMTLookup"]
-    printf "}\n}\n"
-}' "$RAW" > "$OUT"
-
+render_json "$RAW" > "$OUT"
 echo "wrote $OUT"
 
-# Zero-allocation gate.
+echo "== go test -bench '$STOREFILTER' -benchtime $BENCHTIME =="
+go test -run '^$' -bench "$STOREFILTER" -benchmem -benchtime "$BENCHTIME" $STORE_PKGS | tee "$RAW_STORE"
+render_json "$RAW_STORE" > "$STORE_OUT"
+echo "wrote $STORE_OUT"
+
 fail=0
-for b in $GATED; do
-    line="$(grep -E "^$b(-[0-9]+)? " "$RAW" | head -1 || true)"
-    if [ -z "$line" ]; then
-        echo "ALLOC GATE: $b did not run (filter '$BENCHFILTER')" >&2
-        fail=1
-        continue
-    fi
-    allocs="$(echo "$line" | awk '{for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") print $i}')"
-    if [ "$allocs" != "0" ]; then
-        echo "ALLOC GATE: $b reports $allocs allocs/op, want 0" >&2
-        fail=1
-    else
-        echo "alloc gate ok: $b (0 allocs/op)"
-    fi
-done
+alloc_gate "$RAW" "$BENCHFILTER" $GATED || fail=1
+alloc_gate "$RAW_STORE" "$STOREFILTER" $STORE_GATED || fail=1
 exit $fail
