@@ -55,6 +55,7 @@ func main() {
 	storeSegmentBytes := flag.Int64("store-segment-bytes", 0, "segment roll size in bytes; 0 = default (64 MiB)")
 	storeCompactEvery := flag.Duration("store-compact-interval", 30*time.Second, "background compaction cadence; 0 disables the worker")
 	storeSync := flag.Bool("store-sync", false, "fsync the active segment after every put (durability over throughput)")
+	storeEncWorkers := flag.Int("store-encode-workers", 0, "goroutines encoding a put's blocks in parallel; 0 or 1 = serial")
 	var t1 float64
 	cliutil.RegisterT1(flag.CommandLine, &t1)
 	var debugAddr string
@@ -76,6 +77,7 @@ func main() {
 			SegmentTargetBytes: *storeSegmentBytes,
 			CompactEvery:       *storeCompactEvery,
 			SyncEveryPut:       *storeSync,
+			EncodeWorkers:      *storeEncWorkers,
 		})
 		if err != nil {
 			cliutil.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"avr/internal/block"
 	"avr/internal/compress"
@@ -25,6 +26,12 @@ import (
 // The decoded output is the approximate reconstruction — the same values
 // an AVR memory system would deliver to the processor.
 //
+// Encode/Decode allocate their result; the EncodeTo/DecodeTo variants
+// append into a caller-supplied buffer instead and perform no
+// allocations once that buffer has grown to size, which is how the
+// store's put/get paths reach 0 allocs/op. The encoded bytes never alias
+// codec state, so they stay valid across subsequent calls.
+//
 // A Codec is NOT safe for concurrent use: the underlying compressor
 // carries scratch buffers that are reused across Encode calls. Use one
 // Codec per goroutine, or borrow codecs from a pool the way the avrd
@@ -33,6 +40,13 @@ import (
 // overlap.
 type Codec struct {
 	comp *compress.Compressor
+
+	// Per-call staging blocks. Encode stages the (padded) input block
+	// here; Decode reconstructs into rec before appending to the output.
+	blk   [compress.BlockValues]uint32
+	blk64 [compress.BlockValues64]uint64
+	rec   [compress.BlockValues]uint32
+	rec64 [compress.BlockValues64]uint64
 }
 
 // NewCodec creates a codec with per-value relative error bound t1 (the
@@ -54,42 +68,66 @@ var errTruncated = errors.New("avr: truncated codec stream")
 // Encode compresses vals. The trailing partial block, if any, is padded
 // internally with its last value (padding never decodes back).
 func (c *Codec) Encode(vals []float32) ([]byte, error) {
-	out := make([]byte, 0, len(vals)/2)
-	out = append(out, codecMagic[:]...)
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(vals)))
-	out = append(out, n[:]...)
+	return c.EncodeTo(make([]byte, 0, 8+len(vals)/2), vals)
+}
 
-	var blk [compress.BlockValues]uint32
+// EncodeTo appends the encoded stream for vals to dst and returns the
+// extended slice. Passing a buffer retained across calls (dst[:0])
+// makes the encode path allocation-free; pass nil to let it allocate.
+// The output is byte-identical to Encode's.
+func (c *Codec) EncodeTo(dst []byte, vals []float32) ([]byte, error) {
+	dst = append(dst, codecMagic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
+
 	for off := 0; off < len(vals); off += compress.BlockValues {
-		for i := 0; i < compress.BlockValues; i++ {
-			j := off + i
-			if j >= len(vals) {
-				j = len(vals) - 1 // pad with the last value
-			}
-			blk[i] = math.Float32bits(vals[j])
+		chunk := vals[off:]
+		if len(chunk) > compress.BlockValues {
+			chunk = chunk[:compress.BlockValues]
 		}
-		res := c.comp.Compress(&blk, compress.Float32)
+		for i, v := range chunk {
+			c.blk[i] = math.Float32bits(v)
+		}
+		// Pad a trailing partial block with its last value.
+		last := c.blk[len(chunk)-1]
+		for i := len(chunk); i < compress.BlockValues; i++ {
+			c.blk[i] = last
+		}
+		res := c.comp.CompressFast(&c.blk, compress.Float32)
 		if res.OK {
-			payload, err := block.Encode(&res)
-			if err != nil {
-				return nil, err
-			}
 			hdr := byte(0x80) | byte(res.Method)<<6 | byte(res.SizeLines)
-			out = append(out, hdr, byte(res.Bias))
-			out = append(out, payload...)
+			dst = append(dst, hdr, byte(res.Bias))
+			var err error
+			dst, err = block.AppendEncode(dst, res.Summary, res.Bitmap, res.Outliers, res.SizeLines)
+			if err != nil {
+				return dst, err
+			}
 		} else {
-			out = append(out, 0, 0)
-			var raw [compress.BlockBytes]byte
-			block.ValuesToBytes(&blk, raw[:])
-			out = append(out, raw[:]...)
+			dst = append(dst, 0, 0)
+			dst = block.AppendRaw(dst, &c.blk)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Decode reconstructs the approximate values from an encoded stream.
 func (c *Codec) Decode(data []byte) ([]float32, error) {
+	// Size the output exactly when the headers pass the same validation
+	// DecodeTo applies (magic, then the allocation-bomb guard).
+	if len(data) >= 8 && [4]byte(data[:4]) == codecMagic {
+		count := int(binary.LittleEndian.Uint32(data[4:]))
+		blocks := (count + compress.BlockValues - 1) / compress.BlockValues
+		if len(data)-8 >= blocks*(2+compress.LineBytes) {
+			return c.DecodeTo(make([]float32, 0, count), data)
+		}
+	}
+	return c.DecodeTo(nil, data)
+}
+
+// DecodeTo appends the decoded values to dst and returns the extended
+// slice. With a retained buffer (dst[:0]) the decode path is
+// allocation-free. On error the returned slice is nil and dst's backing
+// array holds unspecified partial output.
+func (c *Codec) DecodeTo(dst []float32, data []byte) ([]float32, error) {
 	if len(data) < 8 || [4]byte(data[:4]) != codecMagic {
 		return nil, errors.New("avr: bad codec magic")
 	}
@@ -105,14 +143,22 @@ func (c *Codec) Decode(data []byte) ([]float32, error) {
 	if len(data) < blocks*minRecord {
 		return nil, errTruncated
 	}
-	out := make([]float32, 0, count)
-	for len(out) < count {
+	base := len(dst)
+	if cap(dst)-base < count {
+		dst = slices.Grow(dst, count)
+	}
+	for len(dst)-base < count {
 		if len(data) < 2 {
 			return nil, errTruncated
 		}
 		hdr, bias := data[0], int8(data[1])
 		data = data[2:]
-		var vals [compress.BlockValues]uint32
+		take := count - (len(dst) - base)
+		if take > compress.BlockValues {
+			take = compress.BlockValues
+		}
+		n := len(dst)
+		dst = dst[:n+take]
 		if hdr&0x80 != 0 {
 			size := int(hdr & 0x0F)
 			if size < 1 || size > compress.MaxCompressedLines {
@@ -121,25 +167,27 @@ func (c *Codec) Decode(data []byte) ([]float32, error) {
 			if len(data) < size*compress.LineBytes {
 				return nil, errTruncated
 			}
-			summary, bm, outliers, err := block.Decode(data[:size*compress.LineBytes])
+			view, err := block.DecodeView(data[:size*compress.LineBytes])
 			if err != nil {
 				return nil, err
 			}
 			data = data[size*compress.LineBytes:]
 			method := compress.Method(hdr >> 6 & 1)
-			vals = compress.Decompress(&summary, bm, outliers, method, bias, compress.Float32)
+			c.comp.DecompressInto(&c.rec, &view.Summary, view.Bitmap, view.OutlierBytes, method, bias, compress.Float32)
+			for i := 0; i < take; i++ {
+				dst[n+i] = math.Float32frombits(c.rec[i])
+			}
 		} else {
 			if len(data) < compress.BlockBytes {
 				return nil, errTruncated
 			}
-			block.BytesToValues(data[:compress.BlockBytes], &vals)
+			for i := 0; i < take; i++ {
+				dst[n+i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			}
 			data = data[compress.BlockBytes:]
 		}
-		for i := 0; i < compress.BlockValues && len(out) < count; i++ {
-			out = append(out, math.Float32frombits(vals[i]))
-		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Ratio reports the compression ratio achieved by an encoded stream for

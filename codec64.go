@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
+	"slices"
 
+	"avr/internal/block"
 	"avr/internal/compress"
 )
 
@@ -19,27 +22,36 @@ import (
 //	        2 bias bytes (little-endian int16) |
 //	        payload (summary [+ bitmap + outliers], or 1024 B raw)
 func (c *Codec) Encode64(vals []float64) ([]byte, error) {
-	out := make([]byte, 0, len(vals)*2)
-	out = append(out, codec64Magic[:]...)
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(vals)))
-	out = append(out, n[:]...)
+	return c.Encode64To(make([]byte, 0, 8+len(vals)*2), vals)
+}
 
-	var blk [compress.BlockValues64]uint64
+// Encode64To appends the encoded stream for vals to dst and returns the
+// extended slice; with a retained buffer the encode path is
+// allocation-free. The output is byte-identical to Encode64's.
+func (c *Codec) Encode64To(dst []byte, vals []float64) ([]byte, error) {
+	dst = append(dst, codec64Magic[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
+
 	for off := 0; off < len(vals); off += compress.BlockValues64 {
-		for i := 0; i < compress.BlockValues64; i++ {
-			j := off + i
-			if j >= len(vals) {
-				j = len(vals) - 1
-			}
-			blk[i] = math.Float64bits(vals[j])
+		chunk := vals[off:]
+		if len(chunk) > compress.BlockValues64 {
+			chunk = chunk[:compress.BlockValues64]
 		}
-		res := c.comp.Compress64(&blk)
+		for i, v := range chunk {
+			c.blk64[i] = math.Float64bits(v)
+		}
+		last := c.blk64[len(chunk)-1]
+		for i := len(chunk); i < compress.BlockValues64; i++ {
+			c.blk64[i] = last
+		}
+		res := c.comp.CompressFast64(&c.blk64)
 		if res.OK {
 			hdr := byte(0x80) | byte(res.SizeLines)
-			out = append(out, hdr)
-			out = binary.LittleEndian.AppendUint16(out, uint16(res.Bias))
-			payload := make([]byte, res.SizeLines*compress.LineBytes)
+			dst = append(dst, hdr)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(res.Bias))
+			base := len(dst)
+			dst = block.AppendZeros(dst, res.SizeLines*compress.LineBytes)
+			payload := dst[base:]
 			for i, v := range res.Summary {
 				binary.LittleEndian.PutUint64(payload[8*i:], uint64(v))
 			}
@@ -51,23 +63,40 @@ func (c *Codec) Encode64(vals []float64) ([]byte, error) {
 					p += 8
 				}
 			}
-			out = append(out, payload...)
 		} else {
-			out = append(out, 0, 0, 0)
-			var raw [compress.BlockBytes]byte
-			for i, v := range blk {
+			dst = append(dst, 0, 0, 0)
+			base := len(dst)
+			dst = block.AppendZeros(dst, compress.BlockBytes)
+			raw := dst[base:]
+			for i, v := range c.blk64 {
 				binary.LittleEndian.PutUint64(raw[8*i:], v)
 			}
-			out = append(out, raw[:]...)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 var codec64Magic = [4]byte{'A', 'V', 'R', '8'}
 
+var err64BitmapSize = errors.New("avr: codec64 bitmap inconsistent with size")
+
 // Decode64 reconstructs the approximate doubles from an Encode64 stream.
 func (c *Codec) Decode64(data []byte) ([]float64, error) {
+	if len(data) >= 8 && [4]byte(data[:4]) == codec64Magic {
+		count := int(binary.LittleEndian.Uint32(data[4:]))
+		blocks := (count + compress.BlockValues64 - 1) / compress.BlockValues64
+		if len(data)-8 >= blocks*(3+compress.LineBytes) {
+			return c.Decode64To(make([]float64, 0, count), data)
+		}
+	}
+	return c.Decode64To(nil, data)
+}
+
+// Decode64To appends the decoded doubles to dst and returns the extended
+// slice; with a retained buffer the decode path is allocation-free. On
+// error the returned slice is nil and dst's backing array holds
+// unspecified partial output.
+func (c *Codec) Decode64To(dst []float64, data []byte) ([]float64, error) {
 	if len(data) < 8 || [4]byte(data[:4]) != codec64Magic {
 		return nil, errors.New("avr: bad codec64 magic")
 	}
@@ -81,15 +110,23 @@ func (c *Codec) Decode64(data []byte) ([]float64, error) {
 	if len(data) < blocks*minRecord {
 		return nil, errTruncated
 	}
-	out := make([]float64, 0, count)
-	for len(out) < count {
+	base := len(dst)
+	if cap(dst)-base < count {
+		dst = slices.Grow(dst, count)
+	}
+	for len(dst)-base < count {
 		if len(data) < 3 {
 			return nil, errTruncated
 		}
 		hdr := data[0]
 		bias := int16(binary.LittleEndian.Uint16(data[1:]))
 		data = data[3:]
-		var vals [compress.BlockValues64]uint64
+		take := count - (len(dst) - base)
+		if take > compress.BlockValues64 {
+			take = compress.BlockValues64
+		}
+		n := len(dst)
+		dst = dst[:n+take]
 		if hdr&0x80 != 0 {
 			size := int(hdr & 0x0F)
 			if size < 1 || size > compress.MaxCompressedLines {
@@ -98,48 +135,40 @@ func (c *Codec) Decode64(data []byte) ([]float64, error) {
 			if len(data) < size*compress.LineBytes {
 				return nil, errTruncated
 			}
+			payload := data[:size*compress.LineBytes]
+			data = data[size*compress.LineBytes:]
 			var summary [compress.SummaryValues64]int64
 			for i := range summary {
-				summary[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+				summary[i] = int64(binary.LittleEndian.Uint64(payload[8*i:]))
 			}
-			var bm *[compress.BitmapBytes64]byte
-			var outliers []uint64
+			var bitmap, outlierBytes []byte
 			if size > 1 {
-				var b [compress.BitmapBytes64]byte
-				copy(b[:], data[compress.LineBytes:])
-				bm = &b
+				bitmap = payload[compress.LineBytes : compress.LineBytes+compress.BitmapBytes64]
 				k := 0
-				for _, x := range b {
-					for ; x != 0; x &= x - 1 {
-						k++
-					}
+				for _, x := range bitmap {
+					k += bits.OnesCount8(x)
 				}
 				if compress.CompressedLines64(k) != size {
-					return nil, errors.New("avr: codec64 bitmap inconsistent with size")
+					return nil, err64BitmapSize
 				}
 				p := compress.LineBytes + compress.BitmapBytes64
-				outliers = make([]uint64, k)
-				for i := range outliers {
-					outliers[i] = binary.LittleEndian.Uint64(data[p:])
-					p += 8
-				}
+				outlierBytes = payload[p : p+8*k]
 			}
-			data = data[size*compress.LineBytes:]
-			vals = compress.Decompress64(&summary, bm, outliers, bias)
+			c.comp.DecompressInto64(&c.rec64, &summary, bitmap, outlierBytes, bias)
+			for i := 0; i < take; i++ {
+				dst[n+i] = math.Float64frombits(c.rec64[i])
+			}
 		} else {
 			if len(data) < compress.BlockBytes {
 				return nil, errTruncated
 			}
-			for i := range vals {
-				vals[i] = binary.LittleEndian.Uint64(data[8*i:])
+			for i := 0; i < take; i++ {
+				dst[n+i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 			}
 			data = data[compress.BlockBytes:]
 		}
-		for i := 0; i < compress.BlockValues64 && len(out) < count; i++ {
-			out = append(out, math.Float64frombits(vals[i]))
-		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Ratio64 reports the compression ratio of an Encode64 stream. A

@@ -1,0 +1,224 @@
+package avr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"avr/internal/block"
+	"avr/internal/compress"
+)
+
+// Reference scalar codec: the original Encode/Decode implementations,
+// retained verbatim as the oracle for the differential test harness. The
+// fast paths in codec.go/codec64.go restructure the same datapath into
+// flat allocation-free passes; every stream they produce must be
+// byte-identical to these, and every stream they decode must decode to
+// the same values. Kept out of the hot path on purpose — clarity over
+// speed — and exercised only by tests and fuzz targets.
+
+// referenceEncode is the scalar twin of EncodeTo's fast path.
+func (c *Codec) referenceEncode(vals []float32) ([]byte, error) {
+	out := make([]byte, 0, len(vals)/2)
+	out = append(out, codecMagic[:]...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(vals)))
+	out = append(out, n[:]...)
+
+	var blk [compress.BlockValues]uint32
+	for off := 0; off < len(vals); off += compress.BlockValues {
+		for i := 0; i < compress.BlockValues; i++ {
+			j := off + i
+			if j >= len(vals) {
+				j = len(vals) - 1 // pad with the last value
+			}
+			blk[i] = math.Float32bits(vals[j])
+		}
+		res := c.comp.Compress(&blk, compress.Float32)
+		if res.OK {
+			payload, err := block.Encode(&res)
+			if err != nil {
+				return nil, err
+			}
+			hdr := byte(0x80) | byte(res.Method)<<6 | byte(res.SizeLines)
+			out = append(out, hdr, byte(res.Bias))
+			out = append(out, payload...)
+		} else {
+			out = append(out, 0, 0)
+			var raw [compress.BlockBytes]byte
+			block.ValuesToBytes(&blk, raw[:])
+			out = append(out, raw[:]...)
+		}
+	}
+	return out, nil
+}
+
+// referenceDecode is the scalar twin of DecodeTo's fast path.
+func (c *Codec) referenceDecode(data []byte) ([]float32, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != codecMagic {
+		return nil, errors.New("avr: bad codec magic")
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	minRecord := 2 + compress.LineBytes
+	blocks := (count + compress.BlockValues - 1) / compress.BlockValues
+	if len(data) < blocks*minRecord {
+		return nil, errTruncated
+	}
+	out := make([]float32, 0, count)
+	for len(out) < count {
+		if len(data) < 2 {
+			return nil, errTruncated
+		}
+		hdr, bias := data[0], int8(data[1])
+		data = data[2:]
+		var vals [compress.BlockValues]uint32
+		if hdr&0x80 != 0 {
+			size := int(hdr & 0x0F)
+			if size < 1 || size > compress.MaxCompressedLines {
+				return nil, fmt.Errorf("avr: bad block size %d", size)
+			}
+			if len(data) < size*compress.LineBytes {
+				return nil, errTruncated
+			}
+			summary, bm, outliers, err := block.Decode(data[:size*compress.LineBytes])
+			if err != nil {
+				return nil, err
+			}
+			data = data[size*compress.LineBytes:]
+			method := compress.Method(hdr >> 6 & 1)
+			vals = compress.Decompress(&summary, bm, outliers, method, bias, compress.Float32)
+		} else {
+			if len(data) < compress.BlockBytes {
+				return nil, errTruncated
+			}
+			block.BytesToValues(data[:compress.BlockBytes], &vals)
+			data = data[compress.BlockBytes:]
+		}
+		for i := 0; i < compress.BlockValues && len(out) < count; i++ {
+			out = append(out, math.Float32frombits(vals[i]))
+		}
+	}
+	return out, nil
+}
+
+// referenceEncode64 is the scalar twin of Encode64To's fast path.
+func (c *Codec) referenceEncode64(vals []float64) ([]byte, error) {
+	out := make([]byte, 0, len(vals)*2)
+	out = append(out, codec64Magic[:]...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(vals)))
+	out = append(out, n[:]...)
+
+	var blk [compress.BlockValues64]uint64
+	for off := 0; off < len(vals); off += compress.BlockValues64 {
+		for i := 0; i < compress.BlockValues64; i++ {
+			j := off + i
+			if j >= len(vals) {
+				j = len(vals) - 1
+			}
+			blk[i] = math.Float64bits(vals[j])
+		}
+		res := c.comp.Compress64(&blk)
+		if res.OK {
+			hdr := byte(0x80) | byte(res.SizeLines)
+			out = append(out, hdr)
+			out = binary.LittleEndian.AppendUint16(out, uint16(res.Bias))
+			payload := make([]byte, res.SizeLines*compress.LineBytes)
+			for i, v := range res.Summary {
+				binary.LittleEndian.PutUint64(payload[8*i:], uint64(v))
+			}
+			if len(res.Outliers) > 0 {
+				copy(payload[compress.LineBytes:], res.Bitmap[:])
+				p := compress.LineBytes + compress.BitmapBytes64
+				for _, o := range res.Outliers {
+					binary.LittleEndian.PutUint64(payload[p:], o)
+					p += 8
+				}
+			}
+			out = append(out, payload...)
+		} else {
+			out = append(out, 0, 0, 0)
+			var raw [compress.BlockBytes]byte
+			for i, v := range blk {
+				binary.LittleEndian.PutUint64(raw[8*i:], v)
+			}
+			out = append(out, raw[:]...)
+		}
+	}
+	return out, nil
+}
+
+// referenceDecode64 is the scalar twin of Decode64To's fast path.
+func (c *Codec) referenceDecode64(data []byte) ([]float64, error) {
+	if len(data) < 8 || [4]byte(data[:4]) != codec64Magic {
+		return nil, errors.New("avr: bad codec64 magic")
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	minRecord := 3 + compress.LineBytes
+	blocks := (count + compress.BlockValues64 - 1) / compress.BlockValues64
+	if len(data) < blocks*minRecord {
+		return nil, errTruncated
+	}
+	out := make([]float64, 0, count)
+	for len(out) < count {
+		if len(data) < 3 {
+			return nil, errTruncated
+		}
+		hdr := data[0]
+		bias := int16(binary.LittleEndian.Uint16(data[1:]))
+		data = data[3:]
+		var vals [compress.BlockValues64]uint64
+		if hdr&0x80 != 0 {
+			size := int(hdr & 0x0F)
+			if size < 1 || size > compress.MaxCompressedLines {
+				return nil, fmt.Errorf("avr: bad block size %d", size)
+			}
+			if len(data) < size*compress.LineBytes {
+				return nil, errTruncated
+			}
+			var summary [compress.SummaryValues64]int64
+			for i := range summary {
+				summary[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+			}
+			var bm *[compress.BitmapBytes64]byte
+			var outliers []uint64
+			if size > 1 {
+				var b [compress.BitmapBytes64]byte
+				copy(b[:], data[compress.LineBytes:])
+				bm = &b
+				k := 0
+				for _, x := range b {
+					for ; x != 0; x &= x - 1 {
+						k++
+					}
+				}
+				if compress.CompressedLines64(k) != size {
+					return nil, err64BitmapSize
+				}
+				p := compress.LineBytes + compress.BitmapBytes64
+				outliers = make([]uint64, k)
+				for i := range outliers {
+					outliers[i] = binary.LittleEndian.Uint64(data[p:])
+					p += 8
+				}
+			}
+			data = data[size*compress.LineBytes:]
+			vals = compress.Decompress64(&summary, bm, outliers, bias)
+		} else {
+			if len(data) < compress.BlockBytes {
+				return nil, errTruncated
+			}
+			for i := range vals {
+				vals[i] = binary.LittleEndian.Uint64(data[8*i:])
+			}
+			data = data[compress.BlockBytes:]
+		}
+		for i := 0; i < compress.BlockValues64 && len(out) < count; i++ {
+			out = append(out, math.Float64frombits(vals[i]))
+		}
+	}
+	return out, nil
+}

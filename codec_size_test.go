@@ -1,0 +1,177 @@
+package avr
+
+import (
+	"math"
+	"testing"
+
+	"avr/internal/compress"
+)
+
+// The size tests pin the wire-format byte accounting end to end: stream
+// header, per-record header, summary line, bitmap and outlier payload
+// rounding to whole cachelines — and that Ratio/Ratio64 agree exactly
+// with the bytes EncodeTo produces.
+
+// spikeBlock32 builds one compressible 256-value block holding exactly
+// k outliers: a flat base with one moderate spike per 16-value
+// sub-block. The spike shifts its sub-block average by 0.94 — inside
+// the mantissa error bound for the base values (Δ < 2 at exponent 6) —
+// while the spike itself, reconstructed near the base, is far outside
+// its own bound, so each spike is an outlier and nothing else is.
+func spikeBlock32(k int) []float32 {
+	vals := make([]float32, compress.BlockValues)
+	for i := range vals {
+		vals[i] = 100
+	}
+	for s := 0; s < k; s++ {
+		vals[16*s+5] = 115
+	}
+	return vals
+}
+
+func spikeBlock64(k int) []float64 {
+	vals := make([]float64, compress.BlockValues64)
+	for i := range vals {
+		vals[i] = 100
+	}
+	for s := 0; s < k; s++ {
+		vals[16*s+5] = 115
+	}
+	return vals
+}
+
+func TestEncodedSizeAccounting32(t *testing.T) {
+	// Record: 1 header byte + 1 bias byte + SizeLines×64; SizeLines is 1
+	// for the summary line plus, when outliers exist, the rounded-up
+	// lines holding the 32 B bitmap and 4 B outliers. Stream: 8-byte
+	// header ("AVR1" + count) plus the records.
+	cases := []struct {
+		k, wantStream int
+	}{
+		{0, 8 + 2 + 1*64}, // 74: summary line only
+		{1, 8 + 2 + 2*64}, // 138: bitmap+1 outlier start a second line
+		{8, 8 + 2 + 2*64}, // 138: 32+32 B exactly fill that line
+		{9, 8 + 2 + 3*64}, // 202: the 9th outlier spills a third line
+	}
+	c := NewCodec(0)
+	var comp compress.Compressor = *compress.NewCompressor(compress.DefaultThresholds())
+	for _, tc := range cases {
+		vals := spikeBlock32(tc.k)
+		var blk [compress.BlockValues]uint32
+		for i, v := range vals {
+			blk[i] = math.Float32bits(v)
+		}
+		res := comp.CompressFast(&blk, compress.Float32)
+		if !res.OK || len(res.Outliers) != tc.k {
+			t.Fatalf("k=%d: construction yielded ok=%v outliers=%d", tc.k, res.OK, len(res.Outliers))
+		}
+		if got := compress.CompressedLines(tc.k); 2+64*got != tc.wantStream-8 {
+			t.Fatalf("k=%d: CompressedLines=%d disagrees with pinned record size %d", tc.k, got, tc.wantStream-8)
+		}
+		enc, err := c.EncodeTo(nil, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != tc.wantStream {
+			t.Fatalf("k=%d: encoded %d bytes, want %d", tc.k, len(enc), tc.wantStream)
+		}
+		if got, want := Ratio(len(vals), enc), float64(4*len(vals))/float64(tc.wantStream); got != want {
+			t.Fatalf("k=%d: Ratio=%v, want %v", tc.k, got, want)
+		}
+	}
+	// Raw fallback: 2 header bytes + the 1 KiB block, ratio just under 1.
+	noise := make([]float32, compress.BlockValues)
+	for i := range noise {
+		noise[i] = math.Float32frombits(0x9E3779B9 * uint32(i+1))
+	}
+	enc, err := c.EncodeTo(nil, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 + 2 + compress.BlockBytes; len(enc) != want { // 1034
+		t.Fatalf("raw block encoded %d bytes, want %d", len(enc), want)
+	}
+	if got := Ratio(len(noise), enc); got >= 1 {
+		t.Fatalf("raw block ratio %v, want < 1", got)
+	}
+}
+
+func TestEncodedSizeAccounting64(t *testing.T) {
+	// fp64 record: 1 header byte + 2 bias bytes + SizeLines×64; the
+	// 128-value geometry has a 16 B bitmap and 8 B outliers.
+	cases := []struct {
+		k, wantStream int
+	}{
+		{0, 8 + 3 + 1*64}, // 75
+		{1, 8 + 3 + 2*64}, // 139: bitmap+1 outlier in the second line
+		{6, 8 + 3 + 2*64}, // 139: 16+48 B exactly fill it
+		{7, 8 + 3 + 3*64}, // 203: the 7th outlier spills a third line
+	}
+	c := NewCodec(0)
+	comp := compress.NewCompressor(compress.DefaultThresholds())
+	for _, tc := range cases {
+		vals := spikeBlock64(tc.k)
+		var blk [compress.BlockValues64]uint64
+		for i, v := range vals {
+			blk[i] = math.Float64bits(v)
+		}
+		res := comp.CompressFast64(&blk)
+		if !res.OK || len(res.Outliers) != tc.k {
+			t.Fatalf("k=%d: construction yielded ok=%v outliers=%d", tc.k, res.OK, len(res.Outliers))
+		}
+		if got := compress.CompressedLines64(tc.k); 3+64*got != tc.wantStream-8 {
+			t.Fatalf("k=%d: CompressedLines64=%d disagrees with pinned record size %d", tc.k, got, tc.wantStream-8)
+		}
+		enc, err := c.Encode64To(nil, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != tc.wantStream {
+			t.Fatalf("k=%d: encoded %d bytes, want %d", tc.k, len(enc), tc.wantStream)
+		}
+		if got, want := Ratio64(len(vals), enc), float64(8*len(vals))/float64(tc.wantStream); got != want {
+			t.Fatalf("k=%d: Ratio64=%v, want %v", tc.k, got, want)
+		}
+	}
+	noise := make([]float64, compress.BlockValues64)
+	for i := range noise {
+		noise[i] = math.Float64frombits(0x9E3779B97F4A7C15 * uint64(i+1))
+	}
+	enc, err := c.Encode64To(nil, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 + 3 + compress.BlockBytes; len(enc) != want { // 1035
+		t.Fatalf("raw block encoded %d bytes, want %d", len(enc), want)
+	}
+	if got := Ratio64(len(noise), enc); got >= 1 {
+		t.Fatalf("raw block ratio %v, want < 1", got)
+	}
+}
+
+// TestRatioAgreesAcrossEncodePaths pins Ratio consistency between
+// Encode and EncodeTo output on multi-block streams.
+func TestRatioAgreesAcrossEncodePaths(t *testing.T) {
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = 100
+	}
+	c := NewCodec(0)
+	a, err := c.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.EncodeTo(make([]byte, 0, 64), vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Ratio(len(vals), a) != Ratio(len(vals), b) {
+		t.Fatalf("Ratio differs between Encode (%d B) and EncodeTo (%d B)", len(a), len(b))
+	}
+	if r := Ratio(len(vals), a); r < 10 {
+		t.Fatalf("constant-ish stream ratio %v, want ≥ 10", r)
+	}
+	if Ratio(0, a) != 0 || Ratio(100, nil) != 0 {
+		t.Fatal("Ratio degenerate inputs must yield 0")
+	}
+}

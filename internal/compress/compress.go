@@ -26,6 +26,7 @@ import (
 	"math/bits"
 
 	"avr/internal/fixed"
+	"avr/internal/simd"
 )
 
 // Geometry of an AVR memory block.
@@ -203,6 +204,12 @@ type Compressor struct {
 	thresholds Thresholds
 	variants   VariantMask
 
+	// Memoized MantissaBits results — the mapping is a pure function of
+	// T1 but costs a Log2, and the hot path needs it every block.
+	mbT1, mb64T1 float64
+	mbN, mb64N   int
+	mbOK, mb64OK bool
+
 	// scratch buffers reused across calls to avoid per-block allocation.
 	// outA/outB ping-pong between the current attempt and the best one so
 	// far; CompressWith copies the winner out, so a returned Result never
@@ -211,6 +218,18 @@ type Compressor struct {
 	recon [BlockValues]int32
 	outA  [BlockValues]uint32
 	outB  [BlockValues]uint32
+
+	// fast-path scratch (fast32.go / fast64.go). The summary/bitmap pairs
+	// ping-pong between attempts like outA/outB; CompressFast returns a
+	// FastResult that aliases the winner, valid until the next call.
+	sumA, sumB [SummaryValues]int32
+	bmA, bmB   [BitmapBytes]byte
+
+	fx64    [BlockValues64]int64
+	recon64 [BlockValues64]int64
+	sum64   [SummaryValues64]int64
+	bm64    [BitmapBytes64]byte
+	out64   [BlockValues64]uint64
 }
 
 // NewCompressor returns a compressor with the given error thresholds
@@ -226,6 +245,22 @@ func NewCompressorVariants(t Thresholds, v VariantMask) *Compressor {
 		v = VariantBoth
 	}
 	return &Compressor{thresholds: t, variants: v}
+}
+
+// mantissaBits32 returns th.MantissaBits() through a one-entry memo.
+func (c *Compressor) mantissaBits32(th Thresholds) int {
+	if !c.mbOK || th.T1 != c.mbT1 {
+		c.mbT1, c.mbN, c.mbOK = th.T1, th.MantissaBits(), true
+	}
+	return c.mbN
+}
+
+// mantissaBits64 returns th.MantissaBits64() through a one-entry memo.
+func (c *Compressor) mantissaBits64(th Thresholds) int {
+	if !c.mb64OK || th.T1 != c.mb64T1 {
+		c.mb64T1, c.mb64N, c.mb64OK = th.T1, th.MantissaBits64(), true
+	}
+	return c.mb64N
 }
 
 // Thresholds returns the configured error thresholds.
@@ -407,6 +442,15 @@ func valueError(orig, approx uint32, dt DataType, n int, t1 float64) (relErr flo
 
 // downsample computes the 16 sub-block averages for the given placement.
 func downsample(fx *[BlockValues]int32, sum *[SummaryValues]int32, m Method) {
+	if simd.Enabled512() {
+		switch m {
+		case Method1D:
+			simd.Downsample1D(fx, sum)
+		case Method2D:
+			simd.Downsample2D(fx, sum)
+		}
+		return
+	}
 	switch m {
 	case Method1D:
 		for s := 0; s < SummaryValues; s++ {
@@ -414,18 +458,18 @@ func downsample(fx *[BlockValues]int32, sum *[SummaryValues]int32, m Method) {
 		}
 	case Method2D:
 		// 16×16 grid, row-major; sub-block (R,C) covers rows 4R..4R+3,
-		// cols 4C..4C+3; summary index R*4+C.
-		var tmp [SubBlockSize]int32
+		// cols 4C..4C+3; summary index R*4+C. Summed in place — integer
+		// addition is exact, so the order change from the gather-then-
+		// Average16 formulation cannot alter the result.
 		for R := 0; R < 4; R++ {
 			for C := 0; C < 4; C++ {
-				k := 0
-				for r := 4 * R; r < 4*R+4; r++ {
-					for col := 4 * C; col < 4*C+4; col++ {
-						tmp[k] = fx[r*16+col]
-						k++
-					}
+				var s int64
+				base := 64*R + 4*C
+				for r := 0; r < 4; r++ {
+					row := fx[base+16*r : base+16*r+4]
+					s += int64(row[0]) + int64(row[1]) + int64(row[2]) + int64(row[3])
 				}
-				sum[R*4+C] = fixed.Average16(tmp[:])
+				sum[R*4+C] = int32(s >> 4)
 			}
 		}
 	}
@@ -436,64 +480,99 @@ func downsample(fx *[BlockValues]int32, sum *[SummaryValues]int32, m Method) {
 // between sub-block centres for 2D, clamping beyond the outermost centres
 // ("the average values are distributed evenly", §3.3).
 func interpolate(sum *[SummaryValues]int32, out *[BlockValues]int32, m Method) {
+	if simd.Enabled512() {
+		switch m {
+		case Method1D:
+			simd.Interpolate1D(sum, out)
+		case Method2D:
+			simd.Interpolate2D(sum, out)
+		}
+		return
+	}
 	switch m {
 	case Method1D:
 		// Run i's centre sits at position 16i+7.5; work on a ×2 grid so
-		// centres fall on integers (32i+15). frac is in 32nds.
-		for j := 0; j < BlockValues; j++ {
-			p := 2*j - 15 // position relative to centre 0, ×2
-			if p <= 0 {
-				out[j] = sum[0]
-				continue
+		// centres fall on integers (32i+15) and frac is in 32nds. The
+		// position p = 2j-15 clamps below centre 0 for j ≤ 7 and above
+		// centre 15 for j ≥ 248; in between, segment s = (2j-15)>>5 covers
+		// exactly j = 16s+8 .. 16s+23 with odd fracs 1,3,…,31, so the loop
+		// is unrolled into clamp-free runs (same arithmetic per value as
+		// the position-by-position form, hence bit-identical).
+		for j := 0; j < 8; j++ {
+			out[j] = sum[0]
+		}
+		j := 8
+		for s := 0; s < SummaryValues-1; s++ {
+			a := int64(sum[s])
+			d := int64(sum[s+1]) - a
+			// out = a + (d*frac)>>5 for frac = 1,3,…,31, kept as one
+			// running accumulator acc = a<<5 + d*frac: a<<5 is an exact
+			// multiple of 32, so acc>>5 floors to the same value, and
+			// stepping acc by 2d walks frac exactly.
+			acc := a<<5 + d
+			for k := 0; k < 16; k++ {
+				out[j] = int32(acc >> 5)
+				acc += 2 * d
+				j++
 			}
-			i0 := p >> 5
-			if i0 >= SummaryValues-1 {
-				out[j] = sum[SummaryValues-1]
-				continue
-			}
-			frac := int64(p & 31)
-			a, b := int64(sum[i0]), int64(sum[i0+1])
-			out[j] = int32(a + ((b-a)*frac)>>5)
+		}
+		for ; j < BlockValues; j++ {
+			out[j] = sum[SummaryValues-1]
 		}
 	case Method2D:
 		// Sub-block (R,C) centre at (4R+1.5, 4C+1.5); ×2 grid centres at
-		// 8R+3 with spacing 8; frac in 8ths.
-		for r := 0; r < 16; r++ {
-			pr := 2*r - 3
-			R0, fr := clampAxis(pr)
+		// 8R+3 with spacing 8; frac in 8ths. Bilinear interpolation is
+		// separable, so interpolate each summary row horizontally once
+		// (rowVals[R][col] is exactly the reference's top/bot term for
+		// that row) and then blend rows vertically — 4×16 + 16×16 lerps
+		// instead of 3 per output value, same integer math throughout.
+		// Columns clamp to C0=0 for col ≤ 1 and C0=3 for col ≥ 14; rows
+		// likewise (axis position p = 2·idx-3, base index p>>3, frac p&7).
+		var rowVals [4][16]int64
+		for R := 0; R < 4; R++ {
+			rv := &rowVals[R]
+			a0 := int64(sum[R*4])
+			rv[0], rv[1] = a0, a0
+			j := 2
+			for C := 0; C < 3; C++ {
+				a := int64(sum[R*4+C])
+				d := int64(sum[R*4+C+1]) - a
+				acc := a<<3 + d // same accumulator form as the 1D loop
+				for k := 0; k < 4; k++ {
+					rv[j] = acc >> 3
+					acc += 2 * d
+					j++
+				}
+			}
+			a3 := int64(sum[R*4+3])
+			rv[14], rv[15] = a3, a3
+		}
+		for col := 0; col < 16; col++ {
+			out[col] = int32(rowVals[0][col])
+			out[16+col] = int32(rowVals[0][col])
+			out[14*16+col] = int32(rowVals[3][col])
+			out[15*16+col] = int32(rowVals[3][col])
+		}
+		r := 2
+		for R := 0; R < 3; R++ {
+			top, bot := &rowVals[R], &rowVals[R+1]
+			var acc, step [16]int64
 			for col := 0; col < 16; col++ {
-				pc := 2*col - 3
-				C0, fc := clampAxis(pc)
-				// Bilinear with explicit neighbours; clamped axes return
-				// frac 0 so the redundant neighbour reads are harmless.
-				R1, C1 := R0, C0
-				if R0 < 3 {
-					R1 = R0 + 1
+				t := top[col]
+				d := bot[col] - t
+				acc[col] = t<<3 + d
+				step[col] = 2 * d
+			}
+			for fr := 0; fr < 4; fr++ {
+				o := out[r*16 : r*16+16]
+				for col := 0; col < 16; col++ {
+					o[col] = int32(acc[col] >> 3)
+					acc[col] += step[col]
 				}
-				if C0 < 3 {
-					C1 = C0 + 1
-				}
-				a, b := int64(sum[R0*4+C0]), int64(sum[R0*4+C1])
-				c, d := int64(sum[R1*4+C0]), int64(sum[R1*4+C1])
-				top := a + ((b-a)*fc)>>3
-				bot := c + ((d-c)*fc)>>3
-				out[r*16+col] = int32(top + ((bot-top)*fr)>>3)
+				r++
 			}
 		}
 	}
-}
-
-// clampAxis maps a ×2-grid coordinate to a base summary index and a
-// fractional offset in 8ths, clamping outside the outermost centres.
-func clampAxis(p int) (idx int, frac int64) {
-	if p <= 0 {
-		return 0, 0
-	}
-	i := p >> 3
-	if i >= 3 {
-		return 3, 0
-	}
-	return i, int64(p & 7)
 }
 
 // Decompress reconstructs a block from its compressed representation:

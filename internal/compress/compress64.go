@@ -156,19 +156,26 @@ func valueError64(orig, approx uint64, n int) (relErr float64, outlier bool) {
 // interpolation between run centres (centre of run i at 16i+7.5; ×2 grid
 // centres at 32i+15).
 func interpolate64(sum *[SummaryValues64]int64, out *[BlockValues64]int64) {
-	for j := 0; j < BlockValues64; j++ {
-		p := 2*j - 15
-		if p <= 0 {
-			out[j] = sum[0]
-			continue
+	// p = 2j-15 clamps below centre 0 for j ≤ 7 and above centre 7 for
+	// j ≥ 120; segment s = (2j-15)>>5 covers exactly j = 16s+8 .. 16s+23
+	// with odd fracs 1,3,…,31. The truncating /32 step is hoisted per
+	// segment — it depends only on the endpoints, so each output value is
+	// computed by the same expression as the position-by-position form.
+	for j := 0; j < 8; j++ {
+		out[j] = sum[0]
+	}
+	j := 8
+	for s := 0; s < SummaryValues64-1; s++ {
+		a := sum[s]
+		step := (sum[s+1] - a) / 32
+		acc := a + step // a + step*frac is exactly linear in frac
+		for k := 0; k < 16; k++ {
+			out[j] = acc
+			acc += 2 * step
+			j++
 		}
-		i0 := p >> 5
-		if i0 >= SummaryValues64-1 {
-			out[j] = sum[SummaryValues64-1]
-			continue
-		}
-		frac := int64(p & 31)
-		a, b := sum[i0], sum[i0+1]
-		out[j] = a + (b-a)/32*frac
+	}
+	for ; j < BlockValues64; j++ {
+		out[j] = sum[SummaryValues64-1]
 	}
 }

@@ -1,0 +1,274 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"avr/internal/fixed"
+	"avr/internal/simd"
+)
+
+// Fast-path compression: the same datapath as CompressWith restructured
+// into flat slice passes — one fixed-point convert sweep, the strided
+// 16→1 downsample, one reconstruction convert sweep and one branch-light
+// error/outlier select — with every intermediate held in compressor
+// scratch. No Result struct is filled in (no 1 KiB Reconstructed image,
+// no outlier copy), so the codec encode loop runs allocation-free. The
+// output is bit-identical to the scalar reference path; the differential
+// tests in the avr package pin that equivalence.
+
+// FastResult describes one fast-path block compression. Summary, Bitmap
+// and Outliers alias compressor scratch and are valid only until the
+// next compression call on the same Compressor; callers serialise them
+// immediately (block.AppendEncode).
+type FastResult struct {
+	OK        bool
+	Method    Method
+	Bias      int8
+	SizeLines int
+	AvgError  float64
+	Summary   *[SummaryValues]int32
+	Bitmap    *[BitmapBytes]byte
+	Outliers  []uint32
+}
+
+// CompressFast compresses one block through the flat passes under the
+// compressor's configured thresholds.
+func (c *Compressor) CompressFast(vals *[BlockValues]uint32, dt DataType) FastResult {
+	return c.CompressFastWith(vals, dt, c.thresholds)
+}
+
+// CompressFastWith is CompressFast with explicit thresholds. It attempts
+// the same placement variants as CompressWith in the same order and
+// applies the same better() selection, so the winning (method, bias,
+// summary, bitmap, outliers) tuple is identical.
+func (c *Compressor) CompressFastWith(vals *[BlockValues]uint32, dt DataType, th Thresholds) FastResult {
+	var bias int8
+	if dt == Float32 {
+		bias, _ = fixed.ChooseBias(vals[:])
+		fixed.FloatsToFixed(c.fx[:], vals[:], bias)
+	} else {
+		for i, b := range vals {
+			c.fx[i] = int32(b)
+		}
+	}
+
+	var best FastResult
+	bestValid := false
+	sum, bm, out := &c.sumA, &c.bmA, &c.outA
+	for _, m := range []Method{Method1D, Method2D} {
+		if m == Method1D && c.variants&Variant1D == 0 {
+			continue
+		}
+		if m == Method2D && c.variants&Variant2D == 0 {
+			continue
+		}
+		r := c.fastAttempt(vals, dt, bias, m, th, sum, bm, out)
+		if !bestValid || fastBetter(&r, &best) {
+			best = r
+			bestValid = true
+			// The winner owns its scratch; aim the next attempt elsewhere.
+			if sum == &c.sumA {
+				sum, bm, out = &c.sumB, &c.bmB, &c.outB
+			} else {
+				sum, bm, out = &c.sumA, &c.bmA, &c.outA
+			}
+		}
+	}
+	return best
+}
+
+// fastBetter mirrors better() on FastResults: success, then size, then
+// outlier count, then average error. Strict improvement only, so ties
+// keep the first attempt (1D), exactly like the reference.
+func fastBetter(a, b *FastResult) bool {
+	if a.OK != b.OK {
+		return a.OK
+	}
+	if a.SizeLines != b.SizeLines {
+		return a.SizeLines < b.SizeLines
+	}
+	if len(a.Outliers) != len(b.Outliers) {
+		return len(a.Outliers) < len(b.Outliers)
+	}
+	return a.AvgError < b.AvgError
+}
+
+// fastAttempt runs one placement variant: downsample, interpolate, then
+// one fused reconstruction-convert + error/outlier pass.
+func (c *Compressor) fastAttempt(vals *[BlockValues]uint32, dt DataType, bias int8, m Method, th Thresholds, sum *[SummaryValues]int32, bm *[BitmapBytes]byte, out *[BlockValues]uint32) FastResult {
+	downsample(&c.fx, sum, m)
+	interpolate(sum, &c.recon, m)
+	clear(bm[:])
+
+	var nOut, nonOutliers int
+	var errSum float64
+	if dt == Float32 {
+		nOut, nonOutliers, errSum = errCheckRecon32(vals, &c.recon, bias, c.mantissaBits32(th), bm, out)
+	} else {
+		nOut, nonOutliers, errSum = errCheckFixed32(vals, &c.recon, th.T1, bm, out)
+	}
+
+	r := FastResult{Method: m, Bias: bias, Summary: sum, Bitmap: bm}
+	if nOut > 0 {
+		r.Outliers = out[:nOut]
+	}
+	if nonOutliers > 0 {
+		r.AvgError = errSum / float64(nonOutliers)
+	}
+	r.SizeLines = CompressedLines(nOut)
+	r.OK = r.SizeLines <= MaxCompressedLines && r.AvgError <= th.T2
+	if !r.OK && r.SizeLines > MaxCompressedLines {
+		r.SizeLines = BlockLines
+	}
+	return r
+}
+
+// errCheckRecon32 fuses the reconstruction convert sweep
+// (fixed.FixedToFloats) with valueError's Float32 branch over the whole
+// block: each reconstructed fixed-point value becomes a float bit
+// pattern in a register and is classified immediately, with no approx
+// array round-trip. Bitmap bits are set, outliers compacted and the
+// relative error of non-outliers accumulated in index order (the float64
+// sum must match the reference accumulation exactly).
+//
+// The branch structure differs from the reference switch but decides
+// identically: (orig XOR approx) over the sign+exponent bits is zero
+// exactly when the reference reaches its mantissa-delta case (both
+// normal, same sign, same exponent) or its "both special"/"both
+// denormal" accepting cases; every remaining combination is an outlier
+// except a denormal original with a denormal approximation of the
+// opposite sign (which the reference accepts with zero error — adding
+// that zero to the sum is skipped, which cannot change a float64 sum of
+// non-negative terms).
+// Error accumulation: every accepted mantissa delta d is below 2^23, so
+// its relative error float64(d)/2^23 is an exact multiple of 2^-23 and
+// every partial sum (< 256) is too — float64 holds those multiples
+// exactly (< 2^31 quanta against a 52-bit mantissa), so the reference's
+// stepwise float sum never rounds and equals the scaled integer sum
+// computed here.
+func errCheckRecon32(vals *[BlockValues]uint32, recon *[BlockValues]int32, bias int8, n int, bm *[BitmapBytes]byte, out *[BlockValues]uint32) (nOut, nonOutliers int, errSum float64) {
+	lim := uint32(1) << (23 - n) // d >= lim  ⇔  bits.Len32(d) > 23-n
+	nb := -int(bias)
+	if simd.Enabled() {
+		// The AVX2 kernel runs the identical classification lane for
+		// lane (see internal/simd), filling the bitmap and returning the
+		// integer delta sum; outliers are compacted from the bitmap in
+		// index order, exactly as the scalar loop appends them.
+		dSum := simd.ErrCheckRecon32(vals, recon, bm, int32(nb), lim)
+		// Walk the bitmap eight bytes at a time; little-endian word bit
+		// w*64+t is exactly bitmap bit (byte w*8+t/8, bit t%8), so the
+		// trailing-zeros walk visits values in index order.
+		for w := 0; w < BitmapBytes/8; w++ {
+			v := binary.LittleEndian.Uint64(bm[w*8:])
+			for v != 0 {
+				out[nOut] = vals[w<<6+bits.TrailingZeros64(v)]
+				v &= v - 1
+				nOut++
+			}
+		}
+		return nOut, BlockValues - nOut, float64(dSum) / (1 << 23)
+	}
+	var dSum int64
+	for i := 0; i < BlockValues; i++ {
+		// Inline fixed.FixedToFloats: convert and un-bias one value.
+		a := math.Float32bits(float32(recon[i]) * (1.0 / (1 << fixed.FracBits)))
+		if nb != 0 {
+			if e := int(a>>23) & 0xFF; e != 0 && e != 0xFF {
+				a = a&^(0xFF<<23) | uint32(e+nb)<<23
+			}
+		}
+		o := vals[i]
+		if (o^a)&0xFF800000 == 0 {
+			// Same sign and exponent.
+			if eo := o >> 23 & 0xFF; eo-1 < 0xFE {
+				// Both normal: the reference's mantissa-delta case.
+				mo, ma := o&0x7FFFFF, a&0x7FFFFF
+				d := mo - ma
+				if ma > mo {
+					d = ma - mo
+				}
+				if d < lim {
+					dSum += int64(d)
+					nonOutliers++
+					continue
+				}
+			} else if o == a || eo == 0 {
+				// Specials match bit-exactly, or both are ±denormal/zero.
+				nonOutliers++
+				continue
+			}
+		} else if o&0x7F800000 == 0 && a&0x7F800000 == 0 {
+			// Denormal/zero original, denormal/zero approximation of the
+			// opposite sign: accepted with zero error.
+			nonOutliers++
+			continue
+		}
+		bm[i>>3] |= 1 << (i & 7)
+		out[nOut] = o
+		nOut++
+	}
+	return nOut, nonOutliers, float64(dSum) / (1 << 23)
+}
+
+// errCheckFixed32 is valueError's Fixed32 branch over the whole block.
+func errCheckFixed32(vals *[BlockValues]uint32, recon *[BlockValues]int32, t1 float64, bm *[BitmapBytes]byte, out *[BlockValues]uint32) (nOut, nonOutliers int, errSum float64) {
+	for i := 0; i < BlockValues; i++ {
+		o, a := int64(int32(vals[i])), int64(recon[i])
+		d := o - a
+		if d < 0 {
+			d = -d
+		}
+		outlier := false
+		var relErr float64
+		if o == 0 {
+			outlier = d != 0
+		} else {
+			ao := o
+			if ao < 0 {
+				ao = -ao
+			}
+			relErr = float64(d) / float64(ao)
+			if relErr > t1 {
+				outlier = true
+				relErr = 0
+			}
+		}
+		if outlier {
+			bm[i>>3] |= 1 << (i & 7)
+			out[nOut] = vals[i]
+			nOut++
+		} else {
+			errSum += relErr
+			nonOutliers++
+		}
+	}
+	return nOut, nonOutliers, errSum
+}
+
+// DecompressInto reconstructs a block from its parsed wire parts without
+// allocating: interpolate into scratch, one flat convert pass, then
+// overlay the exact outliers driven by the bitmap's set bits. bitmap and
+// outlierBytes may be nil/empty for an outlier-free block; outlierBytes
+// holds the packed little-endian outlier values and must cover every set
+// bitmap bit (callers validate via block.DecodeView).
+func (c *Compressor) DecompressInto(out *[BlockValues]uint32, summary *[SummaryValues]int32, bitmap, outlierBytes []byte, m Method, bias int8, dt DataType) {
+	interpolate(summary, &c.recon, m)
+	if dt == Float32 {
+		fixed.FixedToFloats(out[:], c.recon[:], bias)
+	} else {
+		for i, v := range c.recon {
+			out[i] = uint32(v)
+		}
+	}
+	oi := 0
+	for bi, b := range bitmap {
+		for b != 0 {
+			i := bi<<3 + bits.TrailingZeros8(b)
+			b &= b - 1
+			out[i] = binary.LittleEndian.Uint32(outlierBytes[oi:])
+			oi += 4
+		}
+	}
+}

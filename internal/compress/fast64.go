@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"avr/internal/fixed"
+)
+
+// FastResult64 describes one fast-path 64-bit block compression.
+// Summary, Bitmap and Outliers alias compressor scratch, valid until the
+// next compression call on the same Compressor.
+type FastResult64 struct {
+	OK        bool
+	Bias      int16
+	SizeLines int
+	AvgError  float64
+	Summary   *[SummaryValues64]int64
+	Bitmap    *[BitmapBytes64]byte
+	Outliers  []uint64
+}
+
+// CompressFast64 is the flat-pass form of Compress64 (1D only, like the
+// reference), bit-identical in every output field.
+func (c *Compressor) CompressFast64(vals *[BlockValues64]uint64) FastResult64 {
+	return c.CompressFast64With(vals, c.thresholds)
+}
+
+// CompressFast64With is CompressFast64 with explicit thresholds.
+func (c *Compressor) CompressFast64With(vals *[BlockValues64]uint64, th Thresholds) FastResult64 {
+	bias, _ := fixed.ChooseBias64(vals[:])
+	fixed.FloatsToFixed64(c.fx64[:], vals[:], bias)
+	for s := 0; s < SummaryValues64; s++ {
+		c.sum64[s] = fixed.Average16x64(c.fx64[s*SubBlockSize64 : (s+1)*SubBlockSize64])
+	}
+	interpolate64(&c.sum64, &c.recon64)
+	clear(c.bm64[:])
+
+	nOut, nonOutliers, errSum := errCheckRecon64(vals, &c.recon64, bias, c.mantissaBits64(th), &c.bm64, &c.out64)
+
+	r := FastResult64{Bias: bias, Summary: &c.sum64, Bitmap: &c.bm64}
+	if nOut > 0 {
+		r.Outliers = c.out64[:nOut]
+	}
+	if nonOutliers > 0 {
+		r.AvgError = errSum / float64(nonOutliers)
+	}
+	r.SizeLines = CompressedLines64(nOut)
+	r.OK = r.SizeLines <= MaxCompressedLines && r.AvgError <= th.T2
+	if !r.OK && r.SizeLines > MaxCompressedLines {
+		r.SizeLines = BlockLines
+	}
+	return r
+}
+
+// errCheckRecon64 fuses the reconstruction convert sweep
+// (fixed.FixedToFloats64) with valueError64 over the whole block,
+// accumulating non-outlier error in index order like the reference. The
+// branch structure mirrors errCheckRecon32: see the discussion there for
+// why it decides identically to the reference switch.
+func errCheckRecon64(vals *[BlockValues64]uint64, recon *[BlockValues64]int64, bias int16, n int, bm *[BitmapBytes64]byte, out *[BlockValues64]uint64) (nOut, nonOutliers int, errSum float64) {
+	lim := uint64(1) << (52 - n) // d >= lim  ⇔  bits.Len64(d) > 52-n
+	const signExpMask = uint64(0xFFF) << 52
+	const expMask = uint64(0x7FF) << 52
+	const mantMask = uint64(1)<<52 - 1
+	nb := -int(bias)
+	for i := 0; i < BlockValues64; i++ {
+		// Inline fixed.FixedToFloats64: convert and un-bias one value.
+		a := math.Float64bits(float64(recon[i]) / (1 << fixed.FracBits64))
+		if nb != 0 {
+			if e := int(a>>52) & 0x7FF; e != 0 && e != 0x7FF {
+				a = a&^expMask | uint64(e+nb)<<52
+			}
+		}
+		o := vals[i]
+		if (o^a)&signExpMask == 0 {
+			// Same sign and exponent.
+			if eo := o >> 52 & 0x7FF; eo-1 < 0x7FE {
+				// Both normal: the reference's mantissa-delta case.
+				mo, ma := o&mantMask, a&mantMask
+				d := mo - ma
+				if ma > mo {
+					d = ma - mo
+				}
+				if d < lim {
+					errSum += float64(d) / (1 << 52)
+					nonOutliers++
+					continue
+				}
+			} else if o == a || eo == 0 {
+				// Specials match bit-exactly, or both are ±denormal/zero.
+				nonOutliers++
+				continue
+			}
+		} else if o&expMask == 0 && a&expMask == 0 {
+			// Denormal/zero original, denormal/zero approximation of the
+			// opposite sign: accepted with zero error.
+			nonOutliers++
+			continue
+		}
+		bm[i>>3] |= 1 << (i & 7)
+		out[nOut] = o
+		nOut++
+	}
+	return nOut, nonOutliers, errSum
+}
+
+// DecompressInto64 reconstructs a 128-double block from its parsed wire
+// parts without allocating. bitmap and outlierBytes may be nil/empty;
+// outlierBytes holds packed little-endian doubles covering every set
+// bitmap bit.
+func (c *Compressor) DecompressInto64(out *[BlockValues64]uint64, summary *[SummaryValues64]int64, bitmap, outlierBytes []byte, bias int16) {
+	interpolate64(summary, &c.recon64)
+	fixed.FixedToFloats64(out[:], c.recon64[:], bias)
+	oi := 0
+	for bi, b := range bitmap {
+		for b != 0 {
+			i := bi<<3 + bits.TrailingZeros8(b)
+			b &= b - 1
+			out[i] = binary.LittleEndian.Uint64(outlierBytes[oi:])
+			oi += 8
+		}
+	}
+}

@@ -9,7 +9,11 @@
 // and removes the bias.
 package fixed
 
-import "math"
+import (
+	"math"
+
+	"avr/internal/simd"
+)
 
 // FracBits is the number of fractional bits in the Q15.16 fixed-point
 // format used by the compressor datapath.
@@ -22,6 +26,15 @@ const IntBits = 31 - FracBits
 // is steered to by biasing. 2^TargetExp must fit comfortably in the fixed
 // format's integer range (|v| < 2^IntBits) with headroom for sub-block sums.
 const TargetExp = IntBits - 3
+
+// roundMagic is 1.5×2^52. Adding and subtracting it rounds a float64 to
+// the nearest integer with ties to even — the FPU's round-to-nearest on
+// the addition does the work — exactly like math.RoundToEven for any
+// |v| < 2^51 (the sum stays in [2^52, 2^53) where the ulp is 1, and the
+// magic constant is even so ties keep their parity). The conversion
+// sweeps use it because math.RoundToEven is a library call on targets
+// without a native rounding instruction.
+const roundMagic = 6755399441055744.0
 
 // ieeeExpBits extracts the raw (biased) 8-bit exponent field.
 func ieeeExpBits(bits uint32) int { return int(bits>>23) & 0xFF }
@@ -46,23 +59,27 @@ func IsDenormalOrZero(bits uint32) bool { return ieeeExpBits(bits) == 0 }
 //
 // A zero bias with ok=true is returned when the block is already in range.
 func ChooseBias(bits []uint32) (bias int8, ok bool) {
+	// Branch-free scan: specials are collected into a flag (checking it
+	// after the loop returns the same (0, false) as the early return —
+	// the function is pure), and ±0/denormals are mapped to 0xFF for the
+	// running min so they can never lower it (they already cannot raise
+	// maxE above its 0 start).
 	minE, maxE := 0xFF, 0
-	for _, b := range bits {
-		e := ieeeExpBits(b)
-		if e == 0xFF {
-			return 0, false
-		}
-		if e == 0 {
-			continue // ±0 / denormal: unaffected by biasing
-		}
-		if e < minE {
-			minE = e
-		}
-		if e > maxE {
-			maxE = e
+	special := 0
+	if len(bits) == 256 && simd.Enabled512() {
+		p := simd.ChooseBiasScan((*[256]uint32)(bits))
+		minE, maxE = int(p&0xFF), int(p>>8)&0xFF
+		special = int(p >> 16)
+	} else {
+		for _, b := range bits {
+			e := ieeeExpBits(b)
+			special |= (e + 1) >> 8           // 1 iff e == 0xFF
+			lo := e | (((e - 1) >> 8) & 0xFF) // 0xFF iff e == 0
+			minE = min(minE, lo)
+			maxE = max(maxE, e)
 		}
 	}
-	if maxE == 0 {
+	if special != 0 || maxE == 0 {
 		return 0, false
 	}
 	// Raw exponent field value corresponding to unbiased exponent TargetExp.
@@ -114,14 +131,90 @@ func FloatToFixed(bits uint32) int32 {
 	case v <= math.MinInt32:
 		return math.MinInt32
 	}
-	return int32(math.RoundToEven(v))
+	// |v| < 2^31 here, well inside roundMagic's exact range.
+	return int32((v + roundMagic) - roundMagic)
 }
 
 // FixedToFloat converts a Q15.16 fixed-point value back to a float bit
-// pattern (still biased; callers apply RemoveBias afterwards).
+// pattern (still biased; callers apply RemoveBias afterwards). The
+// float32 conversion rounds v's significand to 24 bits and the
+// power-of-two scale is exact, so this single-precision form is
+// bit-identical to float32(float64(v) / (1 << FracBits)) — the scale
+// shifts the exponent without touching the significand, and the result
+// (≥ 2^-16 in magnitude when nonzero) can never be denormal.
 func FixedToFloat(v int32) uint32 {
-	f := float32(float64(v) / (1 << FracBits))
+	f := float32(v) * (1.0 / (1 << FracBits))
 	return math.Float32bits(f)
+}
+
+// FloatsToFixed is the flat-pass form of ApplyBias + FloatToFixed over a
+// whole block: dst[i] = FloatToFixed(ApplyBias(src[i], bias)). It exists
+// so the codec hot path converts a block in one bounds-check-friendly
+// sweep; results are bit-identical to the per-value calls. dst must be
+// at least as long as src.
+//
+// The common case folds the bias into one exact power-of-two scale:
+// for a normal value whose biased exponent stays normal, ApplyBias is
+// exactly a multiplication by 2^bias, so float64(biased)·2^FracBits
+// equals float64(orig)·2^(bias+FracBits) — both products are exact in
+// float64 (the operands are powers of two and float32-exact values), so
+// the fused form rounds identically. Zeros, denormals, specials and any
+// exponent the bias would push out of the normal range take the
+// per-value reference path.
+func FloatsToFixed(dst []int32, src []uint32, bias int8) {
+	dst = dst[:len(src)]
+	if bias == 0 {
+		for i, b := range src {
+			dst[i] = FloatToFixed(b)
+		}
+		return
+	}
+	// 2^(bias+FracBits) built directly from the exponent; bias is at
+	// most ±128 so the scale is always a normal float64.
+	scale := math.Float64frombits(uint64(1023+int(bias)+FracBits) << 52)
+	if len(src) == 256 && simd.Enabled() {
+		// Whole-block AVX2 sweep (bit-identical; see internal/simd). A
+		// false return means some lane needs the reference path below.
+		if simd.FloatsToFixedScaled((*[256]int32)(dst), (*[256]uint32)(src), int32(bias), scale) {
+			return
+		}
+	}
+	for i, b := range src {
+		e := int(b>>23) & 0xFF
+		if eb := e + int(bias); e == 0 || e == 0xFF || eb < 1 || eb > 254 {
+			dst[i] = FloatToFixed(ApplyBias(b, bias))
+			continue
+		}
+		v := float64(math.Float32frombits(b)) * scale
+		switch {
+		case v >= math.MaxInt32:
+			dst[i] = math.MaxInt32
+		case v <= math.MinInt32:
+			dst[i] = math.MinInt32
+		default:
+			dst[i] = int32((v + roundMagic) - roundMagic)
+		}
+	}
+}
+
+// FixedToFloats is the flat-pass inverse: dst[i] =
+// RemoveBias(FixedToFloat(src[i]), bias), bit-identical to the per-value
+// calls. dst must be at least as long as src.
+func FixedToFloats(dst []uint32, src []int32, bias int8) {
+	dst = dst[:len(src)]
+	nb := -int(bias)
+	for i, v := range src {
+		// Same expression as FixedToFloat: one int32→float32 rounding,
+		// then the exact power-of-two scale.
+		b := math.Float32bits(float32(v) * (1.0 / (1 << FracBits)))
+		if nb != 0 {
+			// Inline RemoveBias: zeros/denormals and specials pass through.
+			if e := ieeeExpBits(b); e != 0 && e != 0xFF {
+				b = b&^(0xFF<<23) | uint32(e+nb)<<23
+			}
+		}
+		dst[i] = b
+	}
 }
 
 // Average16 returns the fixed-point average of exactly 16 fixed-point

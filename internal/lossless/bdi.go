@@ -123,8 +123,15 @@ func fits(line []byte, f form) bool {
 // Encode compresses the line: a 1-byte form tag followed by the payload.
 // Incompressible lines are stored raw (65 bytes total).
 func Encode(line []byte) []byte {
+	return AppendEncode(make([]byte, 0, 1+LineBytes), line)
+}
+
+// AppendEncode appends Encode's exact bytes for line to dst and returns
+// the extended slice, allocating only for dst's growth. It is the
+// building block of the store's zero-allocation lossless-fallback path.
+func AppendEncode(dst []byte, line []byte) []byte {
 	id, _ := bestForm(line)
-	out := []byte{id}
+	out := append(dst, id)
 	switch id {
 	case idZeros:
 		return append(out, 0)
@@ -148,7 +155,15 @@ func Encode(line []byte) []byte {
 
 // Decode reconstructs the 64-byte line from an Encode stream.
 func Decode(data []byte) []byte {
-	line := make([]byte, LineBytes)
+	return DecodeInto(make([]byte, LineBytes), data)
+}
+
+// DecodeInto reconstructs an Encode stream into line (which must hold at
+// least LineBytes; extra capacity is ignored) without allocating, and
+// returns line[:LineBytes]. Previous contents are overwritten.
+func DecodeInto(line []byte, data []byte) []byte {
+	line = line[:LineBytes]
+	clear(line)
 	if len(data) == 0 {
 		return line
 	}

@@ -95,6 +95,54 @@ func TestCodecPoolConcurrentBorrowers(t *testing.T) {
 	wg.Wait()
 }
 
+// TestCodecPoolScratchIsolation pins the EncodeTo ownership contract
+// across pool reuse: the bytes a borrowed codec appends to the caller's
+// destination must never alias the codec's internal scratch, so a later
+// borrower encoding different data cannot corrupt an earlier result
+// that is still in flight (exactly the server's response lifecycle —
+// the response buffer outlives the Put).
+func TestCodecPoolScratchIsolation(t *testing.T) {
+	p := NewCodecPool()
+	a, err := workloads.GenFloat32("heat", 2048, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workloads.GenFloat32("normal", 2048, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Get(0)
+	encA, err := c.EncodeTo(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), encA...)
+	p.Put(0, c)
+	// Reuse the (very likely same) codec on different data, twice, with
+	// decode in between to churn every scratch buffer it owns.
+	for i := 0; i < 3; i++ {
+		c = p.Get(0)
+		encB, err := c.EncodeTo(nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decode(encB); err != nil {
+			t.Fatal(err)
+		}
+		p.Put(0, c)
+	}
+	if !bytes.Equal(encA, snapshot) {
+		t.Fatal("earlier EncodeTo result mutated by later pooled encode: output aliases codec scratch")
+	}
+	dec, err := avr.NewCodec(0).Decode(encA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(a) {
+		t.Fatalf("decoded %d values, want %d", len(dec), len(a))
+	}
+}
+
 func TestCodecPoolThresholdBuckets(t *testing.T) {
 	p := NewCodecPool()
 	vals, err := workloads.GenFloat32("mixed", 4096, 5)

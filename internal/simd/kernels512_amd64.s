@@ -1,0 +1,557 @@
+#include "textflag.h"
+
+// AVX-512 forms of the kernels in kernels_amd64.s: 16 lanes per group
+// instead of 8, with the lane-mask logic held in opmask registers (an
+// outlier group mask becomes two bitmap bytes via KMOVW). The per-lane
+// arithmetic is instruction-for-instruction the operation the AVX2 and
+// scalar forms perform, so all three tiers are bit-identical; the
+// property tests in this package compare the tiers directly.
+
+// Same constant tables as kernels_amd64.s (file-static symbols do not
+// cross assembly files).
+DATA errconst512<>+0(SB)/4, $0x37800000  // 2^-16 as float32
+DATA errconst512<>+4(SB)/4, $0x7F800000  // exponent mask
+DATA errconst512<>+8(SB)/4, $0xFF800000  // sign+exponent mask
+DATA errconst512<>+12(SB)/4, $0x007FFFFF // mantissa mask
+DATA errconst512<>+16(SB)/4, $0x807FFFFF // sign+mantissa (clear exponent)
+GLOBL errconst512<>(SB), RODATA|NOPTR, $20
+
+DATA fixconst512<>+0(SB)/8, $0x41DFFFFFFFC00000 // 2147483647.0 (MaxInt32)
+DATA fixconst512<>+8(SB)/8, $0xC1E0000000000000 // -2147483648.0 (MinInt32)
+DATA fixconst512<>+16(SB)/4, $0x7F800000        // exponent mask
+DATA fixconst512<>+20(SB)/4, $1
+DATA fixconst512<>+24(SB)/4, $254
+GLOBL fixconst512<>(SB), RODATA|NOPTR, $28
+
+// func errCheckAVX512(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64
+TEXT ·errCheckAVX512(SB), NOSPLIT, $0-40
+	MOVQ vals+0(FP), DI
+	MOVQ recon+8(FP), SI
+	MOVQ bm+16(FP), BX
+	VPBROADCASTD errconst512<>+0(SB), Z15 // 2^-16f
+	VPBROADCASTD errconst512<>+4(SB), Z14 // expmask
+	VPBROADCASTD errconst512<>+8(SB), Z13 // sign+exp
+	VPBROADCASTD errconst512<>+12(SB), Z12 // mantissa
+	VPBROADCASTD errconst512<>+16(SB), Z8 // clear-exp
+	MOVL nb+24(FP), AX
+	VPBROADCASTD AX, Z11
+	MOVL lim+28(FP), AX
+	VPBROADCASTD AX, Z10
+	VPXORD Z9, Z9, Z9 // delta accumulator
+	MOVQ $16, CX
+
+eloop512:
+	// Reconstruct: a = bits(float32(recon) * 2^-16), then un-bias.
+	VMOVDQU32 (SI), Z0
+	VCVTDQ2PS Z0, Z0
+	VMULPS Z15, Z0, Z0
+	VPANDD Z14, Z0, Z1
+	VPTESTNMD Z1, Z1, K1 // e == 0
+	VPCMPEQD Z14, Z1, K2 // e == 0xFF
+	KORW K1, K2, K3
+	KNOTW K3, K3 // surgery lanes
+	VPSRLD $23, Z1, Z1
+	VPADDD Z11, Z1, Z1
+	VPSLLD $23, Z1, Z1
+	VPANDD Z8, Z0, Z2
+	VPORD Z1, Z2, Z2
+	VMOVDQU32 Z2, K3, Z0 // a: merge rebiased bits into surgery lanes
+
+	// Classify against the original bits o.
+	VMOVDQU32 (DI), Z1
+	VPCMPEQD Z1, Z0, K2 // o == a
+	VPXORD Z0, Z1, Z2
+	VPTESTNMD Z13, Z2, K3 // M1: same sign+exponent
+	VPANDD Z14, Z1, Z2
+	VPTESTNMD Z2, Z2, K4 // e(o) == 0
+	VPCMPEQD Z14, Z2, K5 // e(o) == 0xFF
+
+	// Special accepts: M1 & (e(o)==0 | (e(o)==0xFF & o==a)).
+	KANDW K5, K2, K2
+	KORW K4, K2, K2
+	KANDW K3, K2, K2
+
+	// Cross accept: ~M1 & e(o)==0 & e(a)==0.
+	VPANDD Z14, Z0, Z2
+	VPTESTNMD Z2, Z2, K6
+	KANDW K4, K6, K6
+	KANDNW K6, K3, K6
+	KORW K6, K2, K2
+
+	KORW K4, K5, K4 // ~normal(o)
+
+	// Normal accept: M1 & normal(o) & |mant(o)-mant(a)| < lim.
+	VPANDD Z12, Z1, Z2
+	VPANDD Z12, Z0, Z3
+	VPSUBD Z3, Z2, Z2
+	VPABSD Z2, Z2
+	VPCMPUD $1, Z10, Z2, K5 // delta < lim
+	KANDW K3, K5, K5
+	KANDNW K5, K4, K5
+
+	// Accumulate accepted deltas; emit two outlier bitmap bytes.
+	VPADDD Z2, Z9, K5, Z9
+	KORW K2, K5, K2
+	KNOTW K2, K2
+	KMOVW K2, AX
+	MOVW AX, (BX)
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	ADDQ $2, BX
+	DECQ CX
+	JNZ eloop512
+
+	// Horizontal sum of the 16 accumulator lanes (each < 2^27).
+	VEXTRACTI64X4 $1, Z9, Y0
+	VPADDD Y0, Y9, Y9
+	VEXTRACTI128 $1, Y9, X0
+	VPADDD X0, X9, X9
+	VPSHUFD $0x4E, X9, X0
+	VPADDD X0, X9, X9
+	VPSHUFD $0x01, X9, X0
+	VPADDD X0, X9, X9
+	VMOVD X9, AX
+	MOVQ AX, ret+32(FP)
+	VZEROUPPER
+	RET
+
+// func floatsToFixedAVX512(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool
+TEXT ·floatsToFixedAVX512(SB), NOSPLIT, $0-33
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	VPBROADCASTD fixconst512<>+16(SB), Z15 // expmask
+	MOVL bias+16(FP), AX
+	VPBROADCASTD AX, Z14
+	VPBROADCASTD fixconst512<>+20(SB), Z13 // 1
+	VPBROADCASTD fixconst512<>+24(SB), Z12 // 254
+	VBROADCASTSD scale+24(FP), Z11
+	VBROADCASTSD fixconst512<>+0(SB), Z10 // MaxInt32 as f64
+	VBROADCASTSD fixconst512<>+8(SB), Z9  // MinInt32 as f64
+	KXORW K7, K7, K7                   // bad-lane accumulator
+	MOVQ $16, CX
+
+floop512:
+	VMOVDQU32 (SI), Z0
+	VPANDD Z15, Z0, Z1
+	VPTESTNMD Z1, Z1, K1 // e == 0
+	VPCMPEQD Z15, Z1, K2 // e == 0xFF
+	VPSRLD $23, Z1, Z1
+	VPADDD Z14, Z1, Z1  // eb = e + bias
+	VPCMPD $1, Z13, Z1, K3 // eb < 1
+	KORW K3, K2, K2
+	VPCMPD $6, Z12, Z1, K3 // eb > 254
+	KORW K3, K2, K2
+	KANDNW K2, K1, K2 // bad = ~(e==0) & (special | out of range)
+	KORW K2, K7, K7
+	KNOTW K1, K1
+	VMOVDQU32.Z Z0, K1, Z0 // flush denormals/zeros to +0
+
+	VCVTPS2PD Y0, Z1
+	VEXTRACTF32X8 $1, Z0, Y2
+	VCVTPS2PD Y2, Z2
+	VMULPD Z11, Z1, Z1
+	VMULPD Z11, Z2, Z2
+
+	VCMPPD $13, Z10, Z1, K3 // v >= MaxInt32
+	VMOVAPD Z10, K3, Z1
+	VCMPPD $2, Z9, Z1, K3 // v <= MinInt32
+	VMOVAPD Z9, K3, Z1
+	VCMPPD $13, Z10, Z2, K3
+	VMOVAPD Z10, K3, Z2
+	VCMPPD $2, Z9, Z2, K3
+	VMOVAPD Z9, K3, Z2
+
+	VCVTPD2DQ Z1, Y1 // round-to-even
+	VCVTPD2DQ Z2, Y2
+	VINSERTI64X4 $1, Y2, Z1, Z1
+	VMOVDQU32 Z1, (DI)
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ floop512
+
+	KMOVW K7, AX
+	TESTW AX, AX
+	SETEQ ret+32(FP)
+	VZEROUPPER
+	RET
+
+// Constants for the AVX-512-only block kernels.
+DATA cbconst512<>+0(SB)/4, $0x7F800000 // exponent mask
+DATA cbconst512<>+4(SB)/4, $0x000000FF // lo sentinel for zero/denormal lanes
+GLOBL cbconst512<>(SB), RODATA|NOPTR, $8
+
+// Odd 64-bit interpolation fractions: out = (a<<5 + d*frac) >> 5.
+DATA ifrac1<>+0(SB)/8, $1
+DATA ifrac1<>+8(SB)/8, $3
+DATA ifrac1<>+16(SB)/8, $5
+DATA ifrac1<>+24(SB)/8, $7
+DATA ifrac1<>+32(SB)/8, $9
+DATA ifrac1<>+40(SB)/8, $11
+DATA ifrac1<>+48(SB)/8, $13
+DATA ifrac1<>+56(SB)/8, $15
+GLOBL ifrac1<>(SB), RODATA|NOPTR, $64
+
+DATA ifrac2<>+0(SB)/8, $17
+DATA ifrac2<>+8(SB)/8, $19
+DATA ifrac2<>+16(SB)/8, $21
+DATA ifrac2<>+24(SB)/8, $23
+DATA ifrac2<>+32(SB)/8, $25
+DATA ifrac2<>+40(SB)/8, $27
+DATA ifrac2<>+48(SB)/8, $29
+DATA ifrac2<>+56(SB)/8, $31
+GLOBL ifrac2<>(SB), RODATA|NOPTR, $64
+
+// 2D horizontal fractions: out = (a<<3 + d*frac) >> 3 (arithmetic).
+DATA ifrac2d<>+0(SB)/8, $1
+DATA ifrac2d<>+8(SB)/8, $3
+DATA ifrac2d<>+16(SB)/8, $5
+DATA ifrac2d<>+24(SB)/8, $7
+GLOBL ifrac2d<>(SB), RODATA|NOPTR, $32
+
+// func ChooseBiasScan(bits *[256]uint32) uint32
+//
+// Per 16-lane group: extract the raw exponent e; accumulate a NaN/Inf
+// flag (e==0xFF); track max(e) and min(lo) where lo substitutes 0xFF
+// for zero/denormal lanes — exactly the scalar scan in
+// fixed.ChooseBias. Returns min | max<<8 | specialFlag<<16.
+TEXT ·ChooseBiasScan(SB), NOSPLIT, $0-12
+	MOVQ bits+0(FP), SI
+	VPBROADCASTD cbconst512<>+0(SB), Z15 // expmask
+	VPBROADCASTD cbconst512<>+4(SB), Z14 // 0xFF
+	VMOVDQA32 Z14, Z13                   // running min(lo), starts at 0xFF
+	VPXORD Z12, Z12, Z12                 // running max(e), starts at 0
+	KXORW K7, K7, K7                     // special accumulator
+	MOVQ $16, CX
+
+cbloop:
+	VMOVDQU32 (SI), Z0
+	VPANDD Z15, Z0, Z0
+	VPCMPEQD Z15, Z0, K1 // e == 0xFF: NaN or Inf present
+	KORW K1, K7, K7
+	VPSRLD $23, Z0, Z0
+	VPTESTNMD Z0, Z0, K2 // e == 0: zero or denormal lane
+	VPMAXSD Z0, Z12, Z12
+	VMOVDQA32 Z14, K2, Z0 // lo: zero/denormal lanes become 0xFF
+	VPMINSD Z0, Z13, Z13
+	ADDQ $64, SI
+	DECQ CX
+	JNZ cbloop
+
+	// Horizontal min/max over the 16 lanes.
+	VEXTRACTI64X4 $1, Z13, Y0
+	VPMINSD Y0, Y13, Y13
+	VEXTRACTI128 $1, Y13, X0
+	VPMINSD X0, X13, X13
+	VPSHUFD $0x4E, X13, X0
+	VPMINSD X0, X13, X13
+	VPSHUFD $0x01, X13, X0
+	VPMINSD X0, X13, X13
+	VEXTRACTI64X4 $1, Z12, Y0
+	VPMAXSD Y0, Y12, Y12
+	VEXTRACTI128 $1, Y12, X0
+	VPMAXSD X0, X12, X12
+	VPSHUFD $0x4E, X12, X0
+	VPMAXSD X0, X12, X12
+	VPSHUFD $0x01, X12, X0
+	VPMAXSD X0, X12, X12
+
+	VMOVD X13, AX // min(lo)
+	VMOVD X12, DX // max(e)
+	SHLL $8, DX
+	ORL DX, AX
+	KMOVW K7, DX
+	TESTL DX, DX
+	JZ cbdone
+	ORL $0x10000, AX
+cbdone:
+	MOVL AX, ret+8(FP)
+	VZEROUPPER
+	RET
+
+// func Interpolate1D(sum *[16]int32, out *[256]int32)
+//
+// out[0..7] = sum[0]; out[248..255] = sum[15]; between sample centers,
+// out = int32((a<<5 + d*frac) >> 5) for odd frac 1..31, computed in
+// 64-bit lanes. The logical shift is safe: only the low 32 bits of the
+// quotient survive the narrowing, and bits 5..36 of the two shift
+// flavors agree.
+TEXT ·Interpolate1D(SB), NOSPLIT, $0-16
+	MOVQ sum+0(FP), SI
+	MOVQ out+8(FP), DI
+	VMOVDQU64 ifrac1<>(SB), Z14
+	VMOVDQU64 ifrac2<>(SB), Z13
+	MOVL (SI), AX // flat head: out[0..7] = sum[0]
+	VMOVD AX, X0
+	VPBROADCASTD X0, Y0
+	VMOVDQU Y0, (DI)
+	MOVL 60(SI), AX // flat tail: out[248..255] = sum[15]
+	VMOVD AX, X0
+	VPBROADCASTD X0, Y0
+	VMOVDQU Y0, 992(DI)
+	ADDQ $32, DI // segments start at out[8]
+	MOVQ $15, CX
+
+i1loop:
+	MOVLQSX (SI), AX  // a
+	MOVLQSX 4(SI), DX // b
+	SUBQ AX, DX       // d = b - a
+	SHLQ $5, AX       // a<<5
+	VPBROADCASTQ AX, Z0
+	VPBROADCASTQ DX, Z1
+	VPMULLQ Z14, Z1, Z2 // d * {1,3,...,15}
+	VPADDQ Z0, Z2, Z2
+	VPSRLQ $5, Z2, Z2
+	VPMOVQD Z2, Y2
+	VMOVDQU Y2, (DI)
+	VPMULLQ Z13, Z1, Z2 // d * {17,19,...,31}
+	VPADDQ Z0, Z2, Z2
+	VPSRLQ $5, Z2, Z2
+	VPMOVQD Z2, Y2
+	VMOVDQU Y2, 32(DI)
+	ADDQ $4, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ i1loop
+
+	VZEROUPPER
+	RET
+
+// func Interpolate2D(sum *[16]int32, out *[256]int32)
+//
+// Stage 1 interpolates each summary row horizontally into 16 floored
+// int64 row values (rv = (a<<3 + d*frac) >> 3 arithmetic, matching the
+// scalar int64 floor); stage 2 lerps vertically between consecutive
+// row-value rows with the accumulator form t<<3 + d, +2d per step,
+// narrowing each output row to int32.
+TEXT ·Interpolate2D(SB), NOSPLIT, $512-16
+	MOVQ sum+0(FP), SI
+	MOVQ out+8(FP), DI
+	VMOVDQU ifrac2d<>(SB), Y15
+
+	// Stage 1: rowVals[4][16] int64 on the frame.
+	LEAQ rv-512(SP), BX
+	MOVQ $4, CX
+h2row:
+	MOVLQSX (SI), AX // a0: rv[0] = rv[1] = a0
+	MOVQ AX, (BX)
+	MOVQ AX, 8(BX)
+	MOVLQSX 12(SI), DX // a3: rv[14] = rv[15] = a3
+	MOVQ DX, 112(BX)
+	MOVQ DX, 120(BX)
+
+	MOVLQSX (SI), AX // segment 0: a0 -> a1
+	MOVLQSX 4(SI), DX
+	SUBQ AX, DX
+	SHLQ $3, AX
+	VPBROADCASTQ AX, Y0
+	VPBROADCASTQ DX, Y1
+	VPMULLQ Y15, Y1, Y1
+	VPADDQ Y0, Y1, Y1
+	VPSRAQ $3, Y1, Y1
+	VMOVDQU Y1, 16(BX)
+
+	MOVLQSX 4(SI), AX // segment 1: a1 -> a2
+	MOVLQSX 8(SI), DX
+	SUBQ AX, DX
+	SHLQ $3, AX
+	VPBROADCASTQ AX, Y0
+	VPBROADCASTQ DX, Y1
+	VPMULLQ Y15, Y1, Y1
+	VPADDQ Y0, Y1, Y1
+	VPSRAQ $3, Y1, Y1
+	VMOVDQU Y1, 48(BX)
+
+	MOVLQSX 8(SI), AX // segment 2: a2 -> a3
+	MOVLQSX 12(SI), DX
+	SUBQ AX, DX
+	SHLQ $3, AX
+	VPBROADCASTQ AX, Y0
+	VPBROADCASTQ DX, Y1
+	VPMULLQ Y15, Y1, Y1
+	VPADDQ Y0, Y1, Y1
+	VPSRAQ $3, Y1, Y1
+	VMOVDQU Y1, 80(BX)
+
+	ADDQ $16, SI
+	ADDQ $128, BX
+	DECQ CX
+	JNZ h2row
+
+	// Stage 2: vertical. Rows 0,1 copy rowVals row 0; rows 14,15 copy
+	// rowVals row 3; between centers, 4 rows of (t<<3 + d + 2dk) >> 3.
+	LEAQ rv-512(SP), BX
+	VMOVDQU64 (BX), Z0
+	VMOVDQU64 64(BX), Z1
+	VPMOVQD Z0, Y0
+	VPMOVQD Z1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y0, 64(DI)
+	VMOVDQU Y1, 96(DI)
+	VMOVDQU64 384(BX), Z0
+	VMOVDQU64 448(BX), Z1
+	VPMOVQD Z0, Y0
+	VPMOVQD Z1, Y1
+	VMOVDQU Y0, 896(DI)
+	VMOVDQU Y1, 928(DI)
+	VMOVDQU Y0, 960(DI)
+	VMOVDQU Y1, 992(DI)
+
+	ADDQ $128, DI // out row 2
+	MOVQ $3, CX
+v2row:
+	VMOVDQU64 (BX), Z0    // t, columns 0-7
+	VMOVDQU64 64(BX), Z1  // t, columns 8-15
+	VMOVDQU64 128(BX), Z2 // b, columns 0-7
+	VMOVDQU64 192(BX), Z3 // b, columns 8-15
+	VPSUBQ Z0, Z2, Z2     // d = b - t
+	VPSUBQ Z1, Z3, Z3
+	VPSLLQ $3, Z0, Z0
+	VPSLLQ $3, Z1, Z1
+	VPADDQ Z2, Z0, Z0 // acc = t<<3 + d
+	VPADDQ Z3, Z1, Z1
+	VPADDQ Z2, Z2, Z2 // step = 2d
+	VPADDQ Z3, Z3, Z3
+
+	VPSRLQ $3, Z0, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, (DI)
+	VPSRLQ $3, Z1, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, 32(DI)
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+
+	VPSRLQ $3, Z0, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, 64(DI)
+	VPSRLQ $3, Z1, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, 96(DI)
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+
+	VPSRLQ $3, Z0, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, 128(DI)
+	VPSRLQ $3, Z1, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, 160(DI)
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+
+	VPSRLQ $3, Z0, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, 192(DI)
+	VPSRLQ $3, Z1, Z4
+	VPMOVQD Z4, Y4
+	VMOVDQU Y4, 224(DI)
+
+	ADDQ $256, DI
+	ADDQ $128, BX
+	DECQ CX
+	JNZ v2row
+
+	VZEROUPPER
+	RET
+
+// func Downsample1D(fx *[256]int32, sum *[16]int32)
+//
+// sum[s] = int32(Σ fx[16s..16s+15] >> 4), the int64 accumulation of
+// fixed.Average16 (SARQ keeps the arithmetic shift; MOVL truncates).
+TEXT ·Downsample1D(SB), NOSPLIT, $0-16
+	MOVQ fx+0(FP), SI
+	MOVQ sum+8(FP), DI
+	MOVQ $16, CX
+
+d1loop:
+	VPMOVSXDQ (SI), Z0
+	VPMOVSXDQ 32(SI), Z1
+	VPADDQ Z1, Z0, Z0
+	VEXTRACTI64X4 $1, Z0, Y1
+	VPADDQ Y1, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDQ X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VPADDQ X1, X0, X0
+	VMOVQ X0, AX
+	SARQ $4, AX
+	MOVL AX, (DI)
+	ADDQ $64, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ d1loop
+
+	VZEROUPPER
+	RET
+
+// func Downsample2D(fx *[256]int32, sum *[16]int32)
+//
+// For each summary row R: sum the 4 block rows columnwise into int64
+// lanes, then reduce each 4-column tile to sum[4R+C] = int32(s >> 4).
+TEXT ·Downsample2D(SB), NOSPLIT, $0-16
+	MOVQ fx+0(FP), SI
+	MOVQ sum+8(FP), DI
+	MOVQ $4, CX
+
+d2loop:
+	VPMOVSXDQ (SI), Z0 // row 0, columns 0-7
+	VPMOVSXDQ 32(SI), Z1
+	VPMOVSXDQ 64(SI), Z2 // row 1
+	VPMOVSXDQ 96(SI), Z3
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+	VPMOVSXDQ 128(SI), Z2 // row 2
+	VPMOVSXDQ 160(SI), Z3
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+	VPMOVSXDQ 192(SI), Z2 // row 3
+	VPMOVSXDQ 224(SI), Z3
+	VPADDQ Z2, Z0, Z0
+	VPADDQ Z3, Z1, Z1
+
+	// Tile C=0: column sums in Z0 lanes 0-3.
+	VEXTRACTI128 $1, Y0, X4
+	VPADDQ X4, X0, X4
+	VPSHUFD $0x4E, X4, X5
+	VPADDQ X5, X4, X4
+	VMOVQ X4, AX
+	SARQ $4, AX
+	MOVL AX, (DI)
+	// Tile C=1: lanes 4-7.
+	VEXTRACTI64X4 $1, Z0, Y4
+	VEXTRACTI128 $1, Y4, X5
+	VPADDQ X5, X4, X4
+	VPSHUFD $0x4E, X4, X5
+	VPADDQ X5, X4, X4
+	VMOVQ X4, AX
+	SARQ $4, AX
+	MOVL AX, 4(DI)
+	// Tile C=2: Z1 lanes 0-3.
+	VEXTRACTI128 $1, Y1, X4
+	VPADDQ X4, X1, X4
+	VPSHUFD $0x4E, X4, X5
+	VPADDQ X5, X4, X4
+	VMOVQ X4, AX
+	SARQ $4, AX
+	MOVL AX, 8(DI)
+	// Tile C=3: Z1 lanes 4-7.
+	VEXTRACTI64X4 $1, Z1, Y4
+	VEXTRACTI128 $1, Y4, X5
+	VPADDQ X5, X4, X4
+	VPSHUFD $0x4E, X4, X5
+	VPADDQ X5, X4, X4
+	VMOVQ X4, AX
+	SARQ $4, AX
+	MOVL AX, 12(DI)
+
+	ADDQ $256, SI
+	ADDQ $16, DI
+	DECQ CX
+	JNZ d2loop
+
+	VZEROUPPER
+	RET

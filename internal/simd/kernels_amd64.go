@@ -1,0 +1,91 @@
+package simd
+
+// Enabled512 reports whether the AVX-512-only kernels (ChooseBiasScan,
+// Interpolate1D/2D, Downsample1D/2D) are available. Callers must check
+// it before calling them; there is no AVX2 tier for these.
+func Enabled512() bool { return hasAVX512 }
+
+// ChooseBiasScan runs the exponent scan of fixed.ChooseBias over one
+// block: the return value packs the running minimum of lo (the raw
+// exponent with ±0/denormals mapped to 0xFF) in bits 0-7, the maximum
+// raw exponent in bits 8-15, and a NaN/Inf-present flag in bit 16.
+//
+//go:noescape
+func ChooseBiasScan(bits *[256]uint32) uint32
+
+// Interpolate1D is compress.interpolate's Method1D body: 8-value flat
+// head and tail, and a + (d·frac)>>5 across each 16-value segment,
+// computed in 64-bit lanes exactly as the scalar accumulator form.
+//
+//go:noescape
+func Interpolate1D(sum *[16]int32, out *[256]int32)
+
+// Interpolate2D is compress.interpolate's Method2D body: the separable
+// bilinear pass (horizontal row interpolation at >>3, then vertical
+// lerp of the floored row values), bit-identical to the scalar form.
+//
+//go:noescape
+func Interpolate2D(sum *[16]int32, out *[256]int32)
+
+// Downsample1D fills sum[s] = int32(sum(fx[16s..16s+15]) >> 4) — the
+// Average16 sweep of compress.downsample's Method1D.
+//
+//go:noescape
+func Downsample1D(fx *[256]int32, sum *[16]int32)
+
+// Downsample2D fills the 4×4 tile averages of compress.downsample's
+// Method2D: sum[4R+C] = int32(sum of the 4×4 tile at (4R,4C) >> 4).
+//
+//go:noescape
+func Downsample2D(fx *[256]int32, sum *[16]int32)
+
+// ErrCheckRecon32 is the vectorized core of the fp32 error/outlier pass
+// (compress.errCheckRecon32): it converts each Q15.16 reconstruction to
+// float32, re-applies the exponent un-bias nb, classifies every value
+// against the original bit pattern, writes the 32-byte outlier bitmap
+// (one byte per 8-lane group, bit i ⇔ value 8g+i, fully overwriting bm)
+// and returns the integer sum of the accepted mantissa deltas. The
+// caller compacts outlier values from the bitmap and scales the sum by
+// 2^-23. Call only when Enabled() is true.
+//
+// Lane-for-lane equivalence with the scalar loop: VCVTDQ2PS + VMULPS by
+// 2^-16f is exactly float32(v) * (1.0 / (1<<16)); the un-bias surgery is
+// the same uint32(e+nb)<<23 reinsertion with e∈{0,255} lanes blended
+// back; the accept/outlier decision is the same three-case tree
+// expressed as lane masks. Each 32-bit accumulator lane sums at most 32
+// deltas below 2^23, so the per-lane and final sums cannot overflow.
+func ErrCheckRecon32(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64 {
+	if hasAVX512 {
+		return errCheckAVX512(vals, recon, bm, nb, lim)
+	}
+	return errCheckAVX2(vals, recon, bm, nb, lim)
+}
+
+//go:noescape
+func errCheckAVX2(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64
+
+//go:noescape
+func errCheckAVX512(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64
+
+// FloatsToFixedScaled is the vectorized biased-conversion sweep of
+// fixed.FloatsToFixed: dst[i] = round-to-even(float64(src[i]) * scale)
+// with saturation at ±MaxInt32/MinInt32 and zeros/denormals flushed to
+// zero, matching the scalar fused-scale path bit for bit (VCVTPS2PD,
+// VMULPD and VCVTPD2DQ perform the identical correctly-rounded
+// operations). If any lane needs the scalar reference path — a special
+// exponent, or a biased exponent leaving the normal range — it returns
+// false and dst is undefined; the caller redoes the whole block with the
+// scalar loop. Call only when Enabled() is true.
+//
+func FloatsToFixedScaled(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool {
+	if hasAVX512 {
+		return floatsToFixedAVX512(dst, src, bias, scale)
+	}
+	return floatsToFixedAVX2(dst, src, bias, scale)
+}
+
+//go:noescape
+func floatsToFixedAVX2(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool
+
+//go:noescape
+func floatsToFixedAVX512(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool

@@ -1,0 +1,187 @@
+#include "textflag.h"
+
+// Constants for ErrCheckRecon32 (32-bit lanes).
+DATA errconst<>+0(SB)/4, $0x37800000  // 2^-16 as float32
+DATA errconst<>+4(SB)/4, $0x7F800000  // exponent mask
+DATA errconst<>+8(SB)/4, $0xFF800000  // sign+exponent mask
+DATA errconst<>+12(SB)/4, $0x007FFFFF // mantissa mask
+DATA errconst<>+16(SB)/4, $0x807FFFFF // sign+mantissa (clear exponent)
+GLOBL errconst<>(SB), RODATA|NOPTR, $20
+
+// Constants for FloatsToFixedScaled.
+DATA fixconst<>+0(SB)/8, $0x41DFFFFFFFC00000 // 2147483647.0 (MaxInt32)
+DATA fixconst<>+8(SB)/8, $0xC1E0000000000000 // -2147483648.0 (MinInt32)
+DATA fixconst<>+16(SB)/4, $0x7F800000        // exponent mask
+DATA fixconst<>+20(SB)/4, $1
+DATA fixconst<>+24(SB)/4, $254
+GLOBL fixconst<>(SB), RODATA|NOPTR, $28
+
+// func errCheckAVX2(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64
+//
+// Per 8-lane group g (32 groups):
+//   a = bits(float32(recon) * 2^-16)                    ; VCVTDQ2PS+VMULPS
+//   if e(a) not in {0, 0xFF}: a = a&0x807FFFFF | uint32(e(a)+nb)<<23
+//   accept = (same sign+exp && o normal && |mant delta| < lim)
+//          | (same sign+exp && (o==a || e(o)==0))
+//          | (diff sign/exp && e(o)==0 && e(a)==0)
+//   bm[g] = movmsk(~accept) ; dSum lanes += delta & acceptNormal
+TEXT ·errCheckAVX2(SB), NOSPLIT, $0-40
+	MOVQ vals+0(FP), DI
+	MOVQ recon+8(FP), SI
+	MOVQ bm+16(FP), BX
+	VPBROADCASTD errconst<>+0(SB), Y15 // 2^-16f
+	VPBROADCASTD errconst<>+4(SB), Y14 // expmask
+	VPBROADCASTD errconst<>+8(SB), Y13 // sign+exp
+	VPBROADCASTD errconst<>+12(SB), Y12 // mantissa
+	VPBROADCASTD errconst<>+16(SB), Y8 // clear-exp
+	MOVL nb+24(FP), AX
+	VMOVD AX, X11
+	VPBROADCASTD X11, Y11
+	MOVL lim+28(FP), AX
+	VMOVD AX, X10
+	VPBROADCASTD X10, Y10
+	VPXOR Y7, Y7, Y7 // zero
+	VPXOR Y9, Y9, Y9 // delta accumulator
+	MOVQ $32, CX
+
+eloop:
+	// Reconstruct: a = bits(float32(recon) * 2^-16), then un-bias.
+	VMOVDQU (SI), Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS Y15, Y0, Y0
+	VPAND Y14, Y0, Y1   // exponent bits in place
+	VPCMPEQD Y7, Y1, Y2 // e == 0
+	VPCMPEQD Y14, Y1, Y3 // e == 0xFF
+	VPOR Y3, Y2, Y2     // skip-surgery lanes
+	VPSRLD $23, Y1, Y1
+	VPADDD Y11, Y1, Y1  // e + nb
+	VPSLLD $23, Y1, Y1
+	VPAND Y8, Y0, Y3
+	VPOR Y1, Y3, Y3             // rebiased bits
+	VPBLENDVB Y2, Y0, Y3, Y0    // a: skip lanes keep original
+
+	// Classify against the original bits o.
+	VMOVDQU (DI), Y1
+	VPCMPEQD Y1, Y0, Y2 // o == a
+	VPXOR Y0, Y1, Y4
+	VPAND Y13, Y4, Y4
+	VPCMPEQD Y7, Y4, Y4 // M1: same sign+exponent
+	VPAND Y14, Y1, Y5
+	VPCMPEQD Y7, Y5, Y3  // e(o) == 0
+	VPCMPEQD Y14, Y5, Y5 // e(o) == 0xFF
+
+	// Special accepts: M1 & (e(o)==0 | (e(o)==0xFF & o==a)).
+	VPAND Y2, Y5, Y2
+	VPOR Y3, Y2, Y2
+	VPAND Y4, Y2, Y2
+
+	// Cross accept: ~M1 & e(o)==0 & e(a)==0.
+	VPAND Y14, Y0, Y6
+	VPCMPEQD Y7, Y6, Y6
+	VPAND Y3, Y6, Y6
+	VPANDN Y6, Y4, Y6
+	VPOR Y6, Y2, Y2
+
+	VPOR Y5, Y3, Y3 // ~normal(o)
+
+	// Normal accept: M1 & normal(o) & |mant(o)-mant(a)| < lim.
+	VPAND Y12, Y1, Y5
+	VPAND Y12, Y0, Y6
+	VPSUBD Y6, Y5, Y5
+	VPABSD Y5, Y5       // delta
+	VPCMPGTD Y5, Y10, Y6 // lim > delta (both < 2^31, signed == unsigned)
+	VPAND Y4, Y6, Y6
+	VPANDN Y6, Y3, Y6 // & normal(o)
+
+	// Accumulate accepted deltas; emit the outlier bitmap byte.
+	VPAND Y6, Y5, Y5
+	VPADDD Y5, Y9, Y9
+	VPOR Y6, Y2, Y2     // all accepts
+	VPCMPEQD Y7, Y2, Y2 // outliers
+	VMOVMSKPS Y2, AX
+	MOVB AX, (BX)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	INCQ BX
+	DECQ CX
+	JNZ eloop
+
+	// Horizontal sum of the 8 accumulator lanes (each < 2^28).
+	VEXTRACTI128 $1, Y9, X0
+	VPADDD X0, X9, X9
+	VPSHUFD $0x4E, X9, X0
+	VPADDD X0, X9, X9
+	VPSHUFD $0x01, X9, X0
+	VPADDD X0, X9, X9
+	VMOVD X9, AX
+	MOVQ AX, ret+32(FP)
+	VZEROUPPER
+	RET
+
+// func floatsToFixedAVX2(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool
+//
+// Per 8-lane group: flag lanes whose exponent is special or whose biased
+// exponent e+bias leaves [1,254] (bad → caller redoes the block scalar),
+// flush e==0 lanes to +0, convert to float64, multiply by scale,
+// saturate at ±MaxInt32/MinInt32 and convert with round-to-even.
+TEXT ·floatsToFixedAVX2(SB), NOSPLIT, $0-33
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	VPBROADCASTD fixconst<>+16(SB), Y15 // expmask
+	MOVL bias+16(FP), AX
+	VMOVD AX, X14
+	VPBROADCASTD X14, Y14
+	VPBROADCASTD fixconst<>+20(SB), Y13 // 1
+	VPBROADCASTD fixconst<>+24(SB), Y12 // 254
+	VBROADCASTSD scale+24(FP), Y11
+	VBROADCASTSD fixconst<>+0(SB), Y10 // MaxInt32 as f64
+	VBROADCASTSD fixconst<>+8(SB), Y9  // MinInt32 as f64
+	VPXOR Y8, Y8, Y8                   // bad-lane accumulator
+	VPXOR Y7, Y7, Y7                   // zero
+	MOVQ $32, CX
+
+floop:
+	VMOVDQU (SI), Y0
+	VPAND Y15, Y0, Y1
+	VPCMPEQD Y7, Y1, Y2  // e == 0
+	VPCMPEQD Y15, Y1, Y3 // e == 0xFF
+	VPSRLD $23, Y1, Y1
+	VPADDD Y14, Y1, Y1  // eb = e + bias
+	VPCMPGTD Y1, Y13, Y4 // eb < 1
+	VPOR Y4, Y3, Y3
+	VPCMPGTD Y12, Y1, Y4 // eb > 254
+	VPOR Y4, Y3, Y3
+	VPANDN Y3, Y2, Y3 // bad = ~(e==0) & (special | out of range)
+	VPOR Y3, Y8, Y8
+	VPANDN Y0, Y2, Y0 // flush denormals/zeros to +0 before converting
+
+	VCVTPS2PD X0, Y1
+	VEXTRACTF128 $1, Y0, X2
+	VCVTPS2PD X2, Y2
+	VMULPD Y11, Y1, Y1
+	VMULPD Y11, Y2, Y2
+
+	VCMPPD $13, Y10, Y1, Y3 // v >= MaxInt32 (GE_OS)
+	VBLENDVPD Y3, Y10, Y1, Y1
+	VCMPPD $2, Y9, Y1, Y3 // v <= MinInt32 (LE_OS)
+	VBLENDVPD Y3, Y9, Y1, Y1
+	VCMPPD $13, Y10, Y2, Y3
+	VBLENDVPD Y3, Y10, Y2, Y2
+	VCMPPD $2, Y9, Y2, Y3
+	VBLENDVPD Y3, Y9, Y2, Y2
+
+	VCVTPD2DQY Y1, X1 // round-to-even
+	VCVTPD2DQY Y2, X2
+	VINSERTI128 $1, X2, Y1, Y1
+	VMOVDQU Y1, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ floop
+
+	VPTEST Y8, Y8
+	SETEQ ret+32(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,43 @@
+//go:build !amd64
+
+package simd
+
+// Enabled reports whether the AVX2 kernels can be used; on non-amd64
+// targets they do not exist.
+func Enabled() bool { return false }
+
+// ErrCheckRecon32 is unavailable on this target; callers must check
+// Enabled() first.
+func ErrCheckRecon32(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64 {
+	panic("simd: ErrCheckRecon32 called without AVX2")
+}
+
+// FloatsToFixedScaled is unavailable on this target; callers must check
+// Enabled() first.
+func FloatsToFixedScaled(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool {
+	panic("simd: FloatsToFixedScaled called without AVX2")
+}
+
+// Enabled512 reports whether the AVX-512-only kernels are available; on
+// non-amd64 targets they do not exist.
+func Enabled512() bool { return false }
+
+// The AVX-512-only kernels are unavailable on this target; callers must
+// check Enabled512() first.
+func ChooseBiasScan(bits *[256]uint32) uint32 { panic("simd: ChooseBiasScan called without AVX-512") }
+
+func Interpolate1D(sum *[16]int32, out *[256]int32) {
+	panic("simd: Interpolate1D called without AVX-512")
+}
+
+func Interpolate2D(sum *[16]int32, out *[256]int32) {
+	panic("simd: Interpolate2D called without AVX-512")
+}
+
+func Downsample1D(fx *[256]int32, sum *[16]int32) {
+	panic("simd: Downsample1D called without AVX-512")
+}
+
+func Downsample2D(fx *[256]int32, sum *[16]int32) {
+	panic("simd: Downsample2D called without AVX-512")
+}

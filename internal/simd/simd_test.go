@@ -1,0 +1,420 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The tests below pin the AVX2 kernels to standalone scalar references
+// that restate, loop for loop, the code they replace in internal/fixed
+// and internal/compress (those packages call into this one, so the
+// references are duplicated here rather than imported). Random blocks
+// cover the full bit-pattern space — NaN, ±Inf, ±0, denormals, both
+// signs, boundary exponents — plus crafted mantissa deltas exactly at
+// the outlier limit.
+
+const roundMagic = 6755399441055744.0 // 1.5×2^52, as in internal/fixed
+
+func scalarErrCheck(vals *[256]uint32, recon *[256]int32, nb int32, lim uint32, bm *[32]byte) int64 {
+	var dSum int64
+	for i := 0; i < 256; i++ {
+		a := math.Float32bits(float32(recon[i]) * (1.0 / (1 << 16)))
+		if e := int(a>>23) & 0xFF; e != 0 && e != 0xFF {
+			a = a&^uint32(0xFF<<23) | uint32(e+int(nb))<<23
+		}
+		o := vals[i]
+		outlier := true
+		if (o^a)&0xFF800000 == 0 {
+			if eo := o >> 23 & 0xFF; eo-1 < 0xFE {
+				mo, ma := o&0x7FFFFF, a&0x7FFFFF
+				d := mo - ma
+				if ma > mo {
+					d = ma - mo
+				}
+				if d < lim {
+					dSum += int64(d)
+					outlier = false
+				}
+			} else if o == a || eo == 0 {
+				outlier = false
+			}
+		} else if o&0x7F800000 == 0 && a&0x7F800000 == 0 {
+			outlier = false
+		}
+		if outlier {
+			bm[i>>3] |= 1 << (i & 7)
+		}
+	}
+	return dSum
+}
+
+func scalarFloatsToFixed(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool {
+	ok := true
+	for i, b := range src {
+		e := int(b>>23) & 0xFF
+		if e == 0 {
+			dst[i] = 0
+			continue
+		}
+		if eb := e + int(bias); e == 0xFF || eb < 1 || eb > 254 {
+			ok = false
+			continue
+		}
+		v := float64(math.Float32frombits(b)) * scale
+		switch {
+		case v >= math.MaxInt32:
+			dst[i] = math.MaxInt32
+		case v <= math.MinInt32:
+			dst[i] = math.MinInt32
+		default:
+			dst[i] = int32((v + roundMagic) - roundMagic)
+		}
+	}
+	return ok
+}
+
+// randBits draws from the full pattern space with the interesting
+// categories over-represented.
+func randBits(rng *rand.Rand) uint32 {
+	switch rng.Intn(8) {
+	case 0:
+		return rng.Uint32() // anything, including NaN/Inf
+	case 1:
+		return rng.Uint32() & 0x807FFFFF // ±zero/denormal
+	case 2:
+		return 0x7F800000 | rng.Uint32()&0x80000000 // ±Inf
+	case 3:
+		return 0x7FC00000 | rng.Uint32()&0x3FFFFF // NaN
+	case 4:
+		return 0 // +0
+	default:
+		// Normal number near the fixed-point range.
+		e := uint32(112 + rng.Intn(32))
+		return rng.Uint32()&0x807FFFFF | e<<23
+	}
+}
+
+func TestErrCheckRecon32MatchesScalar(t *testing.T) {
+	if !Enabled() {
+		t.Skip("AVX2 not available")
+	}
+	rng := rand.New(rand.NewSource(1))
+	var vals [256]uint32
+	var recon [256]int32
+	for round := 0; round < 2000; round++ {
+		nb := int32(rng.Intn(256) - 128)
+		lim := uint32(1) << (23 - (1 + rng.Intn(23)))
+		for i := range recon {
+			switch rng.Intn(4) {
+			case 0:
+				recon[i] = int32(rng.Uint32())
+			case 1:
+				recon[i] = 0
+			default:
+				recon[i] = int32(rng.Intn(1<<22) - 1<<21)
+			}
+			if rng.Intn(2) == 0 {
+				// Derive the original from the reconstruction with a
+				// controlled mantissa delta: hits the d<lim boundary.
+				a := math.Float32bits(float32(recon[i]) * (1.0 / (1 << 16)))
+				if e := int(a>>23) & 0xFF; e != 0 && e != 0xFF {
+					a = a&^uint32(0xFF<<23) | uint32(e+int(nb))<<23
+				}
+				d := [...]uint32{0, 1, lim - 1, lim, lim + 1, 2 * lim}[rng.Intn(6)]
+				m := a & 0x7FFFFF
+				if rng.Intn(2) == 0 && m >= d {
+					m -= d
+				} else if m+d <= 0x7FFFFF {
+					m += d
+				}
+				vals[i] = a&^uint32(0x7FFFFF) | m
+			} else {
+				vals[i] = randBits(rng)
+			}
+		}
+		var bmWant [32]byte
+		want := scalarErrCheck(&vals, &recon, nb, lim, &bmWant)
+		impls := []struct {
+			name string
+			fn   func(*[256]uint32, *[256]int32, *[32]byte, int32, uint32) int64
+		}{{"avx2", errCheckAVX2}}
+		if hasAVX512 {
+			impls = append(impls, struct {
+				name string
+				fn   func(*[256]uint32, *[256]int32, *[32]byte, int32, uint32) int64
+			}{"avx512", errCheckAVX512})
+		}
+		for _, impl := range impls {
+			var bmGot [32]byte
+			got := impl.fn(&vals, &recon, &bmGot, nb, lim)
+			if got != want {
+				t.Fatalf("%s round %d (nb=%d lim=%#x): dSum = %d, want %d", impl.name, round, nb, lim, got, want)
+			}
+			for i := range bmGot {
+				if bmGot[i] != bmWant[i] {
+					t.Fatalf("%s round %d (nb=%d lim=%#x): bitmap[%d] = %08b, want %08b (vals[%d]=%#x recon=%d)",
+						impl.name, round, nb, lim, i, bmGot[i], bmWant[i], i*8, vals[i*8], recon[i*8])
+				}
+			}
+		}
+	}
+}
+
+func TestFloatsToFixedScaledMatchesScalar(t *testing.T) {
+	if !Enabled() {
+		t.Skip("AVX2 not available")
+	}
+	rng := rand.New(rand.NewSource(2))
+	var src [256]uint32
+	var want, got [256]int32
+	for round := 0; round < 2000; round++ {
+		bias := int32(rng.Intn(256) - 128)
+		se := 1023 + int(bias) + 16
+		if se < 1 || se > 2046 {
+			continue // the caller never builds a non-normal scale
+		}
+		scale := math.Float64frombits(uint64(se) << 52)
+		allGood := rng.Intn(2) == 0
+		for i := range src {
+			src[i] = randBits(rng)
+			if allGood {
+				// Constrain to lanes the vector path accepts, so the
+				// ok=true lane comparison is exercised often.
+				e := int(src[i]>>23) & 0xFF
+				if eb := e + int(bias); e == 0xFF || eb < 1 || eb > 254 {
+					src[i] = 0
+				}
+			}
+		}
+		okWant := scalarFloatsToFixed(&want, &src, bias, scale)
+		impls := []struct {
+			name string
+			fn   func(*[256]int32, *[256]uint32, int32, float64) bool
+		}{{"avx2", floatsToFixedAVX2}}
+		if hasAVX512 {
+			impls = append(impls, struct {
+				name string
+				fn   func(*[256]int32, *[256]uint32, int32, float64) bool
+			}{"avx512", floatsToFixedAVX512})
+		}
+		for _, impl := range impls {
+			okGot := impl.fn(&got, &src, bias, scale)
+			if okGot != okWant {
+				t.Fatalf("%s round %d (bias=%d): ok = %v, want %v", impl.name, round, bias, okGot, okWant)
+			}
+			if !okWant {
+				continue // dst undefined: the caller redoes the block scalar
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s round %d (bias=%d): dst[%d] = %d, want %d (src=%#x)",
+						impl.name, round, bias, i, got[i], want[i], src[i])
+				}
+			}
+		}
+	}
+}
+
+// ---- AVX-512-only block kernels ----
+//
+// Scalar references restating the loops in internal/fixed.ChooseBias and
+// internal/compress downsample/interpolate, applied to full random
+// int32/uint32 blocks (the kernels must agree for every input pattern,
+// not only reachable summaries).
+
+func scalarChooseBiasScan(bits *[256]uint32) uint32 {
+	minE, maxE := 0xFF, 0
+	special := 0
+	for _, b := range bits {
+		e := int(b>>23) & 0xFF
+		special |= (e + 1) >> 8
+		lo := e | (((e - 1) >> 8) & 0xFF)
+		minE = min(minE, lo)
+		maxE = max(maxE, e)
+	}
+	p := uint32(minE) | uint32(maxE)<<8
+	if special != 0 {
+		p |= 1 << 16
+	}
+	return p
+}
+
+func scalarInterpolate1D(sum *[16]int32, out *[256]int32) {
+	for j := 0; j < 8; j++ {
+		out[j] = sum[0]
+	}
+	j := 8
+	for s := 0; s < 15; s++ {
+		a := int64(sum[s])
+		d := int64(sum[s+1]) - a
+		acc := a<<5 + d
+		for k := 0; k < 16; k++ {
+			out[j] = int32(acc >> 5)
+			acc += 2 * d
+			j++
+		}
+	}
+	for ; j < 256; j++ {
+		out[j] = sum[15]
+	}
+}
+
+func scalarInterpolate2D(sum *[16]int32, out *[256]int32) {
+	var rowVals [4][16]int64
+	for R := 0; R < 4; R++ {
+		rv := &rowVals[R]
+		a0 := int64(sum[R*4])
+		rv[0], rv[1] = a0, a0
+		j := 2
+		for C := 0; C < 3; C++ {
+			a := int64(sum[R*4+C])
+			d := int64(sum[R*4+C+1]) - a
+			acc := a<<3 + d
+			for k := 0; k < 4; k++ {
+				rv[j] = acc >> 3
+				acc += 2 * d
+				j++
+			}
+		}
+		a3 := int64(sum[R*4+3])
+		rv[14], rv[15] = a3, a3
+	}
+	for col := 0; col < 16; col++ {
+		out[col] = int32(rowVals[0][col])
+		out[16+col] = int32(rowVals[0][col])
+		out[14*16+col] = int32(rowVals[3][col])
+		out[15*16+col] = int32(rowVals[3][col])
+	}
+	r := 2
+	for R := 0; R < 3; R++ {
+		top, bot := &rowVals[R], &rowVals[R+1]
+		for fr := 0; fr < 4; fr++ {
+			frac := int64(2*fr + 1)
+			for col := 0; col < 16; col++ {
+				t := top[col]
+				d := bot[col] - t
+				out[r*16+col] = int32((t<<3 + d*frac) >> 3)
+			}
+			r++
+		}
+	}
+}
+
+func scalarDownsample1D(fx *[256]int32, sum *[16]int32) {
+	for s := 0; s < 16; s++ {
+		var t int64
+		for _, v := range fx[s*16 : s*16+16] {
+			t += int64(v)
+		}
+		sum[s] = int32(t >> 4)
+	}
+}
+
+func scalarDownsample2D(fx *[256]int32, sum *[16]int32) {
+	for R := 0; R < 4; R++ {
+		for C := 0; C < 4; C++ {
+			var s int64
+			base := 64*R + 4*C
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					s += int64(fx[base+16*r+c])
+				}
+			}
+			sum[R*4+C] = int32(s >> 4)
+		}
+	}
+}
+
+// randInt32 mixes full-range, small, and boundary values.
+func randInt32(rng *rand.Rand) int32 {
+	switch rng.Intn(4) {
+	case 0:
+		return int32(rng.Uint32())
+	case 1:
+		return int32(rng.Intn(1<<22) - 1<<21)
+	case 2:
+		return [...]int32{0, 1, -1, math.MaxInt32, math.MinInt32}[rng.Intn(5)]
+	default:
+		return int32(rng.Intn(65536) - 32768)
+	}
+}
+
+func TestChooseBiasScanMatchesScalar(t *testing.T) {
+	if !Enabled512() {
+		t.Skip("AVX-512 not available")
+	}
+	rng := rand.New(rand.NewSource(3))
+	var bits [256]uint32
+	for round := 0; round < 2000; round++ {
+		for i := range bits {
+			bits[i] = randBits(rng)
+		}
+		if rng.Intn(4) == 0 {
+			// Homogeneous normal block: exercises minE==maxE paths.
+			e := uint32(1 + rng.Intn(254))
+			for i := range bits {
+				bits[i] = rng.Uint32()&0x807FFFFF | e<<23
+			}
+		}
+		if got, want := ChooseBiasScan(&bits), scalarChooseBiasScan(&bits); got != want {
+			t.Fatalf("round %d: ChooseBiasScan = %#x, want %#x", round, got, want)
+		}
+	}
+}
+
+func TestInterpolateMatchesScalar(t *testing.T) {
+	if !Enabled512() {
+		t.Skip("AVX-512 not available")
+	}
+	rng := rand.New(rand.NewSource(4))
+	var sum [16]int32
+	var got, want [256]int32
+	for round := 0; round < 2000; round++ {
+		for i := range sum {
+			sum[i] = randInt32(rng)
+		}
+		scalarInterpolate1D(&sum, &want)
+		Interpolate1D(&sum, &got)
+		if got != want {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: Interpolate1D out[%d] = %d, want %d (sum=%v)", round, i, got[i], want[i], sum)
+				}
+			}
+		}
+		scalarInterpolate2D(&sum, &want)
+		Interpolate2D(&sum, &got)
+		if got != want {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: Interpolate2D out[%d] = %d, want %d (sum=%v)", round, i, got[i], want[i], sum)
+				}
+			}
+		}
+	}
+}
+
+func TestDownsampleMatchesScalar(t *testing.T) {
+	if !Enabled512() {
+		t.Skip("AVX-512 not available")
+	}
+	rng := rand.New(rand.NewSource(5))
+	var fx [256]int32
+	var got, want [16]int32
+	for round := 0; round < 2000; round++ {
+		for i := range fx {
+			fx[i] = randInt32(rng)
+		}
+		scalarDownsample1D(&fx, &want)
+		Downsample1D(&fx, &got)
+		if got != want {
+			t.Fatalf("round %d: Downsample1D = %v, want %v", round, got, want)
+		}
+		scalarDownsample2D(&fx, &want)
+		Downsample2D(&fx, &got)
+		if got != want {
+			t.Fatalf("round %d: Downsample2D = %v, want %v", round, got, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Allocation regression tests for the store hot paths. The race
+// detector instruments allocation and defeats the counts, so these run
+// only in the plain suite; scripts/bench.sh enforces the same bar on
+// the benchmarks.
+
+//go:build !race
+
+package store
+
+import "testing"
+
+// TestStorePutAllocFree pins the zero-allocation put contract for both
+// widths: after the pooled scratch is warm, an overwrite put — encode,
+// frame, CRC, write — performs no heap allocation. Segment rolls are
+// rare and amortized; the run counts here stay well inside one segment.
+func TestStorePutAllocFree(t *testing.T) {
+	s := openTest(t, Config{})
+	v32 := genF32(t, "heat", 4*BlockValues, 42)
+	v64 := genF64(t, "wave", 2*BlockValues, 42)
+	if _, err := s.Put32("k32", v32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put64("k64", v64); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := s.Put32("k32", v32); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("Put32 allocates %v per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := s.Put64("k64", v64); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("Put64 allocates %v per op, want 0", avg)
+	}
+}
+
+// TestStoreGetIntoAllocFree pins the read-path analog: Get32Into and
+// Get64Into with a reused destination allocate nothing once warm.
+func TestStoreGetIntoAllocFree(t *testing.T) {
+	s := openTest(t, Config{})
+	v32 := genF32(t, "heat", 4*BlockValues, 42)
+	v64 := genF64(t, "wave", 2*BlockValues, 42)
+	if _, err := s.Put32("k32", v32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put64("k64", v64); err != nil {
+		t.Fatal(err)
+	}
+	d32 := make([]float32, 0, len(v32))
+	d64 := make([]float64, 0, len(v64))
+	if avg := testing.AllocsPerRun(50, func() {
+		out, err := s.Get32Into(d32, "k32")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d32 = out[:0]
+	}); avg > 0 {
+		t.Errorf("Get32Into allocates %v per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		out, err := s.Get64Into(d64, "k64")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d64 = out[:0]
+	}); avg > 0 {
+		t.Errorf("Get64Into allocates %v per op, want 0", avg)
+	}
+}

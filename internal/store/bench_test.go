@@ -82,19 +82,24 @@ func BenchmarkStorePut64(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreGet32 measures the read path: pread, CRC verify, decode.
+// BenchmarkStoreGet32 measures the read path — pread, CRC verify,
+// decode — through Get32Into with a reused destination, so the steady
+// state is allocation-free (Get32 itself allocates only the result).
 func BenchmarkStoreGet32(b *testing.B) {
 	s := benchStore(b, Config{})
 	vals := benchVals32(b, "heat", 4*BlockValues)
 	if _, err := s.Put32("bench", vals); err != nil {
 		b.Fatal(err)
 	}
+	dst := make([]float32, 0, len(vals))
 	b.SetBytes(int64(4 * len(vals)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Get32("bench"); err != nil {
+		out, err := s.Get32Into(dst, "bench")
+		if err != nil {
 			b.Fatal(err)
 		}
+		dst = out[:0]
 	}
 }
 
@@ -104,12 +109,15 @@ func BenchmarkStoreGet64(b *testing.B) {
 	if _, err := s.Put64("bench", vals); err != nil {
 		b.Fatal(err)
 	}
+	dst := make([]float64, 0, len(vals))
 	b.SetBytes(int64(8 * len(vals)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Get64("bench"); err != nil {
+		out, err := s.Get64Into(dst, "bench")
+		if err != nil {
 			b.Fatal(err)
 		}
+		dst = out[:0]
 	}
 }
 

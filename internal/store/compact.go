@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"avr/internal/obs"
@@ -145,22 +146,29 @@ func (s *Store) compactSegment(id uint32) (CompactResult, error) {
 	}
 	defer f.Close()
 
-	type frame struct {
-		rec      record
-		off      int64
-		frameLen int64
-	}
-	var frames []frame
+	var frames []scannedFrame
 	if _, err := scanSegment(f, func(rec record, off, frameLen int64) error {
 		rec.Data = append([]byte(nil), rec.Data...) // scanner reuses its buffer
-		frames = append(frames, frame{rec, off, frameLen})
+		frames = append(frames, scannedFrame{rec, off, frameLen})
 		return nil
 	}); err != nil {
 		return res, fmt.Errorf("store: compacting %s: %w", path, err)
 	}
 
-	for _, fr := range frames {
-		if err := s.moveFrame(id, fr.rec, fr.off, fr.frameLen, &res); err != nil {
+	// With multiple encode workers, the AVR retry of each recompression
+	// candidate is precomputed concurrently before the serial move loop;
+	// retryCompress is a pure function of the record and the store
+	// threshold, so a precomputed outcome never goes stale.
+	var pres []*retryOutcome
+	if s.cfg.EncodeWorkers > 1 {
+		pres = s.precomputeRetries(id, frames)
+	}
+	for i, fr := range frames {
+		var pre *retryOutcome
+		if pres != nil {
+			pre = pres[i]
+		}
+		if err := s.moveFrame(id, fr.rec, fr.off, fr.frameLen, pre, &res); err != nil {
 			return res, err
 		}
 	}
@@ -190,9 +198,59 @@ func (s *Store) compactSegment(id uint32) (CompactResult, error) {
 	return res, nil
 }
 
+// scannedFrame is one frame captured from a compaction victim.
+type scannedFrame struct {
+	rec      record
+	off      int64
+	frameLen int64
+}
+
+// retryOutcome caches one precomputed retryCompress result.
+type retryOutcome struct {
+	won bool
+	rec record
+	err error
+}
+
+// precomputeRetries runs retryCompress concurrently (bounded by the
+// encode-worker pool) for every frame that looks like a live
+// recompression candidate. The probe is optimistic — a stale answer
+// costs a wasted or missing precompute, never correctness, because
+// moveFrame re-decides the policy under the lock and falls back to an
+// inline retry when its slot is nil.
+func (s *Store) precomputeRetries(victim uint32, frames []scannedFrame) []*retryOutcome {
+	outs := make([]*retryOutcome, len(frames))
+	var wg sync.WaitGroup
+	for i := range frames {
+		rec := frames[i].rec
+		if rec.Kind != recordBlock || rec.Enc != encLossless {
+			continue
+		}
+		s.mu.RLock()
+		closed := s.closed
+		live, isTomb := s.frameLive(victim, rec, frames[i].off)
+		fe, flagged := s.flags[blockKey{rec.Key, rec.BlockIdx}]
+		s.mu.RUnlock()
+		if closed || !live || isTomb || (flagged && fe.t1 == s.cfg.T1) {
+			continue
+		}
+		wg.Add(1)
+		s.encSem <- struct{}{}
+		go func(i int, rec record) {
+			defer wg.Done()
+			defer func() { <-s.encSem }()
+			won, converted, err := s.retryCompress(rec)
+			outs[i] = &retryOutcome{won: won, rec: converted, err: err}
+		}(i, rec)
+	}
+	wg.Wait()
+	return outs
+}
+
 // moveFrame re-appends one frame if it is still live, applying the
-// recompression policy to lossless blocks.
-func (s *Store) moveFrame(victim uint32, rec record, off, frameLen int64, res *CompactResult) error {
+// recompression policy to lossless blocks. pre, when non-nil, is the
+// frame's precomputed retryCompress outcome.
+func (s *Store) moveFrame(victim uint32, rec record, off, frameLen int64, pre *retryOutcome, res *CompactResult) error {
 	// Fast liveness check and (for lossless blocks) policy decision.
 	s.mu.RLock()
 	if s.closed {
@@ -218,7 +276,14 @@ func (s *Store) moveFrame(victim uint32, rec record, off, frameLen int64, res *C
 		} else {
 			obs.StoreRecompressTried.Add(1)
 			res.RecompressTried++
-			won, converted, err := s.retryCompress(rec)
+			var won bool
+			var converted record
+			var err error
+			if pre != nil {
+				won, converted, err = pre.won, pre.rec, pre.err
+			} else {
+				won, converted, err = s.retryCompress(rec)
+			}
 			if err != nil {
 				return err
 			}

@@ -65,6 +65,44 @@ func encodeLossless(raw []byte) []byte {
 	return out
 }
 
+// appendLossless32 appends encodeLossless(f32ToRaw(vals))'s exact bytes
+// to dst without intermediate allocation: 16 values per BDI line, the
+// trailing partial line zero-padded.
+func appendLossless32(dst []byte, vals []float32) []byte {
+	var line [lossless.LineBytes]byte
+	const perLine = lossless.LineBytes / 4
+	for off := 0; off < len(vals); off += perLine {
+		end := off + perLine
+		if end > len(vals) {
+			clear(line[:])
+			end = len(vals)
+		}
+		for i, v := range vals[off:end] {
+			binary.LittleEndian.PutUint32(line[4*i:], math.Float32bits(v))
+		}
+		dst = lossless.AppendEncode(dst, line[:])
+	}
+	return dst
+}
+
+// appendLossless64 is appendLossless32 for fp64 (8 values per line).
+func appendLossless64(dst []byte, vals []float64) []byte {
+	var line [lossless.LineBytes]byte
+	const perLine = lossless.LineBytes / 8
+	for off := 0; off < len(vals); off += perLine {
+		end := off + perLine
+		if end > len(vals) {
+			clear(line[:])
+			end = len(vals)
+		}
+		for i, v := range vals[off:end] {
+			binary.LittleEndian.PutUint64(line[8*i:], math.Float64bits(v))
+		}
+		dst = lossless.AppendEncode(dst, line[:])
+	}
+	return dst
+}
+
 // decodeLossless reconstructs rawLen value bytes from BDI lines,
 // validating every tag and length so corrupt payloads surface as errors
 // rather than panics inside the line decoder.
@@ -86,6 +124,67 @@ func decodeLossless(data []byte, rawLen int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d trailing lossless bytes", ErrCorrupt, len(data))
 	}
 	return out[:rawLen], nil
+}
+
+// decodeLossless32To appends valCount fp32 values decoded from BDI
+// lines to dst without allocating, with decodeLossless's exact
+// validation and error taxonomy (byte counts in messages, trailing-byte
+// check).
+func decodeLossless32To(dst []float32, data []byte, valCount int) ([]float32, error) {
+	rawLen := 4 * valCount
+	var line [lossless.LineBytes]byte
+	for produced := 0; produced < rawLen; produced += lossless.LineBytes {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("%w: lossless payload exhausted at %d/%d bytes",
+				ErrCorrupt, produced, rawLen)
+		}
+		n := bdiLineLen(data[0])
+		if n == 0 || n > len(data) {
+			return nil, fmt.Errorf("%w: bad lossless line tag %d", ErrCorrupt, data[0])
+		}
+		lossless.DecodeInto(line[:], data[:n])
+		data = data[n:]
+		take := rawLen - produced
+		if take > lossless.LineBytes {
+			take = lossless.LineBytes
+		}
+		for i := 0; i < take; i += 4 {
+			dst = append(dst, math.Float32frombits(binary.LittleEndian.Uint32(line[i:])))
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing lossless bytes", ErrCorrupt, len(data))
+	}
+	return dst, nil
+}
+
+// decodeLossless64To is decodeLossless32To for fp64 values.
+func decodeLossless64To(dst []float64, data []byte, valCount int) ([]float64, error) {
+	rawLen := 8 * valCount
+	var line [lossless.LineBytes]byte
+	for produced := 0; produced < rawLen; produced += lossless.LineBytes {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("%w: lossless payload exhausted at %d/%d bytes",
+				ErrCorrupt, produced, rawLen)
+		}
+		n := bdiLineLen(data[0])
+		if n == 0 || n > len(data) {
+			return nil, fmt.Errorf("%w: bad lossless line tag %d", ErrCorrupt, data[0])
+		}
+		lossless.DecodeInto(line[:], data[:n])
+		data = data[n:]
+		take := rawLen - produced
+		if take > lossless.LineBytes {
+			take = lossless.LineBytes
+		}
+		for i := 0; i < take; i += 8 {
+			dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(line[i:])))
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing lossless bytes", ErrCorrupt, len(data))
+	}
+	return dst, nil
 }
 
 // Raw little-endian value conversions shared by the put/get paths.

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"avr"
+)
+
+// Parallel block encoding for the Put path. A put's blocks are encoded
+// independently and committed in index order, so fanning the encode loop
+// out over the store's persistent worker pool changes wall-clock time
+// but not one byte of what lands in the segment: the differential tests
+// pin serial-vs-parallel frame identity. The pool is started once at
+// Open (Config.EncodeWorkers-1 helper goroutines; the calling goroutine
+// is the remaining worker) and stopped by Close, so steady-state puts
+// spawn nothing and allocate nothing in either mode.
+
+// encJob is one put's block-encode work order, processed cooperatively
+// by the calling goroutine and any helpers that pick it up. Blocks are
+// claimed by an atomic counter; each claim encodes exactly one block
+// into its own scratch slot. The job lives inside putScratch and is
+// reused across puts.
+type encJob struct {
+	s        *Store
+	key      string
+	vals32   []float32 // exactly one of vals32/vals64 is non-nil
+	vals64   []float64
+	ps       *putScratch
+	next     atomic.Int64
+	helpers  sync.WaitGroup
+	firstErr atomic.Pointer[error]
+}
+
+// run claims and encodes blocks until none remain. On the first error
+// the claim counter is exhausted so other participants stop early; the
+// error wins by atomic first-store, keeping run lock-free.
+func (j *encJob) run(c *avr.Codec) {
+	nb := int64(len(j.ps.blocks))
+	for {
+		i := j.next.Add(1) - 1
+		if i >= nb {
+			return
+		}
+		off := int(i) * BlockValues
+		var (
+			eb  encodedBlock
+			buf []byte
+			err error
+		)
+		if j.vals32 != nil {
+			end := min(off+BlockValues, len(j.vals32))
+			eb, buf, err = j.s.appendBlock32(c, j.key, uint32(i), j.vals32[off:end], j.ps.bufs[i])
+		} else {
+			end := min(off+BlockValues, len(j.vals64))
+			eb, buf, err = j.s.appendBlock64(c, j.key, uint32(i), j.vals64[off:end], j.ps.bufs[i])
+		}
+		j.ps.bufs[i] = buf
+		if err != nil {
+			e := err // heap-boxed only on the error path
+			j.firstErr.CompareAndSwap(nil, &e)
+			j.next.Store(nb)
+			return
+		}
+		j.ps.blocks[i] = eb
+	}
+}
+
+// encodeBlocks fills ps.blocks, serially on the caller's goroutine when
+// the store has no worker pool (the allocation-free default) and
+// cooperatively with the pool otherwise.
+func (s *Store) encodeBlocks(key string, vals32 []float32, vals64 []float64, ps *putScratch) error {
+	j := &ps.job
+	j.s, j.key, j.vals32, j.vals64, j.ps = s, key, vals32, vals64, ps
+	j.next.Store(0)
+	j.firstErr.Store(nil)
+	posted := 0
+	if s.encJobs != nil && len(ps.blocks) > 1 {
+		// Wake up to EncodeWorkers-1 helpers without ever blocking: a
+		// copy the queue cannot take is simply not sent, and a helper
+		// that arrives after the claim counter is exhausted returns
+		// immediately. Posting is guarded so Close can shut the queue
+		// without racing a send.
+		want := min(len(ps.blocks)-1, s.cfg.EncodeWorkers-1)
+		j.helpers.Add(want)
+		s.encMu.RLock()
+		if !s.encStopped {
+			for w := 0; w < want; w++ {
+				select {
+				case s.encJobs <- j:
+					posted++
+				default:
+					w = want // queue full; stop trying
+				}
+			}
+		}
+		s.encMu.RUnlock()
+		for skip := posted; skip < want; skip++ {
+			j.helpers.Done()
+		}
+	}
+	c := s.borrowCodec()
+	j.run(c)
+	s.returnCodec(c)
+	if posted > 0 {
+		j.helpers.Wait()
+	}
+	// Drop caller references so the pooled scratch does not pin them.
+	j.key, j.vals32, j.vals64 = "", nil, nil
+	if ep := j.firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// encWorker is one persistent pool goroutine: it serves jobs until the
+// queue is closed, then drains whatever is still buffered (a late copy
+// of a finished job costs one claim probe) so no put waits forever.
+func (s *Store) encWorker() {
+	defer s.encWG.Done()
+	for j := range s.encJobs {
+		c := s.borrowCodec()
+		j.run(c)
+		s.returnCodec(c)
+		j.helpers.Done()
+	}
+}
+
+func (s *Store) encodeBlocks32(key string, vals []float32, ps *putScratch) error {
+	return s.encodeBlocks(key, vals, nil, ps)
+}
+
+func (s *Store) encodeBlocks64(key string, vals []float64, ps *putScratch) error {
+	return s.encodeBlocks(key, nil, vals, ps)
+}

@@ -154,6 +154,30 @@ func parseRecord(payload []byte) (record, error) {
 	return rec, nil
 }
 
+// blockRecordData validates the structure of a block-record frame
+// payload and returns its encoded data bytes (aliasing payload). It is
+// the read path's allocation-free subset of parseRecord: the fields the
+// reader needs (enc, valCount, width) already live in the blockRef, so
+// only the layout is checked and the key is never materialised.
+func blockRecordData(payload []byte) ([]byte, error) {
+	if len(payload) < 1+8+2 {
+		return nil, fmt.Errorf("%w: %d-byte payload", ErrCorrupt, len(payload))
+	}
+	if payload[0] != recordBlock {
+		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, payload[0])
+	}
+	keyLen := int(binary.LittleEndian.Uint16(payload[9:]))
+	payload = payload[11:]
+	if keyLen == 0 || keyLen > maxKeyLen || keyLen > len(payload) {
+		return nil, fmt.Errorf("%w: key length %d", ErrCorrupt, keyLen)
+	}
+	payload = payload[keyLen:]
+	if len(payload) < 4+8+1+1+4+8 {
+		return nil, fmt.Errorf("%w: short block record", ErrCorrupt)
+	}
+	return payload[26:], nil
+}
+
 // scanSegment reads a segment stream and calls fn for each intact frame
 // with the parsed record, the frame's file offset and its full length
 // (header included). It returns the offset of the first byte after the

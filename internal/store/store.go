@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -64,6 +65,12 @@ type Config struct {
 	// SyncEveryPut fsyncs the active segment after every Put (durable
 	// but slow); by default data is fsynced on segment roll and Close.
 	SyncEveryPut bool
+	// EncodeWorkers bounds the goroutines encoding a Put's blocks (and
+	// precomputing compaction recompressions). Blocks are independent, so
+	// the stream committed is byte-identical at any setting. 1 or less
+	// keeps encoding on the caller's goroutine (the default; also the
+	// only allocation-free mode).
+	EncodeWorkers int
 }
 
 // withDefaults fills unset fields.
@@ -79,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinDeadFraction <= 0 {
 		c.MinDeadFraction = 0.25
+	}
+	if c.EncodeWorkers <= 0 {
+		c.EncodeWorkers = 1
 	}
 	return c
 }
@@ -188,6 +198,21 @@ type Store struct {
 	// codecs pools *avr.Codec instances at the store threshold (a Codec
 	// is not concurrency-safe; see the avr.Codec doc).
 	codecs sync.Pool
+	// puts and gets pool the scratch state that keeps the hot paths
+	// allocation-free across calls.
+	puts sync.Pool
+	gets sync.Pool
+	// encSem bounds in-flight compaction retry precomputation (nil when
+	// EncodeWorkers is 1); put encoding uses the persistent pool below.
+	encSem chan struct{}
+	// encJobs feeds the persistent put-encode worker pool (nil when
+	// EncodeWorkers is 1). encMu/encStopped let Close shut the queue
+	// without racing an in-flight post; the workers drain any copies
+	// still buffered before exiting, so no put blocks on Close.
+	encJobs    chan *encJob
+	encMu      sync.RWMutex
+	encStopped bool
+	encWG      sync.WaitGroup
 
 	stopCompact chan struct{}
 	compactWG   sync.WaitGroup
@@ -213,6 +238,16 @@ func Open(cfg Config) (*Store, error) {
 		flags: make(map[blockKey]flagEntry),
 	}
 	s.codecs.New = func() any { return avr.NewCodec(cfg.T1) }
+	s.puts.New = func() any { return &putScratch{} }
+	s.gets.New = func() any { return &getScratch{} }
+	if cfg.EncodeWorkers > 1 {
+		s.encSem = make(chan struct{}, cfg.EncodeWorkers)
+		s.encJobs = make(chan *encJob, 2*cfg.EncodeWorkers)
+		for w := 0; w < cfg.EncodeWorkers-1; w++ {
+			s.encWG.Add(1)
+			go s.encWorker()
+		}
+	}
 	if err := s.recover(); err != nil {
 		s.closeSegments()
 		return nil, err
@@ -434,14 +469,21 @@ func (s *Store) rollActive() error {
 
 // appendFrameLocked writes one frame to the active segment, rolling
 // first if the target size is exceeded, and returns its ref location.
-// Caller holds the write lock.
-func (s *Store) appendFrameLocked(rec *record, scratch []byte) (segID uint32, off, frameLen int64, err error) {
+// scratch, when non-nil, is a reusable serialisation buffer that keeps
+// its growth across calls. Caller holds the write lock.
+func (s *Store) appendFrameLocked(rec *record, scratch *[]byte) (segID uint32, off, frameLen int64, err error) {
 	if s.active.size >= s.cfg.SegmentTargetBytes {
 		if err := s.rollActive(); err != nil {
 			return 0, 0, 0, err
 		}
 	}
-	frame := appendFrame(scratch[:0], rec)
+	var frame []byte
+	if scratch != nil {
+		*scratch = appendFrame((*scratch)[:0], rec)
+		frame = *scratch
+	} else {
+		frame = appendFrame(nil, rec)
+	}
 	off = s.active.size
 	if _, err := s.active.f.WriteAt(frame, off); err != nil {
 		return 0, 0, 0, err
@@ -469,50 +511,82 @@ type encodedBlock struct {
 func (s *Store) borrowCodec() *avr.Codec  { return s.codecs.Get().(*avr.Codec) }
 func (s *Store) returnCodec(c *avr.Codec) { s.codecs.Put(c) }
 
-// encodeBlock32 encodes one fp32 block, honouring the flag table.
-func (s *Store) encodeBlock32(key string, idx uint32, vals []float32) (encodedBlock, error) {
-	raw := f32ToRaw(vals)
-	if s.flagged(key, idx) {
-		obs.StoreCompressSkips.Add(1)
-		return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
-			data: encodeLossless(raw), ratio: 1, skipped: true}, nil
-	}
-	c := s.borrowCodec()
-	enc, err := c.Encode(vals)
-	s.returnCodec(c)
-	if err != nil {
-		return encodedBlock{}, err
-	}
-	return s.pickEncoding(raw, enc, len(vals)), nil
+// putScratch is the reusable per-Put state: one encode buffer per block
+// slot (each block's bytes must stay alive until commit), the staged
+// refs, and the frame serialisation buffer. Pooled so steady-state Puts
+// allocate nothing.
+type putScratch struct {
+	blocks []encodedBlock
+	bufs   [][]byte
+	refs   []blockRef
+	frame  []byte
+	rec    record
+	job    encJob
 }
 
-// encodeBlock64 encodes one fp64 block, honouring the flag table.
-func (s *Store) encodeBlock64(key string, idx uint32, vals []float64) (encodedBlock, error) {
-	raw := f64ToRaw(vals)
-	if s.flagged(key, idx) {
-		obs.StoreCompressSkips.Add(1)
-		return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
-			data: encodeLossless(raw), ratio: 1, skipped: true}, nil
+// ensure sizes the scratch for an nb-block put, keeping grown buffers.
+func (ps *putScratch) ensure(nb int) {
+	if cap(ps.blocks) < nb {
+		ps.blocks = make([]encodedBlock, nb)
 	}
-	c := s.borrowCodec()
-	enc, err := c.Encode64(vals)
-	s.returnCodec(c)
-	if err != nil {
-		return encodedBlock{}, err
+	ps.blocks = ps.blocks[:nb]
+	for len(ps.bufs) < nb {
+		ps.bufs = append(ps.bufs, nil)
 	}
-	return s.pickEncoding(raw, enc, len(vals)), nil
+	if cap(ps.refs) < nb {
+		ps.refs = make([]blockRef, nb)
+	}
+	ps.refs = ps.refs[:nb]
 }
 
-// pickEncoding applies the ratio floor: AVR when it pays, the lossless
-// fallback otherwise.
-func (s *Store) pickEncoding(raw, avrEnc []byte, valCount int) encodedBlock {
-	ratio := float64(len(raw)) / float64(len(avrEnc))
-	if ratio < s.cfg.RatioFloor {
-		ll := encodeLossless(raw)
-		return encodedBlock{enc: encLossless, valCount: uint32(valCount),
-			data: ll, ratio: float64(len(raw)) / float64(len(ll))}
+// appendBlock32 encodes one fp32 block into buf (reused across puts),
+// honouring the flag table and the ratio floor. It returns the block
+// descriptor and the grown buffer; the descriptor's data aliases buf.
+func (s *Store) appendBlock32(c *avr.Codec, key string, idx uint32, vals []float32, buf []byte) (encodedBlock, []byte, error) {
+	rawLen := 4 * len(vals)
+	if s.flagged(key, idx) {
+		obs.StoreCompressSkips.Add(1)
+		buf = appendLossless32(buf[:0], vals)
+		return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
+			data: buf, ratio: 1, skipped: true}, buf, nil
 	}
-	return encodedBlock{enc: encAVR, valCount: uint32(valCount), data: avrEnc, ratio: ratio}
+	buf, err := c.EncodeTo(buf[:0], vals)
+	if err != nil {
+		return encodedBlock{}, buf, err
+	}
+	if ratio := float64(rawLen) / float64(len(buf)); ratio >= s.cfg.RatioFloor {
+		return encodedBlock{enc: encAVR, valCount: uint32(len(vals)), data: buf, ratio: ratio}, buf, nil
+	}
+	// Below the floor: append the lossless fallback after the (discarded)
+	// AVR stream so both share one grown buffer.
+	llStart := len(buf)
+	buf = appendLossless32(buf, vals)
+	ll := buf[llStart:]
+	return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
+		data: ll, ratio: float64(rawLen) / float64(len(ll))}, buf, nil
+}
+
+// appendBlock64 is appendBlock32 for fp64 blocks.
+func (s *Store) appendBlock64(c *avr.Codec, key string, idx uint32, vals []float64, buf []byte) (encodedBlock, []byte, error) {
+	rawLen := 8 * len(vals)
+	if s.flagged(key, idx) {
+		obs.StoreCompressSkips.Add(1)
+		buf = appendLossless64(buf[:0], vals)
+		return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
+			data: buf, ratio: 1, skipped: true}, buf, nil
+	}
+	buf, err := c.Encode64To(buf[:0], vals)
+	if err != nil {
+		return encodedBlock{}, buf, err
+	}
+	if ratio := float64(rawLen) / float64(len(buf)); ratio >= s.cfg.RatioFloor {
+		return encodedBlock{enc: encAVR, valCount: uint32(len(vals)), data: buf, ratio: ratio}, buf, nil
+	}
+	llStart := len(buf)
+	buf = appendLossless64(buf, vals)
+	ll := buf[llStart:]
+	return encodedBlock{enc: encLossless, valCount: uint32(len(vals)),
+		data: ll, ratio: float64(rawLen) / float64(len(ll))}, buf, nil
 }
 
 // flagged reports whether the block is flagged at the store's current
@@ -533,16 +607,13 @@ func (s *Store) Put32(key string, vals []float32) (PutResult, error) {
 		return PutResult{}, errors.New("store: empty vector")
 	}
 	t0 := time.Now()
-	blocks := make([]encodedBlock, 0, (len(vals)+BlockValues-1)/BlockValues)
-	for off := 0; off < len(vals); off += BlockValues {
-		end := min(off+BlockValues, len(vals))
-		eb, err := s.encodeBlock32(key, uint32(off/BlockValues), vals[off:end])
-		if err != nil {
-			return PutResult{}, err
-		}
-		blocks = append(blocks, eb)
+	ps := s.puts.Get().(*putScratch)
+	defer s.puts.Put(ps)
+	ps.ensure((len(vals) + BlockValues - 1) / BlockValues)
+	if err := s.encodeBlocks32(key, vals, ps); err != nil {
+		return PutResult{}, err
 	}
-	return s.commitPut(key, 32, uint64(len(vals)), 4*len(vals), blocks, t0)
+	return s.commitPut(key, 32, uint64(len(vals)), 4*len(vals), ps, t0)
 }
 
 // Put64 stores an fp64 vector under key, replacing any previous value.
@@ -554,21 +625,21 @@ func (s *Store) Put64(key string, vals []float64) (PutResult, error) {
 		return PutResult{}, errors.New("store: empty vector")
 	}
 	t0 := time.Now()
-	blocks := make([]encodedBlock, 0, (len(vals)+BlockValues-1)/BlockValues)
-	for off := 0; off < len(vals); off += BlockValues {
-		end := min(off+BlockValues, len(vals))
-		eb, err := s.encodeBlock64(key, uint32(off/BlockValues), vals[off:end])
-		if err != nil {
-			return PutResult{}, err
-		}
-		blocks = append(blocks, eb)
+	ps := s.puts.Get().(*putScratch)
+	defer s.puts.Put(ps)
+	ps.ensure((len(vals) + BlockValues - 1) / BlockValues)
+	if err := s.encodeBlocks64(key, vals, ps); err != nil {
+		return PutResult{}, err
 	}
-	return s.commitPut(key, 64, uint64(len(vals)), 8*len(vals), blocks, t0)
+	return s.commitPut(key, 64, uint64(len(vals)), 8*len(vals), ps, t0)
 }
 
 // commitPut appends the encoded blocks as frames and installs the new
-// index entry atomically with respect to readers.
-func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes int, blocks []encodedBlock, t0 time.Time) (PutResult, error) {
+// index entry atomically with respect to readers. On append failure the
+// index keeps the old value; frames appended so far are dead weight for
+// compaction to reclaim.
+func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes int, ps *putScratch, t0 time.Time) (PutResult, error) {
+	blocks := ps.blocks
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -576,26 +647,24 @@ func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes in
 	}
 	s.seq++
 	seq := s.seq
-	e := &entry{seq: seq, totalVals: totalVals, width: width}
-	e.refs = make([]blockRef, len(blocks))
+	refs := ps.refs
 	res := PutResult{Key: key, Values: int(totalVals), Blocks: len(blocks)}
-	for i, eb := range blocks {
-		rec := record{
+	for i := range blocks {
+		eb := &blocks[i]
+		ps.rec = record{
 			Kind: recordBlock, Seq: seq, Key: key,
 			BlockIdx: uint32(i), TotalVals: totalVals,
 			Width: width, Enc: eb.enc, ValCount: eb.valCount,
 			T1: s.cfg.T1, Data: eb.data,
 		}
-		segID, off, frameLen, err := s.appendFrameLocked(&rec, nil)
+		segID, off, frameLen, err := s.appendFrameLocked(&ps.rec, &ps.frame)
 		if err != nil {
-			// The index keeps the old value; frames appended so far are
-			// dead weight for compaction to reclaim.
-			for _, ref := range e.refs[:i] {
+			for _, ref := range refs[:i] {
 				s.markDead(ref.seg, ref.frameLen)
 			}
 			return PutResult{}, err
 		}
-		e.refs[i] = blockRef{seg: segID, off: off, frameLen: frameLen,
+		refs[i] = blockRef{seg: segID, off: off, frameLen: frameLen,
 			enc: eb.enc, valCount: eb.valCount, t1: s.cfg.T1}
 		res.StoredBytes += int64(frameLen)
 		bk := blockKey{key, uint32(i)}
@@ -612,13 +681,30 @@ func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes in
 		}
 		blockRatioHist.Observe(eb.ratio)
 	}
+	// Install the new entry, recycling the superseded one (same effect as
+	// dropEntry, without discarding its refs capacity).
+	var e *entry
 	if old, ok := s.index[key]; ok {
-		s.dropEntry(key, old)
+		for _, ref := range old.refs {
+			if ref.seg != 0 {
+				s.markDead(ref.seg, ref.frameLen)
+				s.rawBytes -= int64(ref.valCount) * int64(old.width/8)
+			}
+		}
+		e = old
+	} else {
+		e = &entry{}
 	}
 	if t, ok := s.tombs[key]; ok {
 		s.markDead(t.seg, t.frameLen)
 		delete(s.tombs, key)
 	}
+	e.seq, e.totalVals, e.width = seq, totalVals, width
+	if cap(e.refs) < len(refs) {
+		e.refs = make([]blockRef, len(refs))
+	}
+	e.refs = e.refs[:len(refs)]
+	copy(e.refs, refs)
 	s.index[key] = e
 	s.rawBytes += int64(rawBytes)
 	res.RawBytes = int64(rawBytes)
@@ -656,20 +742,25 @@ func (s *Store) Get(key string) (vals32 []float32, vals64 []float64, width int, 
 	if !ok {
 		return nil, nil, 0, ErrNotFound
 	}
-	raw, complete, err := s.readVectorLocked(key, e)
+	var complete bool
+	var nvals int
+	if e.width == 32 {
+		vals32, complete, err = s.read32Locked(nil, key, e)
+		nvals = len(vals32)
+	} else {
+		vals64, complete, err = s.read64Locked(nil, key, e)
+		nvals = len(vals64)
+	}
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	obs.StoreGets.Add(1)
-	obs.StoreGetBytes.Add(int64(len(raw)))
+	obs.StoreGetBytes.Add(int64(nvals) * int64(e.width/8))
 	getLatencyHist.Observe(float64(time.Since(t0).Microseconds()))
 	if !complete {
 		err = ErrIncomplete
 	}
-	if e.width == 32 {
-		return rawToF32(raw), nil, 32, err
-	}
-	return nil, rawToF64(raw), 64, err
+	return vals32, vals64, int(e.width), err
 }
 
 // Get32 returns the fp32 vector stored under key.
@@ -696,82 +787,169 @@ func (s *Store) Get64(key string) ([]float64, error) {
 	return v64, err
 }
 
-// readVectorLocked reads and decodes e's blocks in order, stopping at
-// the first hole (torn put). Caller holds at least the read lock.
-func (s *Store) readVectorLocked(key string, e *entry) (raw []byte, complete bool, err error) {
-	vw := int(e.width / 8)
-	raw = make([]byte, 0, int(e.totalVals)*vw)
+// Get32Into appends the fp32 vector stored under key to dst and returns
+// the extended slice. With a retained buffer (dst[:0]) the read path is
+// allocation-free. An incomplete vector appends its recovered prefix
+// and returns ErrIncomplete alongside it.
+func (s *Store) Get32Into(dst []float32, key string) ([]float32, error) {
+	t0 := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if e.width != 32 {
+		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, e.width)
+	}
+	base := len(dst)
+	dst, complete, err := s.read32Locked(dst, key, e)
+	if err != nil {
+		return nil, err
+	}
+	obs.StoreGets.Add(1)
+	obs.StoreGetBytes.Add(4 * int64(len(dst)-base))
+	getLatencyHist.Observe(float64(time.Since(t0).Microseconds()))
+	if !complete {
+		return dst, ErrIncomplete
+	}
+	return dst, nil
+}
+
+// Get64Into is Get32Into for fp64 vectors.
+func (s *Store) Get64Into(dst []float64, key string) ([]float64, error) {
+	t0 := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if e.width != 64 {
+		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, e.width)
+	}
+	base := len(dst)
+	dst, complete, err := s.read64Locked(dst, key, e)
+	if err != nil {
+		return nil, err
+	}
+	obs.StoreGets.Add(1)
+	obs.StoreGetBytes.Add(8 * int64(len(dst)-base))
+	getLatencyHist.Observe(float64(time.Since(t0).Microseconds()))
+	if !complete {
+		return dst, ErrIncomplete
+	}
+	return dst, nil
+}
+
+// getScratch is the pooled read-path state: the frame read-back buffer.
+type getScratch struct {
+	frame []byte
+}
+
+// read32Locked appends e's decoded fp32 blocks to dst in vector order,
+// stopping at the first hole (torn put). Caller holds at least the read
+// lock.
+func (s *Store) read32Locked(dst []float32, key string, e *entry) ([]float32, bool, error) {
+	gs := s.gets.Get().(*getScratch)
+	defer s.gets.Put(gs)
+	c := s.borrowCodec()
+	defer s.returnCodec(c)
+	if n := int(e.totalVals); cap(dst)-len(dst) < n {
+		dst = slices.Grow(dst, n)
+	}
 	for i := range e.refs {
 		ref := e.refs[i]
 		if ref.seg == 0 {
-			return raw, false, nil
+			return dst, false, nil
 		}
-		rec, err := s.readBlockLocked(ref)
+		data, err := s.readFrameLocked(ref, gs)
 		if err != nil {
 			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
 		}
-		blockRaw, err := s.decodeBlock(rec)
+		n := len(dst)
+		if ref.enc == encLossless {
+			dst, err = decodeLossless32To(dst, data, int(ref.valCount))
+		} else {
+			dst, err = c.DecodeTo(dst, data)
+			if err == nil && len(dst)-n != int(ref.valCount) {
+				err = fmt.Errorf("%w: AVR stream holds %d values, record says %d",
+					ErrCorrupt, len(dst)-n, ref.valCount)
+			}
+		}
 		if err != nil {
 			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
 		}
-		raw = append(raw, blockRaw...)
 	}
-	return raw, len(e.refs) == e.blocks(), nil
+	return dst, len(e.refs) == e.blocks(), nil
 }
 
-// readBlockLocked reads one frame back from its segment, re-verifying
-// the CRC (reads are guarded exactly like recovery scans).
-func (s *Store) readBlockLocked(ref blockRef) (record, error) {
+// read64Locked is read32Locked for fp64 entries.
+func (s *Store) read64Locked(dst []float64, key string, e *entry) ([]float64, bool, error) {
+	gs := s.gets.Get().(*getScratch)
+	defer s.gets.Put(gs)
+	c := s.borrowCodec()
+	defer s.returnCodec(c)
+	if n := int(e.totalVals); cap(dst)-len(dst) < n {
+		dst = slices.Grow(dst, n)
+	}
+	for i := range e.refs {
+		ref := e.refs[i]
+		if ref.seg == 0 {
+			return dst, false, nil
+		}
+		data, err := s.readFrameLocked(ref, gs)
+		if err != nil {
+			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
+		}
+		n := len(dst)
+		if ref.enc == encLossless {
+			dst, err = decodeLossless64To(dst, data, int(ref.valCount))
+		} else {
+			dst, err = c.Decode64To(dst, data)
+			if err == nil && len(dst)-n != int(ref.valCount) {
+				err = fmt.Errorf("%w: AVR stream holds %d values, record says %d",
+					ErrCorrupt, len(dst)-n, ref.valCount)
+			}
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
+		}
+	}
+	return dst, len(e.refs) == e.blocks(), nil
+}
+
+// readFrameLocked reads one frame back from its segment into the
+// scratch buffer, re-verifying length and CRC exactly like recovery
+// scans, and returns the block record's data bytes (aliasing gs.frame,
+// valid until the next readFrameLocked on the same scratch).
+func (s *Store) readFrameLocked(ref blockRef, gs *getScratch) ([]byte, error) {
 	m := s.segs[ref.seg]
 	if m == nil {
-		return record{}, fmt.Errorf("%w: segment %d vanished", ErrCorrupt, ref.seg)
+		return nil, fmt.Errorf("%w: segment %d vanished", ErrCorrupt, ref.seg)
 	}
-	buf := make([]byte, ref.frameLen)
+	if cap(gs.frame) < int(ref.frameLen) {
+		gs.frame = make([]byte, ref.frameLen)
+	}
+	buf := gs.frame[:ref.frameLen]
 	if _, err := m.f.ReadAt(buf, ref.off); err != nil {
-		return record{}, err
+		return nil, err
 	}
 	n := int64(readUint32(buf))
 	if n+frameHeaderLen != ref.frameLen {
-		return record{}, fmt.Errorf("%w: frame length changed underfoot", ErrCorrupt)
+		return nil, fmt.Errorf("%w: frame length changed underfoot", ErrCorrupt)
 	}
 	payload := buf[frameHeaderLen:]
 	if crc32Of(payload) != readUint32(buf[4:]) {
-		return record{}, fmt.Errorf("%w: frame CRC mismatch on read", ErrCorrupt)
+		return nil, fmt.Errorf("%w: frame CRC mismatch on read", ErrCorrupt)
 	}
-	return parseRecord(payload)
-}
-
-// decodeBlock reconstructs a block record's raw value bytes.
-func (s *Store) decodeBlock(rec record) ([]byte, error) {
-	rawLen := int(rec.ValCount) * int(rec.Width/8)
-	switch rec.Enc {
-	case encLossless:
-		return decodeLossless(rec.Data, rawLen)
-	case encAVR:
-		c := s.borrowCodec()
-		defer s.returnCodec(c)
-		if rec.Width == 32 {
-			vals, err := c.Decode(rec.Data)
-			if err != nil {
-				return nil, err
-			}
-			if len(vals) != int(rec.ValCount) {
-				return nil, fmt.Errorf("%w: AVR stream holds %d values, record says %d",
-					ErrCorrupt, len(vals), rec.ValCount)
-			}
-			return f32ToRaw(vals), nil
-		}
-		vals, err := c.Decode64(rec.Data)
-		if err != nil {
-			return nil, err
-		}
-		if len(vals) != int(rec.ValCount) {
-			return nil, fmt.Errorf("%w: AVR stream holds %d values, record says %d",
-				ErrCorrupt, len(vals), rec.ValCount)
-		}
-		return f64ToRaw(vals), nil
-	}
-	return nil, fmt.Errorf("%w: encoding %d", ErrCorrupt, rec.Enc)
+	return blockRecordData(payload)
 }
 
 // Delete removes key, appending a tombstone so the removal survives
@@ -862,6 +1040,15 @@ func (s *Store) Close() error {
 		close(s.stopCompact)
 		s.compactWG.Wait()
 		s.stopCompact = nil
+	}
+	if s.encJobs != nil {
+		s.encMu.Lock()
+		if !s.encStopped {
+			s.encStopped = true
+			close(s.encJobs)
+		}
+		s.encMu.Unlock()
+		s.encWG.Wait()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # scripts/bench.sh — run the benchmark suites and emit JSON results
 # (ns/op, B/op, allocs/op and custom metrics per benchmark), then
-# enforce the zero-allocation gates.
+# enforce the zero-allocation gates and the store throughput gates
+# (absolute Put32 floor + -20% regression bar vs the committed
+# BENCH_store.json; PERFGATE=0 skips the throughput bars).
 #
 # Two passes:
 #   1. simulator suite  -> BENCH_sim.json    (hot-path alloc gate)
@@ -35,10 +37,11 @@ STORE_PKGS="./internal/store ./internal/server"
 # the same bar both disabled (nil receiver) and enabled (preallocated
 # ring/buckets).
 GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLookupMiss BenchmarkDRAMAccess BenchmarkDRAMAccessRandom BenchmarkSystemAccess BenchmarkSystemAccessAVR BenchmarkRecorderDisabled BenchmarkRecorderRecord BenchmarkHistogramDisabled BenchmarkHistogramObserve"
-# Serving-path gate: the codec-pool handoff sits on every request. The
-# store put/get paths allocate by design (encode buffers, result
-# vectors) and are tracked in the JSON, not gated.
-STORE_GATED="BenchmarkCodecPoolGetPut"
+# Serving-path gate: the codec-pool handoff sits on every request, and
+# the store put/get hot paths are allocation-free by contract — pooled
+# scratch on the write side, caller-supplied destinations (Get*Into) on
+# the read side.
+STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64"
 
 RAW="$(mktemp)"
 RAW_STORE="$(mktemp)"
@@ -79,6 +82,53 @@ render_json() {
     }' "$1"
 }
 
+# mbs_raw RAWFILE BENCH — MB/s from a raw benchmark output line.
+mbs_raw() {
+    grep -E "^$2(-[0-9]+)? " "$1" | head -1 |
+        awk '{for (i = 3; i < NF; i++) if ($(i + 1) == "MB/s") print $i}'
+}
+
+# mbs_json JSONFILE BENCH — MB/s recorded for BENCH in a results file.
+mbs_json() {
+    sed -n "s/.*\"name\": \"$2\".*\"MB\/s\": \([0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+# perf_gate RAWFILE BASELINE_JSON — throughput bars on the store hot
+# paths: an absolute floor on the headline put benchmark and a -20%
+# regression bar against the committed baseline for every put/get
+# benchmark that has one. PERFGATE=0 skips (loaded machines, debug).
+# StorePut32Noise is alloc-gated but not throughput-gated: the lossless
+# fallback writes 4× the bytes of the compressed path, so its MB/s
+# measures disk writeback (3× run-to-run swings), not the codec.
+PUT32_FLOOR="${PUT32_FLOOR:-550}"
+perf_gate() {
+    local raw="$1" base="$2" fail=0 b cur old
+    cur="$(mbs_raw "$raw" BenchmarkStorePut32)"
+    if [ -z "$cur" ]; then
+        echo "PERF GATE: BenchmarkStorePut32 reported no MB/s" >&2
+        return 1
+    fi
+    if awk -v v="$cur" -v f="$PUT32_FLOOR" 'BEGIN { exit !(v < f) }'; then
+        echo "PERF GATE: BenchmarkStorePut32 at $cur MB/s, floor $PUT32_FLOOR MB/s" >&2
+        fail=1
+    else
+        echo "perf gate ok: BenchmarkStorePut32 $cur MB/s (floor $PUT32_FLOOR)"
+    fi
+    [ -f "$base" ] || return $fail
+    for b in BenchmarkStorePut32 BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64; do
+        cur="$(mbs_raw "$raw" "$b")"
+        old="$(mbs_json "$base" "$b")"
+        { [ -n "$cur" ] && [ -n "$old" ]; } || continue
+        if awk -v c="$cur" -v o="$old" 'BEGIN { exit !(c < 0.8 * o) }'; then
+            echo "PERF GATE: $b regressed to $cur MB/s (baseline $old MB/s, -20% bar)" >&2
+            fail=1
+        else
+            echo "perf gate ok: $b $cur MB/s (baseline $old)"
+        fi
+    done
+    return $fail
+}
+
 # alloc_gate RAWFILE FILTER BENCH... — every named benchmark must have
 # run and reported 0 allocs/op.
 alloc_gate() {
@@ -109,6 +159,11 @@ render_json "$RAW" > "$OUT"
 echo "wrote $OUT"
 
 echo "== go test -bench '$STOREFILTER' -benchtime $BENCHTIME =="
+# Snapshot the committed baseline before overwriting it, so the
+# regression gate compares against what the repo last recorded.
+BASELINE="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW_STORE" "$BASELINE"' EXIT
+if [ -f "$STORE_OUT" ]; then cp "$STORE_OUT" "$BASELINE"; else : > "$BASELINE"; fi
 go test -run '^$' -bench "$STOREFILTER" -benchmem -benchtime "$BENCHTIME" $STORE_PKGS | tee "$RAW_STORE"
 render_json "$RAW_STORE" > "$STORE_OUT"
 echo "wrote $STORE_OUT"
@@ -116,4 +171,7 @@ echo "wrote $STORE_OUT"
 fail=0
 alloc_gate "$RAW" "$BENCHFILTER" $GATED || fail=1
 alloc_gate "$RAW_STORE" "$STOREFILTER" $STORE_GATED || fail=1
+if [ "${PERFGATE:-1}" != "0" ]; then
+    perf_gate "$RAW_STORE" "$BASELINE" || fail=1
+fi
 exit $fail
