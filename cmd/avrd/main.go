@@ -13,12 +13,19 @@
 //	curl -s localhost:8080/v1/stats | jq .latency
 //
 // With -store-dir the daemon also serves the persistent approximate
-// block store (internal/store) at /v1/store/{put,get,key,stats}:
+// block store (internal/store) at /v1/store/{put,get,query,key,stats}:
 //
 //	avrd -addr localhost:8080 -store-dir /var/lib/avr
 //	curl -s -X PUT --data-binary @values.f32le 'localhost:8080/v1/store/put?key=temps'
 //	curl -s 'localhost:8080/v1/store/get?key=temps' > approx.f32le
+//	curl -s 'localhost:8080/v1/store/query?key=temps' | jq .sum
+//	curl -s 'localhost:8080/v1/store/query?key=temps&op=filter&lo=0&hi=1' | jq .matches
 //	curl -s localhost:8080/v1/store/stats | jq .achieved_ratio
+//
+// /v1/store/query answers aggregate, range-filter, and 16→1 downsample
+// queries in the compressed domain — record summaries, bitmaps and
+// outliers instead of decoded payloads — and reports the error bound
+// plus bytes_touched/bytes_total traffic accounting with each answer.
 //
 // With -addr :0 the bound address is printed on startup and, with
 // -addr-file, written to a file for scripts (see scripts/serve_smoke.sh).

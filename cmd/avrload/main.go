@@ -16,6 +16,17 @@
 // verifying every returned value is within the error threshold of what
 // it stored — approximate durability checked end to end.
 //
+// With -mode query each connection stores its vector once and then
+// loops compressed-domain queries (/v1/store/query): aggregate, range
+// filter and downsample in rotation. Every response is checked against
+// ground truth recomputed from the generated values: |approx − exact|
+// must be within the response's own error_bound, filter brackets must
+// contain the exact match count, and each downsampled point must be
+// within its per-point bound — any violation counts as corruption and
+// fails the run. Aggregate responses also feed a traffic account
+// (bytes_touched / bytes_total); -maxtraffic turns the budget into a
+// hard assertion for responses served purely from AVR blocks.
+//
 // Exit status: 0 on a clean run; 1 when no request succeeded or any
 // response mismatched the local codec / exceeded the error bound
 // (corruption).
@@ -39,6 +50,7 @@ import (
 	"avr"
 	"avr/internal/cliutil"
 	"avr/internal/server"
+	"avr/internal/store"
 	"avr/internal/workloads"
 )
 
@@ -51,7 +63,8 @@ func main() {
 	dist := flag.String("dist", "heat", "value distribution: "+strings.Join(workloads.Distributions(), ", "))
 	width := flag.Int("width", 32, "value width in bits: 32 or 64")
 	verify := flag.Bool("verify", true, "check every response byte-for-byte against a local codec")
-	mode := flag.String("mode", "codec", "traffic shape: codec (encode→decode) or store (put→get against /v1/store)")
+	mode := flag.String("mode", "codec", "traffic shape: codec (encode→decode), store (put→get against /v1/store), or query (compressed-domain queries against /v1/store/query)")
+	maxTraffic := flag.Float64("maxtraffic", 0, "query mode: fail pure-AVR aggregate responses whose bytes_touched/bytes_total exceeds this fraction (0 = report only)")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON (for recorded baselines)")
 	var t1 float64
 	cliutil.RegisterT1(flag.CommandLine, &t1)
@@ -67,8 +80,8 @@ func main() {
 	if *width != 32 && *width != 64 {
 		cliutil.Fatal(fmt.Errorf("bad -width %d: want 32 or 64", *width))
 	}
-	if *mode != "codec" && *mode != "store" {
-		cliutil.Fatal(fmt.Errorf("bad -mode %q: want codec or store", *mode))
+	if *mode != "codec" && *mode != "store" && *mode != "query" {
+		cliutil.Fatal(fmt.Errorf("bad -mode %q: want codec, store or query", *mode))
 	}
 	base := "http://" + *addr
 
@@ -100,9 +113,12 @@ func main() {
 		wg.Add(1)
 		go func(i int, sp *workerSpec) {
 			defer wg.Done()
-			if *mode == "store" {
+			switch *mode {
+			case "store":
 				results[i] = sp.runStore(client, base, deadline, *verify)
-			} else {
+			case "query":
+				results[i] = sp.runQuery(client, base, deadline, *maxTraffic)
+			default:
 				results[i] = sp.run(client, base, deadline, *verify)
 			}
 		}(i, sp)
@@ -112,7 +128,7 @@ func main() {
 
 	sum := summarize(results, elapsed, *conc, *values, *width, *dist, t1)
 	sum.Mode = *mode
-	if *mode == "store" {
+	if *mode == "store" || *mode == "query" {
 		// The wire accounting cannot see the stored size (puts and gets
 		// both move raw bytes); ask the daemon for the achieved ratio.
 		sum.EncodeRatio = fetchStoreRatio(client, base)
@@ -198,6 +214,7 @@ func newWorkerSpec(dist string, values, width int, t1 float64, seed uint64) (*wo
 type workerResult struct {
 	ok, shed, errs, corrupt int64
 	bytesUp, bytesDown      int64
+	touched, total          int64     // query mode: aggregate traffic account
 	lat                     []float64 // seconds per successful request
 }
 
@@ -250,6 +267,178 @@ func (sp *workerSpec) runStore(client *http.Client, base string, deadline time.T
 		}
 	}
 	return res
+}
+
+// runQuery stores the vector once, then loops compressed-domain queries
+// in rotation (aggregate → filter → downsample), checking every answer
+// against ground truth recomputed from the generated values. A bound
+// violation is corruption: the whole point of the query engine is that
+// its error bars are guarantees, not estimates.
+func (sp *workerSpec) runQuery(client *http.Client, base string, deadline time.Time, maxTraffic float64) *workerResult {
+	res := &workerResult{}
+	putURL := fmt.Sprintf("%s/v1/store/put?key=%s&width=%d", base, sp.key, sp.width)
+	for {
+		if _, ok := sp.post(client, putURL, sp.payload, res); ok {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			return res
+		}
+	}
+	// Don't let the seeding put distort the query latency distribution.
+	res.ok, res.lat = 0, res.lat[:0]
+
+	gt := sp.queryGroundTruth()
+	span := gt.max - gt.min
+	bands := [][2]float64{
+		{gt.min, gt.max},
+		{gt.min + span/4, gt.max - span/4},
+		{gt.min + span/2.1, gt.min + span/1.9},
+	}
+	aggURL := fmt.Sprintf("%s/v1/store/query?key=%s", base, sp.key)
+	dsURL := fmt.Sprintf("%s/v1/store/query?key=%s&op=downsample", base, sp.key)
+
+	for i := 0; time.Now().Before(deadline); i++ {
+		switch i % 3 {
+		case 0:
+			body, ok := sp.get(client, aggURL, res)
+			if !ok {
+				continue
+			}
+			var agg store.AggregateResult
+			if json.Unmarshal(body, &agg) != nil || !sp.checkAggregate(agg, gt) {
+				res.corrupt++
+				continue
+			}
+			res.touched += agg.BytesTouched
+			res.total += agg.BytesTotal
+			// The traffic budget only has teeth on vectors served purely
+			// from AVR-compressed blocks: raw and lossless records are
+			// full-size by construction.
+			if maxTraffic > 0 && agg.BlocksRaw == 0 && agg.BlocksLossless == 0 &&
+				float64(agg.BytesTouched) > maxTraffic*float64(agg.BytesTotal) {
+				res.corrupt++
+			}
+		case 1:
+			b := bands[(i/3)%len(bands)]
+			if !(b[0] <= b[1]) {
+				continue
+			}
+			url := fmt.Sprintf("%s/v1/store/query?key=%s&op=filter&lo=%g&hi=%g",
+				base, sp.key, b[0], b[1])
+			body, ok := sp.get(client, url, res)
+			if !ok {
+				continue
+			}
+			var fr store.FilterResult
+			if json.Unmarshal(body, &fr) != nil || !sp.checkFilter(fr, gt) {
+				res.corrupt++
+			}
+		case 2:
+			body, ok := sp.get(client, dsURL, res)
+			if !ok {
+				continue
+			}
+			var ds store.DownsampleResult
+			if json.Unmarshal(body, &ds) != nil || !sp.checkDownsample(ds, gt) {
+				res.corrupt++
+			}
+		}
+	}
+	return res
+}
+
+// loadGroundTruth is the exact answer set the query responses are
+// checked against, recomputed from the generated values the same way
+// the executor accumulates (float64, index order).
+type loadGroundTruth struct {
+	vals     []float64
+	sum      float64
+	min, max float64
+	points   []float64 // padded 16→1 group means
+}
+
+func (sp *workerSpec) queryGroundTruth() loadGroundTruth {
+	n := len(sp.payload) / (sp.width / 8)
+	gt := loadGroundTruth{
+		vals: make([]float64, n),
+		min:  math.Inf(1), max: math.Inf(-1),
+	}
+	for i := range gt.vals {
+		var v float64
+		if sp.width == 32 {
+			v = float64(math.Float32frombits(binary.LittleEndian.Uint32(sp.payload[4*i:])))
+		} else {
+			v = math.Float64frombits(binary.LittleEndian.Uint64(sp.payload[8*i:]))
+		}
+		gt.vals[i] = v
+		gt.sum += v
+		gt.min = math.Min(gt.min, v)
+		gt.max = math.Max(gt.max, v)
+	}
+	for g := 0; g*16 < n; g++ {
+		var s float64
+		for j := g * 16; j < g*16+16; j++ {
+			if j < n {
+				s += gt.vals[j]
+			} else {
+				s += gt.vals[n-1] // codec padding convention
+			}
+		}
+		gt.points = append(gt.points, s/16)
+	}
+	return gt
+}
+
+// boundTol widens a reported bound by the comparison's own float slack.
+func boundTol(b float64) float64 { return b*(1+1e-9) + 1e-300 }
+
+func (sp *workerSpec) checkAggregate(a store.AggregateResult, gt loadGroundTruth) bool {
+	if !a.Complete || a.Count != int64(len(gt.vals)) {
+		return false
+	}
+	if math.Abs(a.Sum-gt.sum) > boundTol(a.ErrorBound) {
+		return false
+	}
+	mean := gt.sum / float64(a.Count)
+	if math.Abs(a.Mean-mean) > boundTol(a.MeanErrorBound) {
+		return false
+	}
+	slack := 1e-9*math.Abs(gt.min) + 1e-300
+	if a.Min > gt.min+slack || gt.min > a.Min+a.MinErrorBound+slack {
+		return false
+	}
+	slack = 1e-9*math.Abs(gt.max) + 1e-300
+	if a.Max < gt.max-slack || gt.max < a.Max-a.MaxErrorBound-slack {
+		return false
+	}
+	return true
+}
+
+func (sp *workerSpec) checkFilter(f store.FilterResult, gt loadGroundTruth) bool {
+	if !f.Complete {
+		return false
+	}
+	var exact int64
+	for _, v := range gt.vals {
+		if f.Lo <= v && v <= f.Hi {
+			exact++
+		}
+	}
+	return f.MatchesMin <= exact && exact <= f.MatchesMax &&
+		f.Matches-exact <= f.ErrorBound && exact-f.Matches <= f.ErrorBound
+}
+
+func (sp *workerSpec) checkDownsample(d store.DownsampleResult, gt loadGroundTruth) bool {
+	if !d.Complete || len(d.Points) != len(gt.points) || len(d.Bounds) != len(d.Points) {
+		return false
+	}
+	for g := range d.Points {
+		if math.Abs(d.Points[g]-gt.points[g]) > boundTol(d.Bounds[g]) {
+			return false
+		}
+	}
+	return true
 }
 
 // get fetches one stored vector, with the same outcome classification as
@@ -378,6 +567,11 @@ type summary struct {
 	P99ms       float64 `json:"p99_ms"`
 	MaxMs       float64 `json:"max_ms"`
 	EncodeRatio float64 `json:"encode_ratio"`
+	// Query mode: encoded bytes the executor read vs the raw bytes its
+	// aggregate responses covered, and their ratio.
+	QueryBytesTouched int64   `json:"query_bytes_touched,omitempty"`
+	QueryBytesTotal   int64   `json:"query_bytes_total,omitempty"`
+	QueryTraffic      float64 `json:"query_traffic,omitempty"`
 }
 
 func summarize(results []*workerResult, elapsed time.Duration, conc, values, width int, dist string, t1 float64) summary {
@@ -394,7 +588,12 @@ func summarize(results []*workerResult, elapsed time.Duration, conc, values, wid
 		s.Corrupt += r.corrupt
 		up += r.bytesUp
 		down += r.bytesDown
+		s.QueryBytesTouched += r.touched
+		s.QueryBytesTotal += r.total
 		lat = append(lat, r.lat...)
+	}
+	if s.QueryBytesTotal > 0 {
+		s.QueryTraffic = float64(s.QueryBytesTouched) / float64(s.QueryBytesTotal)
 	}
 	total := s.OK + s.Shed + s.Errors
 	if total > 0 {
@@ -451,19 +650,27 @@ func (s summary) print(base string) {
 	fmt.Printf("  latency:    p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 		s.P50ms, s.P90ms, s.P99ms, s.MaxMs)
 	if s.EncodeRatio > 0 {
-		if s.Mode == "store" {
+		if s.Mode == "store" || s.Mode == "query" {
 			fmt.Printf("  ratio:      %.2f:1 achieved on disk (store stats)\n", s.EncodeRatio)
 		} else {
 			fmt.Printf("  ratio:      %.2f:1 achieved on the encode path\n", s.EncodeRatio)
 		}
 	}
+	if s.QueryBytesTotal > 0 {
+		fmt.Printf("  traffic:    aggregates touched %d of %d raw bytes (%.4f)\n",
+			s.QueryBytesTouched, s.QueryBytesTotal, s.QueryTraffic)
+	}
 	switch {
+	case s.Corrupt > 0 && s.Mode == "query":
+		fmt.Printf("  VERIFY FAILED: %d query responses beyond their error bound\n", s.Corrupt)
 	case s.Corrupt > 0 && s.Mode == "store":
 		fmt.Printf("  VERIFY FAILED: %d gets beyond the t1 bound\n", s.Corrupt)
 	case s.Corrupt > 0:
 		fmt.Printf("  VERIFY FAILED: %d responses differ from the direct codec\n", s.Corrupt)
 	case s.OK == 0:
 		fmt.Println("  FAILED: no successful requests")
+	case s.Mode == "query":
+		fmt.Println("  verify:     every query answer within its reported error bound")
 	case s.Mode == "store":
 		fmt.Println("  verify:     every get within the t1 bound of its put")
 	default:

@@ -24,6 +24,17 @@
 //	    Run compaction passes until no segment qualifies, printing each
 //	    pass's result.
 //
+//	avrstore query -dir D -key K [-op aggregate|filter|downsample] [-lo L -hi H]
+//	    Answer one compressed-domain query from block summaries (no full
+//	    decode) and print the result JSON, error bounds and
+//	    bytes_touched/bytes_total included.
+//
+//	avrstore query -dir D -check
+//	    Run every query op over every manifest key and verify the
+//	    answers against regenerated ground truth: aggregates within
+//	    their error bounds, filter brackets containing the exact match
+//	    count, downsampled points within their per-point bounds.
+//
 // Exit status: 0 on success, 1 on any verification failure or error.
 package main
 
@@ -57,6 +68,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "compact":
 		err = cmdCompact(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
 	default:
 		usage()
 	}
@@ -66,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: avrstore {pack|inspect|verify|compact} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: avrstore {pack|inspect|verify|compact|query} [flags]")
 	os.Exit(2)
 }
 
@@ -306,6 +319,204 @@ func verifyEntry(s *store.Store, width int, t1 float64, e manifestEntry, allowPa
 		}
 	}
 	return len(v64), nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	key := fs.String("key", "", "key to query (required unless -check)")
+	op := fs.String("op", "aggregate", "query op: aggregate, filter or downsample")
+	lo := fs.Float64("lo", 0, "filter: inclusive lower bound")
+	hi := fs.Float64("hi", 0, "filter: inclusive upper bound")
+	check := fs.Bool("check", false, "verify every query op over every manifest key against regenerated ground truth")
+	var t1 float64
+	cliutil.RegisterT1(fs, &t1)
+	fs.Parse(args)
+	if *dir == "" {
+		return errors.New("query: -dir is required")
+	}
+
+	if *check {
+		return queryCheck(*dir, t1)
+	}
+	if *key == "" {
+		return errors.New("query: -key is required (or -check)")
+	}
+
+	s, err := store.Open(store.Config{Dir: *dir, T1: t1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	var res any
+	switch *op {
+	case "aggregate":
+		res, err = s.QueryAggregate(*key)
+	case "filter":
+		res, err = s.QueryFilter(*key, *lo, *hi)
+	case "downsample":
+		res, err = s.QueryDownsample(*key)
+	default:
+		return fmt.Errorf("query: bad -op %q: want aggregate, filter or downsample", *op)
+	}
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// queryCheck cross-checks the compressed-domain query engine against
+// the manifest ground truth: the same vectors verify regenerates
+// value-by-value must also answer every query within the reported
+// bounds — the offline counterpart of avrload -mode query.
+func queryCheck(dir string, t1 float64) error {
+	mb, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return fmt.Errorf("query: reading manifest (run pack first): %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return fmt.Errorf("query: bad manifest: %w", err)
+	}
+	if t1 == 0 {
+		t1 = m.T1
+	}
+	s, err := store.Open(store.Config{Dir: dir, T1: t1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	var failures int
+	var touched, total int64
+	for _, e := range m.Entries {
+		if err := queryCheckEntry(s, m.Width, e, &touched, &total); err != nil {
+			fmt.Printf("FAIL %s: %v\n", e.Key, err)
+			failures++
+		} else {
+			fmt.Printf("ok   %s: aggregate, %d filter bands and downsample within bounds\n",
+				e.Key, len(checkBands(0, 0)))
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("query: %d of %d keys failed", failures, len(m.Entries))
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(touched) / float64(total)
+	}
+	fmt.Printf("query: %d keys ok, aggregates touched %d of %d raw bytes (%.4f)\n",
+		len(m.Entries), touched, total, frac)
+	return nil
+}
+
+// checkBands derives the filter ranges the check exercises from the
+// vector's exact min/max.
+func checkBands(min, max float64) [][2]float64 {
+	span := max - min
+	return [][2]float64{
+		{min, max},
+		{min + span/4, max - span/4},
+		{min + span/2.1, min + span/1.9},
+	}
+}
+
+func queryCheckEntry(s *store.Store, width int, e manifestEntry, touched, total *int64) error {
+	vals := make([]float64, e.Values)
+	if width == 32 {
+		w32, err := workloads.GenFloat32(e.Dist, e.Values, e.Seed)
+		if err != nil {
+			return err
+		}
+		for i, v := range w32 {
+			vals[i] = float64(v)
+		}
+	} else {
+		w64, err := workloads.GenFloat64(e.Dist, e.Values, e.Seed)
+		if err != nil {
+			return err
+		}
+		copy(vals, w64)
+	}
+	var sum, min, max float64
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		sum += v
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	tol := func(b float64) float64 { return b*(1+1e-9) + 1e-300 }
+
+	agg, err := s.QueryAggregate(e.Key)
+	if err != nil {
+		return err
+	}
+	if !agg.Complete {
+		return errors.New("vector incomplete (crash-truncated)")
+	}
+	if agg.Count != int64(len(vals)) {
+		return fmt.Errorf("count %d, want %d", agg.Count, len(vals))
+	}
+	if d := math.Abs(agg.Sum - sum); d > tol(agg.ErrorBound) {
+		return fmt.Errorf("|sum %g - exact %g| = %g beyond bound %g", agg.Sum, sum, d, agg.ErrorBound)
+	}
+	slack := 1e-9*math.Abs(min) + 1e-300
+	if agg.Min > min+slack || min > agg.Min+agg.MinErrorBound+slack {
+		return fmt.Errorf("exact min %g outside [%g, +%g]", min, agg.Min, agg.MinErrorBound)
+	}
+	slack = 1e-9*math.Abs(max) + 1e-300
+	if agg.Max < max-slack || max < agg.Max-agg.MaxErrorBound-slack {
+		return fmt.Errorf("exact max %g outside [-%g, %g]", max, agg.MaxErrorBound, agg.Max)
+	}
+	*touched += agg.BytesTouched
+	*total += agg.BytesTotal
+
+	for _, b := range checkBands(min, max) {
+		if !(b[0] <= b[1]) {
+			continue
+		}
+		fr, err := s.QueryFilter(e.Key, b[0], b[1])
+		if err != nil {
+			return err
+		}
+		var exact int64
+		for _, v := range vals {
+			if b[0] <= v && v <= b[1] {
+				exact++
+			}
+		}
+		if fr.MatchesMin > exact || exact > fr.MatchesMax {
+			return fmt.Errorf("filter [%g, %g]: exact %d outside bracket [%d, %d]",
+				b[0], b[1], exact, fr.MatchesMin, fr.MatchesMax)
+		}
+	}
+
+	ds, err := s.QueryDownsample(e.Key)
+	if err != nil {
+		return err
+	}
+	want := (len(vals) + 15) / 16
+	if len(ds.Points) != want {
+		return fmt.Errorf("downsample produced %d points, want %d", len(ds.Points), want)
+	}
+	for g := range ds.Points {
+		var gs float64
+		for j := g * 16; j < g*16+16; j++ {
+			if j < len(vals) {
+				gs += vals[j]
+			} else {
+				gs += vals[len(vals)-1] // codec padding convention
+			}
+		}
+		if d := math.Abs(ds.Points[g] - gs/16); d > tol(ds.Bounds[g]) {
+			return fmt.Errorf("downsample point %d: |%g - exact %g| beyond bound %g",
+				g, ds.Points[g], gs/16, ds.Bounds[g])
+		}
+	}
+	return nil
 }
 
 func cmdCompact(args []string) error {

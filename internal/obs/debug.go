@@ -50,6 +50,10 @@ var (
 	// codec operations.
 	ServerBytesIn  = expvar.NewInt("avr.server_bytes_in")
 	ServerBytesOut = expvar.NewInt("avr.server_bytes_out")
+	// ServerStorePartial counts store responses served as 206 Partial
+	// Content: a get or query over a vector whose tail was lost to a
+	// crash (the recovered prefix is still within the error bound).
+	ServerStorePartial = expvar.NewInt("avr.server_store_partial")
 )
 
 // Block-store counters, published by internal/store. Same contract as
@@ -89,6 +93,12 @@ var (
 	// StoreTornTails counts torn tail segments truncated during reopen
 	// recovery (crash mid-append).
 	StoreTornTails = expvar.NewInt("avr.store_torn_tails")
+	// Compressed-domain query counters: queries answered, encoded bytes
+	// actually read, and the raw bytes those queries covered — the pair
+	// proves the traffic reduction of answering from summaries.
+	StoreQueries           = expvar.NewInt("avr.store_queries")
+	StoreQueryBytesTouched = expvar.NewInt("avr.store_query_bytes_touched")
+	StoreQueryBytesTotal   = expvar.NewInt("avr.store_query_bytes_total")
 )
 
 // ServeDebug starts an HTTP server on addr exposing expvar counters at

@@ -189,3 +189,19 @@ func StoreBlockRatioHistogram() *Histogram {
 	return NewHistogram("store_block_ratio", "ratio",
 		[]float64{0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16})
 }
+
+// StoreQueryLatencyHistogram bins compressed-domain query latency in
+// microseconds (targeted preads + summary math, no block decode).
+func StoreQueryLatencyHistogram() *Histogram {
+	return NewHistogram("store_query_latency", "µs",
+		[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+			25000, 50000, 100000, 250000, 1e6})
+}
+
+// StoreQueryTrafficHistogram bins queries by bytes_touched/bytes_total:
+// the fraction of the covered raw bytes the executor actually read.
+// Summary-only AVR blocks land near 1/16; lossless blocks near 1.
+func StoreQueryTrafficHistogram() *Histogram {
+	return NewHistogram("store_query_traffic", "fraction",
+		[]float64{1.0 / 64, 1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1, 2})
+}

@@ -2,10 +2,14 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"avr/internal/obs"
 	"avr/internal/store"
@@ -23,6 +27,14 @@ import (
 //	                                     a torn vector returns its
 //	                                     recovered prefix as 206 with
 //	                                     X-AVR-Complete: false
+//	GET  /v1/store/query?key=K&op=OP     compressed-domain query JSON:
+//	                                     op=aggregate (default),
+//	                                     op=filter&lo=L&hi=H, or
+//	                                     op=downsample; answers carry
+//	                                     error_bound plus bytes_touched
+//	                                     vs bytes_total, and a torn
+//	                                     vector answers as 206 over its
+//	                                     recovered prefix
 //	DELETE /v1/store/key?key=K           durable tombstone
 //	GET  /v1/store/stats                 store snapshot JSON
 
@@ -31,6 +43,7 @@ func (s *Server) registerStore() {
 	s.mux.HandleFunc("PUT /v1/store/put", s.handleStorePut)
 	s.mux.HandleFunc("POST /v1/store/put", s.handleStorePut) // curl-friendly alias
 	s.mux.HandleFunc("GET /v1/store/get", s.handleStoreGet)
+	s.mux.HandleFunc("GET /v1/store/query", s.handleStoreQuery)
 	s.mux.HandleFunc("DELETE /v1/store/key", s.handleStoreDelete)
 	s.mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
 }
@@ -122,12 +135,18 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(res)
 }
 
+// getBufPool recycles get-response byte buffers: a hot read path
+// otherwise allocates the full raw vector per request just to serialize
+// it onto the wire.
+var getBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // handleStoreGet serves GET /v1/store/get: raw little-endian values
 // out. A vector whose tail was lost to a crash is served as 206 Partial
 // Content with X-AVR-Complete: false — the recovered prefix is still
 // within the error bound, and the client decides whether a prefix is
 // acceptable.
 func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	obs.ServerInFlight.Add(1)
 	defer obs.ServerInFlight.Add(-1)
 
@@ -158,24 +177,152 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 		storeFail(w, err)
 		return
 	}
+	bufp := getBufPool.Get().(*[]byte)
+	defer getBufPool.Put(bufp)
 	var out []byte
 	var nvals int
 	if width == 32 {
-		out = f32ToBytes(v32)
+		out = appendF32((*bufp)[:0], v32)
 		nvals = len(v32)
 	} else {
-		out = f64ToBytes(v64)
+		out = appendF64((*bufp)[:0], v64)
 		nvals = len(v64)
 	}
+	*bufp = out
 
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-AVR-Width", strconv.Itoa(width))
 	w.Header().Set("X-AVR-Values", strconv.Itoa(nvals))
 	w.Header().Set("X-AVR-Complete", strconv.FormatBool(!incomplete))
 	if incomplete {
+		obs.ServerStorePartial.Add(1)
 		w.WriteHeader(http.StatusPartialContent)
 	}
-	w.Write(out)
+	if _, err := w.Write(out); err != nil {
+		// The client went away mid-response; the values were served from
+		// the store fine, so count it as a transport error only.
+		obs.ServerErrors.Add(1)
+		return
+	}
+	obs.ServerBytesOut.Add(int64(len(out)))
+	observeLatency(time.Since(t0))
+}
+
+// appendF32/appendF64 serialize values onto a (pooled) byte buffer.
+func appendF32(dst []byte, vals []float32) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+func appendF64(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// handleStoreQuery serves GET /v1/store/query: compressed-domain
+// aggregates, range filters and downsampled fetches answered from block
+// summaries without decoding full blocks. Responses carry the derived
+// error bound next to every estimate plus the bytes_touched/bytes_total
+// pair that proves the traffic saving. Like get, a torn vector answers
+// over its recovered prefix as 206 Partial Content.
+func (s *Server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	obs.ServerInFlight.Add(1)
+	defer obs.ServerInFlight.Add(-1)
+
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		fail(w, http.StatusBadRequest, "missing key parameter")
+		return
+	}
+	op := r.URL.Query().Get("op")
+	if op == "" {
+		op = "aggregate"
+	}
+	var lo, hi float64
+	switch op {
+	case "aggregate", "downsample":
+	case "filter":
+		var err error
+		if lo, err = strconv.ParseFloat(r.URL.Query().Get("lo"), 64); err != nil {
+			fail(w, http.StatusBadRequest, "bad lo parameter %q", r.URL.Query().Get("lo"))
+			return
+		}
+		if hi, err = strconv.ParseFloat(r.URL.Query().Get("hi"), 64); err != nil {
+			fail(w, http.StatusBadRequest, "bad hi parameter %q", r.URL.Query().Get("hi"))
+			return
+		}
+		if !(lo <= hi) {
+			fail(w, http.StatusBadRequest, "bad filter range [%g, %g]", lo, hi)
+			return
+		}
+	default:
+		fail(w, http.StatusBadRequest,
+			"bad op %q: want aggregate, filter or downsample", op)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.shed(w)
+		} else {
+			obs.ServerShed.Add(1)
+			http.Error(w, "timed out waiting for a worker",
+				http.StatusServiceUnavailable)
+		}
+		return
+	}
+	defer s.release()
+	obs.ServerRequests.Add(1)
+
+	var (
+		res      any
+		complete bool
+		err      error
+	)
+	switch op {
+	case "aggregate":
+		var a store.AggregateResult
+		a, err = s.cfg.Store.QueryAggregate(key)
+		res, complete = a, a.Complete
+	case "filter":
+		var f store.FilterResult
+		f, err = s.cfg.Store.QueryFilter(key, lo, hi)
+		res, complete = f, f.Complete
+	case "downsample":
+		var d store.DownsampleResult
+		d, err = s.cfg.Store.QueryDownsample(key)
+		res, complete = d, d.Complete
+	}
+	if err != nil {
+		storeFail(w, err)
+		return
+	}
+
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "encoding result: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-AVR-Complete", strconv.FormatBool(complete))
+	if !complete {
+		obs.ServerStorePartial.Add(1)
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	if _, err := w.Write(body); err != nil {
+		obs.ServerErrors.Add(1)
+		return
+	}
+	obs.ServerBytesOut.Add(int64(len(body)))
+	observeLatency(time.Since(t0))
 }
 
 // handleStoreDelete serves DELETE /v1/store/key.

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	"avr/internal/store"
@@ -152,5 +153,99 @@ func TestStoreEndpointsAbsentWithoutStore(t *testing.T) {
 	_, ts := testServer(t, Config{})
 	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/stats", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("store route on store-less server: %d", resp.StatusCode)
+	}
+}
+
+// TestStoreQueryEndpoint drives /v1/store/query end to end: every op
+// answers from the compressed domain with an explicit error bound, the
+// aggregate matches the exact answer within it, and the response proves
+// it touched a fraction of the stored raw bytes.
+func TestStoreQueryEndpoint(t *testing.T) {
+	_, ts := storeServer(t, Config{})
+	vals, payload := f32Payload(t, "wave", 6000, 1)
+	if resp, b := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=q", payload); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d %s", resp.StatusCode, b)
+	}
+	var sum, min, max float64
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		sum += float64(v)
+		min = math.Min(min, float64(v))
+		max = math.Max(max, float64(v))
+	}
+
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/store/query?key=q", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate: %d %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-AVR-Complete"); h != "true" {
+		t.Fatalf("X-AVR-Complete = %q", h)
+	}
+	var agg store.AggregateResult
+	if err := json.Unmarshal(body, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != int64(len(vals)) {
+		t.Fatalf("count %d, want %d", agg.Count, len(vals))
+	}
+	if d := math.Abs(agg.Sum - sum); d > agg.ErrorBound*(1+1e-9)+1e-300 {
+		t.Fatalf("|sum %g - exact %g| beyond bound %g", agg.Sum, sum, agg.ErrorBound)
+	}
+	if agg.Min > min || min > agg.Min+agg.MinErrorBound {
+		t.Fatalf("exact min %g outside [%g, +%g]", min, agg.Min, agg.MinErrorBound)
+	}
+	if agg.BytesTotal != int64(len(payload)) {
+		t.Fatalf("bytes_total %d, want %d", agg.BytesTotal, len(payload))
+	}
+	if agg.BytesTouched <= 0 || agg.BytesTouched >= agg.BytesTotal {
+		t.Fatalf("bytes_touched %d of %d: no traffic saving", agg.BytesTouched, agg.BytesTotal)
+	}
+
+	mid := (min + max) / 2
+	resp, body = doReq(t, http.MethodGet,
+		ts.URL+"/v1/store/query?key=q&op=filter&lo="+
+			strconv.FormatFloat(mid, 'g', -1, 64)+"&hi="+
+			strconv.FormatFloat(max, 'g', -1, 64), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filter: %d %s", resp.StatusCode, body)
+	}
+	var fr store.FilterResult
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	var exact int64
+	for _, v := range vals {
+		if mid <= float64(v) && float64(v) <= max {
+			exact++
+		}
+	}
+	if fr.MatchesMin > exact || exact > fr.MatchesMax {
+		t.Fatalf("exact matches %d outside bracket [%d, %d]", exact, fr.MatchesMin, fr.MatchesMax)
+	}
+
+	resp, body = doReq(t, http.MethodGet, ts.URL+"/v1/store/query?key=q&op=downsample", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("downsample: %d %s", resp.StatusCode, body)
+	}
+	var ds store.DownsampleResult
+	if err := json.Unmarshal(body, &ds); err != nil {
+		t.Fatal(err)
+	}
+	if want := (len(vals) + 15) / 16; len(ds.Points) != want || len(ds.Bounds) != want {
+		t.Fatalf("%d points / %d bounds, want %d", len(ds.Points), len(ds.Bounds), want)
+	}
+
+	for _, bad := range []string{
+		"/v1/store/query",                          // missing key
+		"/v1/store/query?key=q&op=median",          // unknown op
+		"/v1/store/query?key=q&op=filter",          // missing lo/hi
+		"/v1/store/query?key=q&op=filter&lo=2&hi=1", // inverted range
+	} {
+		if resp, _ := doReq(t, http.MethodGet, ts.URL+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/query?key=absent", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent key: %d, want 404", resp.StatusCode)
 	}
 }

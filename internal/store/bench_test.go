@@ -145,6 +145,94 @@ func BenchmarkStoreScan(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreQueryAggregate32 measures the compressed-domain
+// aggregate path: per covered raw byte, the executor reads only record
+// headers, summaries, bitmaps and outliers — so bytes/op here is raw
+// bytes covered, not bytes read.
+func BenchmarkStoreQueryAggregate32(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals32(b, "heat", 4*BlockValues)
+	if _, err := s.Put32("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	var res AggregateResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = s.QueryAggregate("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.BytesTouched)/float64(res.BytesTotal), "touched/total")
+}
+
+func BenchmarkStoreQueryAggregate64(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals64(b, "wave", 2*BlockValues)
+	if _, err := s.Put64("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	var res AggregateResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = s.QueryAggregate("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.BytesTouched)/float64(res.BytesTotal), "touched/total")
+}
+
+// BenchmarkStoreQueryFilter32 exercises the sub-block pruning fast
+// path: a mid-band range over smooth data prunes most sub-blocks from
+// summary bounds alone.
+func BenchmarkStoreQueryFilter32(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals32(b, "wave", 4*BlockValues)
+	if _, err := s.Put32("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	lo := float64(min) + float64(max-min)/4
+	hi := float64(max) - float64(max-min)/4
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.QueryFilter("bench", lo, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreQueryDownsample32 measures the 16→1 summary-derived
+// series; unlike the other query ops its result slices allocate.
+func BenchmarkStoreQueryDownsample32(b *testing.B) {
+	s := benchStore(b, Config{})
+	vals := benchVals32(b, "heat", 4*BlockValues)
+	if _, err := s.Put32("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.QueryDownsample("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStoreCompact measures one full compaction pass over a
 // half-dead segment, recompression skips included.
 func BenchmarkStoreCompact(b *testing.B) {

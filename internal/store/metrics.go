@@ -11,9 +11,11 @@ import (
 // process runs one logical store service); concurrent observers go
 // through the SyncHistogram lock. Tests assert deltas, not absolutes.
 var (
-	putLatencyHist = obs.NewSyncHistogram(obs.StorePutLatencyHistogram())
-	getLatencyHist = obs.NewSyncHistogram(obs.StoreGetLatencyHistogram())
-	blockRatioHist = obs.NewSyncHistogram(obs.StoreBlockRatioHistogram())
+	putLatencyHist   = obs.NewSyncHistogram(obs.StorePutLatencyHistogram())
+	getLatencyHist   = obs.NewSyncHistogram(obs.StoreGetLatencyHistogram())
+	blockRatioHist   = obs.NewSyncHistogram(obs.StoreBlockRatioHistogram())
+	queryLatencyHist = obs.NewSyncHistogram(obs.StoreQueryLatencyHistogram())
+	queryTrafficHist = obs.NewSyncHistogram(obs.StoreQueryTrafficHistogram())
 )
 
 func init() {
@@ -25,6 +27,12 @@ func init() {
 	}))
 	expvar.Publish("avr.store_block_ratio", expvar.Func(func() any {
 		return blockRatioHist.Summary()
+	}))
+	expvar.Publish("avr.store_query_latency", expvar.Func(func() any {
+		return queryLatencyHist.Summary()
+	}))
+	expvar.Publish("avr.store_query_traffic", expvar.Func(func() any {
+		return queryTrafficHist.Summary()
 	}))
 }
 
@@ -65,9 +73,11 @@ type Stats struct {
 
 	SegmentList []SegmentStats `json:"segment_list,omitempty"`
 
-	PutLatency obs.Summary `json:"put_latency"`
-	GetLatency obs.Summary `json:"get_latency"`
-	BlockRatio obs.Summary `json:"block_ratio"`
+	PutLatency   obs.Summary `json:"put_latency"`
+	GetLatency   obs.Summary `json:"get_latency"`
+	BlockRatio   obs.Summary `json:"block_ratio"`
+	QueryLatency obs.Summary `json:"query_latency"`
+	QueryTraffic obs.Summary `json:"query_traffic"`
 }
 
 // Stats snapshots the store.
@@ -114,5 +124,7 @@ func (s *Store) Stats() Stats {
 	st.PutLatency = putLatencyHist.Summary()
 	st.GetLatency = getLatencyHist.Summary()
 	st.BlockRatio = blockRatioHist.Summary()
+	st.QueryLatency = queryLatencyHist.Summary()
+	st.QueryTraffic = queryTrafficHist.Summary()
 	return st
 }

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"avr"
+	"avr/internal/compress"
+	"avr/internal/workloads"
+)
+
+// fuzzStream32/64 build valid codec streams for fuzz seeds.
+func fuzzStream32(tb testing.TB, dist string, n int, t1 float64) []byte {
+	tb.Helper()
+	vals, err := workloads.GenFloat32(dist, n, 21)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := avr.NewCodec(t1).Encode(vals)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func fuzzStream64(tb testing.TB, dist string, n int, t1 float64) []byte {
+	tb.Helper()
+	vals, err := workloads.GenFloat64(dist, n, 21)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := avr.NewCodec(t1).Encode64(vals)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzQueryFrame feeds arbitrary bytes to the compressed-domain frame
+// walker — the core the serving path shares with this harness. The
+// contract: walkCodecStream never panics; because every read is
+// bounds-checked against the declared size before it happens, any
+// damage surfaces as ErrCorrupt (never an unclassified error); it never
+// touches more bytes than the input holds; and a clean walk feeds the
+// query exactly the declared number of values.
+func FuzzQueryFrame(f *testing.F) {
+	s32 := fuzzStream32(f, "heat", 2*compress.BlockValues+17, 1.0/32)
+	s64 := fuzzStream64(f, "wave", compress.BlockValues64+9, 1.0/32)
+	sMix := fuzzStream32(f, "mixed", compress.BlockValues, 1.0/32)
+	sRaw := fuzzStream32(f, "normal", compress.BlockValues, 1.0/1024)
+
+	for op := uint8(0); op < 3; op++ {
+		f.Add(s32, uint16(2*compress.BlockValues+17), false, op)
+		f.Add(s64, uint16(compress.BlockValues64+9), true, op)
+	}
+	f.Add(sMix, uint16(compress.BlockValues), false, uint8(1))
+	f.Add(sRaw, uint16(compress.BlockValues), false, uint8(0))
+	f.Add(s32[:len(s32)-5], uint16(2*compress.BlockValues+17), false, uint8(0)) // torn tail
+	f.Add(s32, uint16(7), false, uint8(0))                                      // count mismatch
+	f.Add(s32, uint16(2*compress.BlockValues+17), true, uint8(0))               // wrong width
+	flip := append([]byte(nil), s32...)
+	flip[9] ^= 0x80 // compressed bit of the first record
+	f.Add(flip, uint16(2*compress.BlockValues+17), false, uint8(2))
+	f.Add([]byte{}, uint16(1), false, uint8(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, vc uint16, is64 bool, op8 uint8) {
+		width := 32
+		if is64 {
+			width = 64
+		}
+		// Mirror parseRecord's ValCount validation (1..BlockValues): the
+		// serving path never hands the walker anything outside it.
+		valCount := int(vc)%BlockValues + 1
+		q := &queryRun{
+			op:    qop(op8 % 3),
+			minLo: math.Inf(1), minHi: math.Inf(1),
+			maxLo: math.Inf(-1), maxHi: math.Inf(-1),
+			lo: -1, hi: 1,
+		}
+		q.setRef(1.0/32, width)
+		qs := &queryScratch{comp: compress.NewCompressor(compress.DefaultThresholds())}
+
+		err := walkCodecStream(qs, q, memFrame(data), int64(len(data)), width, valCount)
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unclassified walk error: %v", err)
+		}
+		if q.stats.BytesTouched > int64(len(data)) {
+			t.Fatalf("touched %d bytes of a %d-byte stream", q.stats.BytesTouched, len(data))
+		}
+		if err == nil {
+			switch q.op {
+			case qopAggregate:
+				if q.count != int64(valCount) {
+					t.Fatalf("clean walk fed %d of %d values", q.count, valCount)
+				}
+			case qopFilter:
+				if q.defIn > q.pos || q.pos > int64(valCount) || q.est > q.pos || q.est < q.defIn {
+					t.Fatalf("filter bracket broken: defIn=%d est=%d pos=%d of %d values",
+						q.defIn, q.est, q.pos, valCount)
+				}
+			case qopDownsample:
+				q.flushGroup()
+				want := (valCount + compress.SubBlockSize - 1) / compress.SubBlockSize
+				if len(q.points) != want {
+					t.Fatalf("clean walk produced %d points for %d values, want %d",
+						len(q.points), valCount, want)
+				}
+			}
+		}
+	})
+}

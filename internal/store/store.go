@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"avr"
+	"avr/internal/compress"
 	"avr/internal/obs"
 )
 
@@ -135,7 +136,8 @@ type blockRef struct {
 // entry is one key's live vector: the winning put's sequence number and
 // its block refs in vector order. A recovered torn put may have fewer
 // refs than blocks(); missing slots are nil-valued (seg 0 is never a
-// real segment, so a zero blockRef marks a hole).
+// real segment — recover starts numbering at 1 and segIDs rejects a
+// seg-00000000 file — so a zero blockRef marks a hole).
 type entry struct {
 	seq       uint64
 	totalVals uint64
@@ -198,10 +200,11 @@ type Store struct {
 	// codecs pools *avr.Codec instances at the store threshold (a Codec
 	// is not concurrency-safe; see the avr.Codec doc).
 	codecs sync.Pool
-	// puts and gets pool the scratch state that keeps the hot paths
-	// allocation-free across calls.
-	puts sync.Pool
-	gets sync.Pool
+	// puts, gets and queries pool the scratch state that keeps the hot
+	// paths allocation-free across calls.
+	puts    sync.Pool
+	gets    sync.Pool
+	queries sync.Pool
 	// encSem bounds in-flight compaction retry precomputation (nil when
 	// EncodeWorkers is 1); put encoding uses the persistent pool below.
 	encSem chan struct{}
@@ -240,6 +243,12 @@ func Open(cfg Config) (*Store, error) {
 	s.codecs.New = func() any { return avr.NewCodec(cfg.T1) }
 	s.puts.New = func() any { return &putScratch{} }
 	s.gets.New = func() any { return &getScratch{} }
+	// The query scratch carries its own Compressor: decompression never
+	// consults the thresholds, so one default-threshold instance serves
+	// blocks written at any t1.
+	s.queries.New = func() any {
+		return &queryScratch{comp: compress.NewCompressor(compress.DefaultThresholds())}
+	}
 	if cfg.EncodeWorkers > 1 {
 		s.encSem = make(chan struct{}, cfg.EncodeWorkers)
 		s.encJobs = make(chan *encJob, 2*cfg.EncodeWorkers)
@@ -280,6 +289,13 @@ func segIDs(dir string) ([]uint32, error) {
 		var id uint32
 		if _, err := fmt.Sscanf(filepath.Base(n), "seg-%08d.avrseg", &id); err != nil {
 			return nil, fmt.Errorf("store: alien file %q in segment directory", n)
+		}
+		// Segment ID 0 is the blockRef hole marker (see entry): the
+		// store never creates it (recover starts numbering at 1), so a
+		// seg-00000000 file is alien and would corrupt hole detection if
+		// its records were indexed.
+		if id == 0 {
+			return nil, fmt.Errorf("store: reserved segment id 0 (%q) in segment directory", n)
 		}
 		ids = append(ids, id)
 	}
@@ -985,7 +1001,8 @@ func (s *Store) Delete(key string) error {
 	return nil
 }
 
-// Keys returns the live keys in unspecified order.
+// Keys returns the live keys in sorted order, so Keys-driven scans and
+// the avrstore inspect/verify output are stable run to run.
 func (s *Store) Keys() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -993,6 +1010,7 @@ func (s *Store) Keys() []string {
 	for k := range s.index {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

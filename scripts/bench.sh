@@ -26,7 +26,7 @@ OUT="${1:-BENCH_sim.json}"
 STORE_OUT="${2:-BENCH_store.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep|Recorder|Histogram}"
-STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|CodecPool}"
+STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|StoreQuery|CodecPool}"
 
 PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/obs ./internal/sim ./internal/workloads"
 STORE_PKGS="./internal/store ./internal/server"
@@ -40,8 +40,10 @@ GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLo
 # Serving-path gate: the codec-pool handoff sits on every request, and
 # the store put/get hot paths are allocation-free by contract — pooled
 # scratch on the write side, caller-supplied destinations (Get*Into) on
-# the read side.
-STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64"
+# the read side. Compressed-domain aggregate/filter queries share the
+# bar (pooled scratch, targeted preads); downsample is exempt — its
+# result slices are the query's output.
+STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64 BenchmarkStoreQueryAggregate32 BenchmarkStoreQueryAggregate64 BenchmarkStoreQueryFilter32"
 
 RAW="$(mktemp)"
 RAW_STORE="$(mktemp)"

@@ -41,7 +41,9 @@ curl -sf "http://$ADDR/readyz" > /dev/null
 "$TMP/avrload" -addr "$ADDR" -c "$CONC" -duration "$DURATION" -values 4096 -dist heat
 
 # expvar counters must be visible on the service's own stats endpoint.
-curl -sf "http://$ADDR/v1/stats" | grep -q '"encodes"'
+# Fetch then grep the captured body: `curl | grep -q` races — grep
+# exits at the first match and curl fails with a pipe write error.
+grep -q '"encodes"' <<<"$(curl -sf "http://$ADDR/v1/stats")"
 
 # Graceful drain: SIGTERM must exit 0 after completing in-flight work.
 kill -TERM "$AVRD_PID"

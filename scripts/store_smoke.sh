@@ -37,6 +37,13 @@ STORE="$TMP/store"
 "$TMP/avrstore" pack -dir "$STORE" -keys 6 -values 20000 -dist mixed-all
 "$TMP/avrstore" verify -dir "$STORE"
 "$TMP/avrstore" inspect -dir "$STORE" | grep -q '"achieved_ratio"'
+# Cross-check the compressed-domain query engine against the same
+# manifest ground truth verify just used value-by-value: aggregates
+# within their error bounds, filter brackets never missing, downsample
+# within per-point bounds.
+"$TMP/avrstore" query -dir "$STORE" -check
+# And a single ad-hoc query must report its traffic accounting.
+"$TMP/avrstore" query -dir "$STORE" -key pack-0000 | grep -q '"bytes_touched"'
 
 # --- Act 2: torn-tail crash drill ------------------------------------
 # Chop 37 bytes off the newest segment: a torn frame the recovery scan
@@ -70,7 +77,17 @@ echo "avrd up on $ADDR with store $SERVED"
 "$TMP/avrload" -addr "$ADDR" -mode store -c "$CONC" -duration "$DURATION" \
     -values 20000 -dist heat
 
-curl -sf "http://$ADDR/v1/store/stats" | grep -q '"achieved_ratio"'
+# Verified query-mode load: every compressed-domain answer within its
+# reported error bound, and pure-AVR aggregates inside the 1/8 traffic
+# budget (wave compresses outlier-free at the default t1).
+"$TMP/avrload" -addr "$ADDR" -mode query -c "$CONC" -duration "$DURATION" \
+    -values 20000 -dist wave -maxtraffic 0.125
+
+# Fetch once, grep the captured body: `curl | grep -q` races — grep
+# exits at the first match and curl fails with a pipe write error.
+STATS="$(curl -sf "http://$ADDR/v1/store/stats")"
+grep -q '"achieved_ratio"' <<<"$STATS"
+grep -q '"query_latency"' <<<"$STATS"
 
 # kill -9 mid-put traffic: no drain, no fsync — the next open must
 # recover whatever the disk holds, torn tail included.
