@@ -27,6 +27,17 @@
 // outliers instead of decoded payloads — and reports the error bound
 // plus bytes_touched/bytes_total traffic accounting with each answer.
 //
+// Every response carries an X-AVR-Trace request id plus X-AVR-Stage-*
+// headers attributing its latency to pipeline stages (queue wait, codec
+// pool checkout, encode/decode, segment I/O, lock wait, query walk).
+// GET /metrics serves every avr.* counter and histogram in Prometheus
+// text exposition format, and -trace-file appends one JSON line per
+// sampled request (-trace-sample controls the 1-in-N rate):
+//
+//	avrd -addr localhost:8080 -trace-file traces.jsonl -trace-sample 16
+//	curl -s localhost:8080/metrics | grep avr_trace_stage_queue
+//	curl -s localhost:8080/v1/stats | jq .stages
+//
 // With -addr :0 the bound address is printed on startup and, with
 // -addr-file, written to a file for scripts (see scripts/serve_smoke.sh).
 package main
@@ -63,6 +74,8 @@ func main() {
 	storeCompactEvery := flag.Duration("store-compact-interval", 30*time.Second, "background compaction cadence; 0 disables the worker")
 	storeSync := flag.Bool("store-sync", false, "fsync the active segment after every put (durability over throughput)")
 	storeEncWorkers := flag.Int("store-encode-workers", 0, "goroutines encoding a put's blocks in parallel; 0 or 1 = serial")
+	traceSample := flag.Int("trace-sample", 0, "export one of every N request traces as JSONL; 0 = default (64), needs -trace-file")
+	traceFile := flag.String("trace-file", "", "append sampled request-trace JSONL to this file (empty disables export)")
 	var t1 float64
 	cliutil.RegisterT1(flag.CommandLine, &t1)
 	var debugAddr string
@@ -95,14 +108,26 @@ func main() {
 			"segments", stats.Segments, "disk_bytes", stats.DiskBytes)
 	}
 
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxBodyBytes: *maxBody,
-		QueueTimeout: *queueTimeout,
-		T1:           t1,
-		Store:        st,
-	})
+	scfg := server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxBodyBytes:     *maxBody,
+		QueueTimeout:     *queueTimeout,
+		T1:               t1,
+		Store:            st,
+		TraceSampleEvery: *traceSample,
+	}
+	if *traceFile != "" {
+		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		defer tf.Close()
+		scfg.TraceSink = tf
+		slog.Info("trace export on", "file", *traceFile,
+			"sample_every", scfg.TraceSampleEvery)
+	}
+	srv := server.New(scfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

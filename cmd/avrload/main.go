@@ -27,6 +27,12 @@
 // (bytes_touched / bytes_total); -maxtraffic turns the budget into a
 // hard assertion for responses served purely from AVR blocks.
 //
+// Every summary also breaks server-side latency down by pipeline stage
+// (queue wait, codec pool checkout, encode/decode kernel, segment I/O,
+// lock wait, query walk), rebuilt client-side from the X-AVR-Stage-*
+// headers the daemon stamps on each response — so one load run shows
+// where the p99 actually goes.
+//
 // Exit status: 0 on a clean run; 1 when no request succeeded or any
 // response mismatched the local codec / exceeded the error bound
 // (corruption).
@@ -43,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -51,6 +58,7 @@ import (
 	"avr/internal/cliutil"
 	"avr/internal/server"
 	"avr/internal/store"
+	"avr/internal/trace"
 	"avr/internal/workloads"
 )
 
@@ -216,6 +224,26 @@ type workerResult struct {
 	bytesUp, bytesDown      int64
 	touched, total          int64     // query mode: aggregate traffic account
 	lat                     []float64 // seconds per successful request
+	// stageLat collects the per-stage durations (seconds) the daemon
+	// advertises on each response via X-AVR-Stage-* headers, indexed by
+	// trace.Stage.
+	stageLat [trace.NumStages][]float64
+}
+
+// recordStages harvests the per-stage duration headers off one
+// successful response.
+func (res *workerResult) recordStages(h http.Header) {
+	for st := 0; st < trace.NumStages; st++ {
+		vals, ok := h[trace.HeaderKey(trace.Stage(st))]
+		if !ok || len(vals) == 0 {
+			continue
+		}
+		ns, err := strconv.ParseInt(vals[0], 10, 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		res.stageLat[st] = append(res.stageLat[st], float64(ns)/1e9)
+	}
 }
 
 // run loops encode→decode against the daemon until the deadline.
@@ -287,6 +315,9 @@ func (sp *workerSpec) runQuery(client *http.Client, base string, deadline time.T
 	}
 	// Don't let the seeding put distort the query latency distribution.
 	res.ok, res.lat = 0, res.lat[:0]
+	for st := range res.stageLat {
+		res.stageLat[st] = res.stageLat[st][:0]
+	}
 
 	gt := sp.queryGroundTruth()
 	span := gt.max - gt.min
@@ -460,6 +491,7 @@ func (sp *workerSpec) get(client *http.Client, url string, res *workerResult) ([
 		res.ok++
 		res.lat = append(res.lat, time.Since(t0).Seconds())
 		res.bytesDown += int64(len(out))
+		res.recordStages(resp.Header)
 		return out, true
 	case resp.StatusCode == http.StatusTooManyRequests ||
 		resp.StatusCode == http.StatusServiceUnavailable:
@@ -533,6 +565,7 @@ func (sp *workerSpec) post(client *http.Client, url string, body []byte, res *wo
 		res.lat = append(res.lat, time.Since(t0).Seconds())
 		res.bytesUp += int64(len(body))
 		res.bytesDown += int64(len(out))
+		res.recordStages(resp.Header)
 		return out, true
 	case resp.StatusCode == http.StatusTooManyRequests ||
 		resp.StatusCode == http.StatusServiceUnavailable:
@@ -572,6 +605,19 @@ type summary struct {
 	QueryBytesTouched int64   `json:"query_bytes_touched,omitempty"`
 	QueryBytesTotal   int64   `json:"query_bytes_total,omitempty"`
 	QueryTraffic      float64 `json:"query_traffic,omitempty"`
+	// Stages breaks server-side latency down by pipeline stage, built
+	// from the X-AVR-Stage-* headers on every successful response. Keys
+	// are the trace stage wire names; stages the traffic never touched
+	// are omitted.
+	Stages map[string]loadStage `json:"stages,omitempty"`
+}
+
+// loadStage is one pipeline stage's latency digest in the summary.
+type loadStage struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50ms  float64 `json:"p50_ms"`
+	P99ms  float64 `json:"p99_ms"`
 }
 
 func summarize(results []*workerResult, elapsed time.Duration, conc, values, width int, dist string, t1 float64) summary {
@@ -580,6 +626,7 @@ func summarize(results []*workerResult, elapsed time.Duration, conc, values, wid
 		Values: values, Width: width, Dist: dist, T1: t1,
 	}
 	var lat []float64
+	var stageLat [trace.NumStages][]float64
 	var up, down int64
 	for _, r := range results {
 		s.OK += r.ok
@@ -591,6 +638,28 @@ func summarize(results []*workerResult, elapsed time.Duration, conc, values, wid
 		s.QueryBytesTouched += r.touched
 		s.QueryBytesTotal += r.total
 		lat = append(lat, r.lat...)
+		for st := range r.stageLat {
+			stageLat[st] = append(stageLat[st], r.stageLat[st]...)
+		}
+	}
+	for st, samples := range stageLat {
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Float64s(samples)
+		var sum float64
+		for _, v := range samples {
+			sum += v
+		}
+		if s.Stages == nil {
+			s.Stages = make(map[string]loadStage)
+		}
+		s.Stages[trace.Stage(st).String()] = loadStage{
+			Count:  int64(len(samples)),
+			MeanMs: 1000 * sum / float64(len(samples)),
+			P50ms:  1000 * percentile(samples, 0.50),
+			P99ms:  1000 * percentile(samples, 0.99),
+		}
 	}
 	if s.QueryBytesTotal > 0 {
 		s.QueryTraffic = float64(s.QueryBytesTouched) / float64(s.QueryBytesTotal)
@@ -649,6 +718,15 @@ func (s summary) print(base string) {
 		s.Throughput, s.MBpsUp, s.MBpsDown)
 	fmt.Printf("  latency:    p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 		s.P50ms, s.P90ms, s.P99ms, s.MaxMs)
+	for st := 0; st < trace.NumStages; st++ {
+		name := trace.Stage(st).String()
+		d, ok := s.Stages[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  stage %-9s p50 %.3fms  p99 %.3fms  mean %.3fms  (n=%d)\n",
+			name+":", d.P50ms, d.P99ms, d.MeanMs, d.Count)
+	}
 	if s.EncodeRatio > 0 {
 		if s.Mode == "store" || s.Mode == "query" {
 			fmt.Printf("  ratio:      %.2f:1 achieved on disk (store stats)\n", s.EncodeRatio)

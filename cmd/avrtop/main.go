@@ -1,0 +1,237 @@
+// Command avrtop is a live terminal dashboard for one avrd instance:
+// it polls /v1/stats and /metrics on an interval and redraws a compact
+// fleet view — request and shed rates, error rate, in-flight depth,
+// wire throughput, achieved compression ratio, the compressed-domain
+// traffic-touched fraction, and an ASCII bar chart of per-stage p99
+// latency (the tracer's histograms, so the bars show where requests
+// actually spend their time).
+//
+// Usage:
+//
+//	avrtop -addr localhost:8080                 # redraw every second
+//	avrtop -addr-file /tmp/avrd.addr -interval 2s
+//	avrtop -addr localhost:8080 -once           # one frame, no clearing
+//	avrtop -addr localhost:8080 -frames 10      # ten frames, then exit
+//
+// Rates are computed from counter deltas between polls, so the first
+// frame shows totals only. Exit with ctrl-C (or -frames/-once).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"avr/internal/cliutil"
+	"avr/internal/server"
+	"avr/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "avrd address (host:port)")
+	addrFile := flag.String("addr-file", "", "read the avrd address from this file (written by avrd -addr-file)")
+	interval := flag.Duration("interval", time.Second, "poll/redraw interval")
+	frames := flag.Int("frames", 0, "exit after this many frames (0 = run until interrupted)")
+	once := flag.Bool("once", false, "print a single frame without clearing the screen and exit")
+	flag.Parse()
+
+	if *addrFile != "" {
+		b, err := os.ReadFile(*addrFile)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		*addr = strings.TrimSpace(string(b))
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var prev *sample
+	for n := 0; ; n++ {
+		cur, err := poll(client, base)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		frame := renderFrame(*addr, prev, cur)
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Home the cursor and clear below: repaint without scrollback spam.
+		fmt.Print("\x1b[H\x1b[2J" + frame)
+		if *frames > 0 && n+1 >= *frames {
+			return
+		}
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+// sample is one poll of the daemon: the /v1/stats document plus the
+// scalar families scraped off /metrics.
+type sample struct {
+	at      time.Time
+	stats   server.Stats
+	metrics map[string]float64
+}
+
+func poll(client *http.Client, base string) (*sample, error) {
+	s := &sample{at: time.Now()}
+
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&s.stats)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("parsing /v1/stats: %w", err)
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	buf, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("reading /metrics: %w", err)
+	}
+	s.metrics = parseMetrics(string(buf))
+	return s, nil
+}
+
+// parseMetrics reads Prometheus text exposition into a flat name→value
+// map. Labelled samples (histogram buckets) keep their full
+// name{labels} form as the key; comments and blank lines are skipped.
+func parseMetrics(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// rate returns a per-second delta between samples, or -1 when no
+// previous sample exists yet.
+func rate(prev *sample, cur *sample, get func(server.Stats) int64) float64 {
+	if prev == nil {
+		return -1
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return -1
+	}
+	return float64(get(cur.stats)-get(prev.stats)) / dt
+}
+
+// mb scales a byte rate to MB/s, preserving the no-sample marker.
+func mb(r float64) float64 {
+	if r < 0 {
+		return r
+	}
+	return r / 1e6
+}
+
+// fmtRate renders a rate, or the total with a marker on the first frame.
+func fmtRate(r float64, total int64, unit string) string {
+	if r < 0 {
+		return fmt.Sprintf("%d total", total)
+	}
+	return fmt.Sprintf("%.1f%s", r, unit)
+}
+
+// bar renders an ASCII bar of v scaled against max into width cells.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// renderFrame formats one dashboard frame. Pure: all inputs explicit,
+// output a string — so tests can pin the layout without a server.
+func renderFrame(addr string, prev, cur *sample) string {
+	st := cur.stats
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "avrtop — %s   up %s   ready=%v   in-flight %d\n",
+		addr, (time.Duration(st.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		st.Ready, st.InFlight)
+	fmt.Fprintf(&b, "  req/s %-14s shed/s %-12s err/s %-12s shed total %d\n",
+		fmtRate(rate(prev, cur, func(s server.Stats) int64 { return s.Requests }), st.Requests, ""),
+		fmtRate(rate(prev, cur, func(s server.Stats) int64 { return s.Shed }), st.Shed, ""),
+		fmtRate(rate(prev, cur, func(s server.Stats) int64 { return s.Errors }), st.Errors, ""),
+		st.Shed)
+	ratio := "-"
+	if st.Ratio.Count > 0 {
+		ratio = fmt.Sprintf("%.2f:1", st.Ratio.Mean())
+	}
+	fmt.Fprintf(&b, "  in %-16s out %-15s ratio %s\n",
+		fmtRate(mb(rate(prev, cur, func(s server.Stats) int64 { return s.BytesIn })), st.BytesIn, " MB/s"),
+		fmtRate(mb(rate(prev, cur, func(s server.Stats) int64 { return s.BytesOut })), st.BytesOut, " MB/s"),
+		ratio)
+
+	if st.StorePuts > 0 || st.StoreGets > 0 || st.StoreQueries > 0 {
+		fmt.Fprintf(&b, "  store: puts %d  gets %d  queries %d  partial-206 %d\n",
+			st.StorePuts, st.StoreGets, st.StoreQueries, st.StorePartial)
+		if st.QueryBytesTotal > 0 {
+			fmt.Fprintf(&b, "  query traffic: touched %.4f of raw bytes (%d / %d)\n",
+				float64(st.QueryBytesTouched)/float64(st.QueryBytesTotal),
+				st.QueryBytesTouched, st.QueryBytesTotal)
+		}
+	}
+
+	// Per-stage p99 bars, scaled to the slowest stage.
+	var maxP99 float64
+	for _, d := range st.Stages {
+		if d.P99Us > maxP99 {
+			maxP99 = d.P99Us
+		}
+	}
+	fmt.Fprintf(&b, "  stage p99 (µs):\n")
+	for i := 0; i < trace.NumStages; i++ {
+		name := trace.Stage(i).String()
+		d, ok := st.Stages[name]
+		if !ok || d.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-9s %10.1f  %-24s  n=%d\n",
+			name, d.P99Us, bar(d.P99Us, maxP99, 24), d.Count)
+	}
+
+	if spans, ok := cur.metrics["avr_trace_spans"]; ok {
+		exported := cur.metrics["avr_trace_exported"]
+		fmt.Fprintf(&b, "  traces: %d spans, %d exported\n", int64(spans), int64(exported))
+	}
+	if compactions, ok := cur.metrics["avr_store_compactions"]; ok {
+		fmt.Fprintf(&b, "  compactions: %d (%.0f MB rewritten)\n",
+			int64(compactions), cur.metrics["avr_store_compacted_bytes"]/1e6)
+	}
+	fmt.Fprintf(&b, "  latency e2e: p50 %.1fµs  p99 %.1fµs  (n=%d)\n",
+		st.Latency.Quantile(0.50), st.Latency.Quantile(0.99), st.Latency.Count)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"avr/internal/server"
+)
+
+func TestParseMetrics(t *testing.T) {
+	text := strings.Join([]string{
+		"# HELP avr_server_requests requests",
+		"# TYPE avr_server_requests counter",
+		"avr_server_requests 42",
+		"avr_trace_spans 7",
+		`avr_server_latency_bucket{le="100"} 3`,
+		"avr_server_latency_sum 1234.5",
+		"",
+		"garbage-without-value",
+	}, "\n")
+	m := parseMetrics(text)
+	if m["avr_server_requests"] != 42 {
+		t.Errorf("requests = %g, want 42", m["avr_server_requests"])
+	}
+	if m["avr_trace_spans"] != 7 {
+		t.Errorf("spans = %g, want 7", m["avr_trace_spans"])
+	}
+	if m[`avr_server_latency_bucket{le="100"}`] != 3 {
+		t.Errorf("bucket sample lost: %v", m)
+	}
+	if m["avr_server_latency_sum"] != 1234.5 {
+		t.Errorf("sum = %g", m["avr_server_latency_sum"])
+	}
+	if _, ok := m["garbage-without-value"]; ok {
+		t.Error("unparseable line should be skipped")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(100, 100, 10); got != strings.Repeat("#", 10) {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := bar(1, 1000, 10); got != "#" {
+		t.Errorf("tiny nonzero value must still show one cell, got %q", got)
+	}
+	if got := bar(0, 100, 10); got != "" {
+		t.Errorf("zero value draws %q", got)
+	}
+	if got := bar(200, 100, 10); got != strings.Repeat("#", 10) {
+		t.Errorf("overscale clamps to width, got %q", got)
+	}
+	if got := bar(50, 0, 10); got != "" {
+		t.Errorf("zero max draws %q", got)
+	}
+}
+
+func testStats() server.Stats {
+	return server.Stats{
+		UptimeSeconds: 12.3,
+		Ready:         true,
+		Requests:      100,
+		Shed:          5,
+		BytesIn:       1e6,
+		BytesOut:      5e5,
+		StorePuts:     3,
+		StoreGets:     2,
+		StoreQueries:  4,
+		Stages: map[string]server.StageStats{
+			"queue":  {Count: 100, MeanUs: 5, P50Us: 4, P99Us: 20},
+			"encode": {Count: 100, MeanUs: 50, P50Us: 45, P99Us: 200},
+		},
+	}
+}
+
+func TestRenderFrameFirstAndDelta(t *testing.T) {
+	cur := &sample{
+		at:      time.Now(),
+		stats:   testStats(),
+		metrics: map[string]float64{"avr_trace_spans": 100, "avr_trace_exported": 2},
+	}
+	frame := renderFrame("host:1", nil, cur)
+	for _, want := range []string{
+		"avrtop — host:1",
+		"ready=true",
+		"100 total", // no previous sample: totals, not rates
+		"store: puts 3  gets 2  queries 4",
+		"queue", "encode", "#",
+		"traces: 100 spans, 2 exported",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The slowest stage owns the full-width bar.
+	if !strings.Contains(frame, strings.Repeat("#", 24)) {
+		t.Errorf("no full-width bar for the dominant stage:\n%s", frame)
+	}
+
+	prev := &sample{at: cur.at.Add(-2 * time.Second), stats: server.Stats{Requests: 50}}
+	frame = renderFrame("host:1", prev, cur)
+	if !strings.Contains(frame, "req/s 25.0") {
+		t.Errorf("rate from counter delta missing (want req/s 25.0):\n%s", frame)
+	}
+}
+
+// TestPollAgainstLiveServer drives poll() end to end against a real
+// Server: stats parse into the pinned shape and the /metrics scrape
+// yields the families the dashboard reads.
+func TestPollAgainstLiveServer(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sm, err := poll(http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sm.stats.Ready {
+		t.Error("live server reports not ready")
+	}
+	if sm.stats.Stages == nil || len(sm.stats.Stages) == 0 {
+		t.Error("stats stages map empty")
+	}
+	if _, ok := sm.metrics["avr_server_requests"]; !ok {
+		t.Errorf("metrics scrape missing avr_server_requests: %d keys", len(sm.metrics))
+	}
+	frame := renderFrame("live", nil, sm)
+	if !strings.Contains(frame, "avrtop — live") {
+		t.Errorf("render of live sample broken:\n%s", frame)
+	}
+}

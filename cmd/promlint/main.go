@@ -1,0 +1,46 @@
+// Command promlint validates a Prometheus text-format exposition
+// (version 0.0.4) against the same strict linter the unit tests use
+// (internal/obs.LintExposition): HELP/TYPE grammar, metric name
+// charset, cumulative histogram bucket monotonicity, +Inf/_count
+// agreement, and _sum/_count presence.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promlint      # stdin
+//	promlint metrics.txt                           # file
+//
+// Exit status: 0 when the exposition is clean, 1 with the first
+// violation on stderr otherwise. scripts/serve_smoke.sh runs it against
+// a live daemon on every CI smoke.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"avr/internal/cliutil"
+	"avr/internal/obs"
+)
+
+func main() {
+	flag.Parse()
+	var data []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(flag.Arg(0))
+	default:
+		cliutil.Fatal(fmt.Errorf("usage: promlint [exposition-file]"))
+	}
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if err := obs.LintExposition(data); err != nil {
+		cliutil.Fatal(err)
+	}
+	fmt.Println("exposition ok")
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
 )
 
 // Live introspection counters, published under /debug/vars. The
@@ -101,11 +102,20 @@ var (
 	StoreQueryBytesTotal   = expvar.NewInt("avr.store_query_bytes_total")
 )
 
+// debugMetricsOnce guards /metrics registration on the default mux:
+// ServeDebug may be called more than once per process (tests), and
+// http.HandleFunc panics on duplicate patterns.
+var debugMetricsOnce sync.Once
+
 // ServeDebug starts an HTTP server on addr exposing expvar counters at
-// /debug/vars and the pprof profiling endpoints at /debug/pprof/ for
-// live introspection of long sweeps. It returns the bound address
-// (useful with ":0") and serves until the process exits.
+// /debug/vars, Prometheus exposition at /metrics, and the pprof
+// profiling endpoints at /debug/pprof/ for live introspection of long
+// sweeps. It returns the bound address (useful with ":0") and serves
+// until the process exits.
 func ServeDebug(addr string) (string, error) {
+	debugMetricsOnce.Do(func() {
+		http.Handle("GET /metrics", MetricsHandler())
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

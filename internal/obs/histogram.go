@@ -198,6 +198,24 @@ func StoreQueryLatencyHistogram() *Histogram {
 			25000, 50000, 100000, 250000, 1e6})
 }
 
+// StageLatencyHistogram bins one traced request stage's latency in
+// microseconds (internal/trace). The buckets extend below the serving
+// histogram's because a single stage — a pool checkout, a lock wait —
+// is routinely sub-50µs even when the request is not.
+func StageLatencyHistogram(name string) *Histogram {
+	return NewHistogram(name, "µs",
+		[]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+			10000, 25000, 50000, 100000, 250000, 1e6})
+}
+
+// StoreCompactLatencyHistogram bins whole compaction passes in
+// milliseconds: pick victim, move live frames, swap segments.
+func StoreCompactLatencyHistogram() *Histogram {
+	return NewHistogram("store_compact_latency", "ms",
+		[]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+			10000, 30000})
+}
+
 // StoreQueryTrafficHistogram bins queries by bytes_touched/bytes_total:
 // the fraction of the covered raw bytes the executor actually read.
 // Summary-only AVR blocks land near 1/16; lossless blocks near 1.

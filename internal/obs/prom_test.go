@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"expvar"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// promTestHist backs an avr.* histogram expvar published once per test
+// binary (expvar is process-global and Publish panics on duplicates).
+var (
+	promTestHist = NewSyncHistogram(NewHistogram("prom_test_latency", "µs",
+		[]float64{10, 100, 1000}))
+	promTestOnce sync.Once
+)
+
+func publishPromTestHist() {
+	promTestOnce.Do(func() {
+		expvar.Publish("avr.prom_test_latency", expvar.Func(func() any {
+			return promTestHist.Summary()
+		}))
+	})
+}
+
+func TestWriteMetricsPassesLint(t *testing.T) {
+	publishPromTestHist()
+	promTestHist.Observe(5)
+	promTestHist.Observe(50)
+	promTestHist.Observe(5000) // overflow
+	ServerRequests.Add(1)
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, buf.Bytes())
+	}
+}
+
+// Every avr.* expvar integer must appear in the exposition, and every
+// avr.* Summary func must appear as a histogram family.
+func TestWriteMetricsCoversAllExpvars(t *testing.T) {
+	publishPromTestHist()
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !strings.HasPrefix(kv.Key, "avr.") {
+			return
+		}
+		name := promName(kv.Key)
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			if !strings.Contains(out, "\n"+name+" ") && !strings.HasPrefix(out, name+" ") {
+				t.Errorf("counter %s (expvar %s) missing from exposition", name, kv.Key)
+			}
+		case expvar.Func:
+			if _, ok := v.Value().(Summary); !ok {
+				return
+			}
+			for _, suf := range []string{"_bucket{le=\"+Inf\"}", "_sum ", "_count "} {
+				if !strings.Contains(out, name+suf) {
+					t.Errorf("histogram %s missing %s series", name, suf)
+				}
+			}
+		}
+	})
+}
+
+// The rendered histogram must agree with its source Summary: cumulative
+// buckets, +Inf == count, sum preserved.
+func TestWriteMetricsHistogramConsistency(t *testing.T) {
+	publishPromTestHist()
+	promTestHist.Observe(7)
+	promTestHist.Observe(70)
+	promTestHist.Observe(9999)
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := promTestHist.Summary()
+
+	get := func(pat string) float64 {
+		t.Helper()
+		m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(pat) + ` ([0-9.e+-]+)$`).
+			FindStringSubmatch(buf.String())
+		if m == nil {
+			t.Fatalf("series %q not found", pat)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("series %q value: %v", pat, err)
+		}
+		return v
+	}
+
+	cum := uint64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		le := strconv.FormatFloat(b.Le, 'g', -1, 64)
+		if got := get(`avr_prom_test_latency_bucket{le="` + le + `"}`); got != float64(cum) {
+			t.Errorf("bucket le=%s = %v, want cumulative %d", le, got, cum)
+		}
+	}
+	if got := get(`avr_prom_test_latency_bucket{le="+Inf"}`); got != float64(s.Count) {
+		t.Errorf("+Inf bucket = %v, want count %d", got, s.Count)
+	}
+	if got := get("avr_prom_test_latency_count"); got != float64(s.Count) {
+		t.Errorf("_count = %v, want %d", got, s.Count)
+	}
+	if got := get("avr_prom_test_latency_sum"); got != s.Sum {
+		t.Errorf("_sum = %v, want %v", got, s.Sum)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	publishPromTestHist()
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want exposition 0.0.4", ct)
+	}
+	if err := LintExposition(rec.Body.Bytes()); err != nil {
+		t.Fatalf("handler output fails lint: %v", err)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE avr_server_requests counter") {
+		t.Error("missing counter TYPE line for avr_server_requests")
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE avr_server_in_flight gauge") {
+		t.Error("avr_server_in_flight not typed as gauge")
+	}
+}
+
+// The lint itself must catch real violations — otherwise the smoke
+// gate is a rubber stamp.
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "avr_x 1\n",
+		"malformed sample":    "# HELP avr_x h\n# TYPE avr_x counter\navr_x one\n",
+		"bad metric name":     "# HELP 1bad h\n# TYPE 1bad counter\n1bad 1\n",
+		"TYPE after samples":  "# HELP avr_x h\n# TYPE avr_x counter\navr_x 1\n# TYPE avr_x gauge\n",
+		"non-cumulative buckets": "# HELP avr_h h\n# TYPE avr_h histogram\n" +
+			"avr_h_bucket{le=\"1\"} 5\navr_h_bucket{le=\"2\"} 3\n" +
+			"avr_h_bucket{le=\"+Inf\"} 5\navr_h_sum 1\navr_h_count 5\n",
+		"inf bucket != count": "# HELP avr_h h\n# TYPE avr_h histogram\n" +
+			"avr_h_bucket{le=\"1\"} 5\navr_h_bucket{le=\"+Inf\"} 5\n" +
+			"avr_h_sum 1\navr_h_count 7\n",
+		"missing +Inf": "# HELP avr_h h\n# TYPE avr_h histogram\n" +
+			"avr_h_bucket{le=\"1\"} 5\navr_h_sum 1\navr_h_count 5\n",
+		"missing _sum": "# HELP avr_h h\n# TYPE avr_h histogram\n" +
+			"avr_h_bucket{le=\"+Inf\"} 5\navr_h_count 5\n",
+	}
+	for name, in := range cases {
+		if err := LintExposition([]byte(in)); err == nil {
+			t.Errorf("lint accepted %s:\n%s", name, in)
+		}
+	}
+	good := "# HELP avr_x h\n# TYPE avr_x counter\navr_x 1\n" +
+		"# HELP avr_h h\n# TYPE avr_h histogram\n" +
+		"avr_h_bucket{le=\"1\"} 2\navr_h_bucket{le=\"+Inf\"} 5\n" +
+		"avr_h_sum 12.5\navr_h_count 5\n"
+	if err := LintExposition([]byte(good)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}

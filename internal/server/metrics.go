@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"avr/internal/obs"
+	"avr/internal/trace"
 )
 
 // Serving-path histograms. Process-global like the obs expvar counters
@@ -33,18 +34,58 @@ func observeLatency(d time.Duration) {
 // counters plus histogram snapshots, mirroring the expvar avr.* vars in
 // one fetch.
 type Stats struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Ready         bool        `json:"ready"`
-	Requests      int64       `json:"requests"`
-	Encodes       int64       `json:"encodes"`
-	Decodes       int64       `json:"decodes"`
-	Errors        int64       `json:"errors"`
-	Shed          int64       `json:"shed"`
-	InFlight      int64       `json:"in_flight"`
-	BytesIn       int64       `json:"bytes_in"`
-	BytesOut      int64       `json:"bytes_out"`
-	Latency       obs.Summary `json:"latency"`
-	Ratio         obs.Summary `json:"ratio"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Ready         bool    `json:"ready"`
+	Requests      int64   `json:"requests"`
+	Encodes       int64   `json:"encodes"`
+	Decodes       int64   `json:"decodes"`
+	Errors        int64   `json:"errors"`
+	Shed          int64   `json:"shed"`
+	InFlight      int64   `json:"in_flight"`
+	BytesIn       int64   `json:"bytes_in"`
+	BytesOut      int64   `json:"bytes_out"`
+
+	// Store-tier counters (all zero when the store endpoints are off).
+	StorePuts         int64 `json:"store_puts"`
+	StoreGets         int64 `json:"store_gets"`
+	StoreDeletes      int64 `json:"store_deletes"`
+	StorePutBytes     int64 `json:"store_put_bytes"`
+	StoreGetBytes     int64 `json:"store_get_bytes"`
+	StorePartial      int64 `json:"store_partial_206"`
+	StoreQueries      int64 `json:"store_queries"`
+	QueryBytesTouched int64 `json:"query_bytes_touched"`
+	QueryBytesTotal   int64 `json:"query_bytes_total"`
+
+	Latency obs.Summary `json:"latency"`
+	Ratio   obs.Summary `json:"ratio"`
+
+	// Stages breaks request latency down by pipeline stage, keyed by the
+	// trace stage wire names. All eight keys are always present so
+	// dashboards never branch on shape.
+	Stages map[string]StageStats `json:"stages"`
+}
+
+// StageStats is one pipeline stage's latency digest in /v1/stats.
+type StageStats struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// snapshotStageStats digests the tracer's per-stage histograms.
+func snapshotStageStats() map[string]StageStats {
+	sums := trace.StageSummaries()
+	out := make(map[string]StageStats, trace.NumStages)
+	for i, sum := range sums {
+		out[trace.Stage(i).String()] = StageStats{
+			Count:  sum.Count,
+			MeanUs: sum.Mean(),
+			P50Us:  sum.Quantile(0.50),
+			P99Us:  sum.Quantile(0.99),
+		}
+	}
+	return out
 }
 
 // snapshotStats collects the current serving-path statistics.
@@ -60,7 +101,19 @@ func (s *Server) snapshotStats() Stats {
 		InFlight:      obs.ServerInFlight.Value(),
 		BytesIn:       obs.ServerBytesIn.Value(),
 		BytesOut:      obs.ServerBytesOut.Value(),
-		Latency:       latencyHist.Summary(),
-		Ratio:         ratioHist.Summary(),
+
+		StorePuts:         obs.StorePuts.Value(),
+		StoreGets:         obs.StoreGets.Value(),
+		StoreDeletes:      obs.StoreDeletes.Value(),
+		StorePutBytes:     obs.StorePutBytes.Value(),
+		StoreGetBytes:     obs.StoreGetBytes.Value(),
+		StorePartial:      obs.ServerStorePartial.Value(),
+		StoreQueries:      obs.StoreQueries.Value(),
+		QueryBytesTouched: obs.StoreQueryBytesTouched.Value(),
+		QueryBytesTotal:   obs.StoreQueryBytesTotal.Value(),
+
+		Latency: latencyHist.Summary(),
+		Ratio:   ratioHist.Summary(),
+		Stages:  snapshotStageStats(),
 	}
 }

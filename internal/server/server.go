@@ -17,6 +17,7 @@ import (
 
 	"avr/internal/obs"
 	"avr/internal/store"
+	"avr/internal/trace"
 )
 
 // Config tunes the codec service. The zero value of any field selects
@@ -41,6 +42,15 @@ type Config struct {
 	// (/v1/store/*). The server does not own the store's lifecycle; the
 	// caller opens and closes it.
 	Store *store.Store
+	// TraceSampleEvery exports one of every N finished request spans as
+	// a JSON line to TraceSink (0 selects the tracer default, 64).
+	// Tracing itself — X-AVR-Trace ids, per-stage response headers, and
+	// the stage histograms behind /v1/stats and /metrics — always covers
+	// every request; sampling gates only the JSONL export volume.
+	TraceSampleEvery int
+	// TraceSink receives the sampled span JSONL (avrd -trace-file); nil
+	// disables export.
+	TraceSink io.Writer
 }
 
 // withDefaults fills unset fields.
@@ -86,6 +96,9 @@ type Server struct {
 	queued   atomic.Int64
 	draining atomic.Bool
 	start    time.Time
+
+	// tracer spans every request for per-stage latency attribution.
+	tracer *trace.Tracer
 }
 
 // New creates a Server with the given configuration.
@@ -98,9 +111,15 @@ func New(cfg Config) *Server {
 		slots: make(chan struct{}, cfg.Workers),
 		start: time.Now(),
 	}
+	tcfg := trace.Config{SampleEvery: cfg.TraceSampleEvery}
+	if cfg.TraceSink != nil {
+		tcfg.Sink = trace.NewSink(cfg.TraceSink)
+	}
+	s.tracer = trace.New(tcfg)
 	s.mux.HandleFunc("POST /v1/encode", s.handleEncode)
 	s.mux.HandleFunc("POST /v1/decode", s.handleDecode)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if cfg.Store != nil {
@@ -168,14 +187,41 @@ func fail(w http.ResponseWriter, code int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
-// shed writes the backpressure response: 429 plus a Retry-After hint
-// sized to the configured queue wait.
-func (s *Server) shed(w http.ResponseWriter) {
-	obs.ServerShed.Add(1)
-	secs := int(s.cfg.QueueTimeout / time.Second)
+// retryAfter sizes the 429 Retry-After hint from queue occupancy: the
+// hint scales linearly from 1s at an empty queue up to the configured
+// queue timeout (rounded up to whole seconds) at a full one, so a
+// lightly loaded server invites a fast retry while a saturated one
+// pushes the herd back the full wait it would have spent queueing
+// anyway.
+func retryAfter(queued, depth int64, timeout time.Duration) int {
+	maxSecs := int(math.Ceil(timeout.Seconds()))
+	if maxSecs < 1 {
+		maxSecs = 1
+	}
+	if depth <= 0 {
+		return maxSecs
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	if queued > depth {
+		queued = depth
+	}
+	secs := int(math.Ceil(timeout.Seconds() * float64(queued) / float64(depth)))
 	if secs < 1 {
 		secs = 1
 	}
+	if secs > maxSecs {
+		secs = maxSecs
+	}
+	return secs
+}
+
+// shed writes the backpressure response: 429 plus the queue-derived
+// Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter) {
+	obs.ServerShed.Add(1)
+	secs := retryAfter(s.queued.Load(), int64(s.cfg.QueueDepth), s.cfg.QueueTimeout)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	http.Error(w, "codec queue full, retry later", http.StatusTooManyRequests)
 }
@@ -206,6 +252,9 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 // stream out.
 func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	sp := s.tracer.Start()
+	defer s.tracer.Finish("encode", sp)
+	sp.WriteID(w.Header())
 	obs.ServerInFlight.Add(1)
 	defer obs.ServerInFlight.Add(-1)
 
@@ -241,7 +290,10 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	qt := sp.Begin()
+	err = s.acquire(ctx)
+	sp.End(trace.StageQueue, qt)
+	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.shed(w)
 		} else {
@@ -254,7 +306,10 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	obs.ServerRequests.Add(1)
 
+	pt := sp.Begin()
 	codec := s.pool.Get(t1)
+	sp.End(trace.StagePool, pt)
+	et := sp.Begin()
 	var enc []byte
 	var nvals int
 	if width == 32 {
@@ -266,6 +321,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		nvals = len(vals)
 		enc, err = codec.Encode64(vals)
 	}
+	sp.End(trace.StageEncode, et)
 	s.pool.Put(t1, codec)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, "encode: %v", err)
@@ -281,6 +337,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-AVR-Values", strconv.Itoa(nvals))
 	w.Header().Set("X-AVR-Ratio", strconv.FormatFloat(ratio, 'f', 3, 64))
+	sp.WriteHeaders(w.Header())
 	w.Write(enc)
 	observeLatency(time.Since(t0))
 }
@@ -289,6 +346,9 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 // from the magic), raw little-endian values out.
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	sp := s.tracer.Start()
+	defer s.tracer.Finish("decode", sp)
+	sp.WriteID(w.Header())
 	obs.ServerInFlight.Add(1)
 	defer obs.ServerInFlight.Add(-1)
 
@@ -306,7 +366,10 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	qt := sp.Begin()
+	err = s.acquire(ctx)
+	sp.End(trace.StageQueue, qt)
+	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.shed(w)
 		} else {
@@ -320,7 +383,10 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	obs.ServerRequests.Add(1)
 
 	// Decoding is threshold-independent; any pooled codec serves.
+	pt := sp.Begin()
 	codec := s.pool.Get(s.cfg.T1)
+	sp.End(trace.StagePool, pt)
+	dt := sp.Begin()
 	var out []byte
 	switch {
 	case len(body) >= 4 && string(body[:4]) == "AVR1":
@@ -338,6 +404,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	default:
 		err = errors.New("unrecognised stream magic (want AVR1 or AVR8)")
 	}
+	sp.End(trace.StageDecode, dt)
 	s.pool.Put(s.cfg.T1, codec)
 	if err != nil {
 		fail(w, http.StatusBadRequest, "decode: %v", err)
@@ -349,6 +416,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	obs.ServerBytesOut.Add(int64(len(out)))
 
 	w.Header().Set("Content-Type", "application/octet-stream")
+	sp.WriteHeaders(w.Header())
 	w.Write(out)
 	observeLatency(time.Since(t0))
 }

@@ -13,6 +13,7 @@ import (
 
 	"avr/internal/obs"
 	"avr/internal/store"
+	"avr/internal/trace"
 )
 
 // Store endpoints, registered only when Config.Store is set (avrd
@@ -65,6 +66,9 @@ func storeFail(w http.ResponseWriter, err error) {
 // handleStorePut serves PUT /v1/store/put: raw little-endian values in,
 // persisted approximate blocks out.
 func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	sp := s.tracer.Start()
+	defer s.tracer.Finish("put", sp)
+	sp.WriteID(w.Header())
 	obs.ServerInFlight.Add(1)
 	defer obs.ServerInFlight.Add(-1)
 
@@ -101,7 +105,10 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	qt := sp.Begin()
+	err = s.acquire(ctx)
+	sp.End(trace.StageQueue, qt)
+	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.shed(w)
 		} else {
@@ -116,9 +123,9 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 
 	var res store.PutResult
 	if width == 32 {
-		res, err = s.cfg.Store.Put32(key, bytesToF32(body))
+		res, err = s.cfg.Store.Put32Traced(key, bytesToF32(body), sp)
 	} else {
-		res, err = s.cfg.Store.Put64(key, bytesToF64(body))
+		res, err = s.cfg.Store.Put64Traced(key, bytesToF64(body), sp)
 	}
 	if err != nil {
 		if errors.Is(err, store.ErrClosed) {
@@ -128,8 +135,10 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	obs.ServerBytesIn.Add(int64(len(body)))
 
 	w.Header().Set("Content-Type", "application/json")
+	sp.WriteHeaders(w.Header())
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(res)
@@ -147,6 +156,9 @@ var getBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // acceptable.
 func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	sp := s.tracer.Start()
+	defer s.tracer.Finish("get", sp)
+	sp.WriteID(w.Header())
 	obs.ServerInFlight.Add(1)
 	defer obs.ServerInFlight.Add(-1)
 
@@ -158,8 +170,11 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
-		if errors.Is(err, errQueueFull) {
+	qt := sp.Begin()
+	aerr := s.acquire(ctx)
+	sp.End(trace.StageQueue, qt)
+	if aerr != nil {
+		if errors.Is(aerr, errQueueFull) {
 			s.shed(w)
 		} else {
 			obs.ServerShed.Add(1)
@@ -171,7 +186,7 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	obs.ServerRequests.Add(1)
 
-	v32, v64, width, err := s.cfg.Store.Get(key)
+	v32, v64, width, err := s.cfg.Store.GetTraced(key, sp)
 	incomplete := errors.Is(err, store.ErrIncomplete)
 	if err != nil && !incomplete {
 		storeFail(w, err)
@@ -194,6 +209,7 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-AVR-Width", strconv.Itoa(width))
 	w.Header().Set("X-AVR-Values", strconv.Itoa(nvals))
 	w.Header().Set("X-AVR-Complete", strconv.FormatBool(!incomplete))
+	sp.WriteHeaders(w.Header())
 	if incomplete {
 		obs.ServerStorePartial.Add(1)
 		w.WriteHeader(http.StatusPartialContent)
@@ -231,6 +247,9 @@ func appendF64(dst []byte, vals []float64) []byte {
 // over its recovered prefix as 206 Partial Content.
 func (s *Server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	sp := s.tracer.Start()
+	defer s.tracer.Finish("query", sp)
+	sp.WriteID(w.Header())
 	obs.ServerInFlight.Add(1)
 	defer obs.ServerInFlight.Add(-1)
 
@@ -268,7 +287,9 @@ func (s *Server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
 	defer cancel()
+	qt := sp.Begin()
 	if err := s.acquire(ctx); err != nil {
+		sp.End(trace.StageQueue, qt)
 		if errors.Is(err, errQueueFull) {
 			s.shed(w)
 		} else {
@@ -278,6 +299,7 @@ func (s *Server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	sp.End(trace.StageQueue, qt)
 	defer s.release()
 	obs.ServerRequests.Add(1)
 
@@ -289,15 +311,15 @@ func (s *Server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 	switch op {
 	case "aggregate":
 		var a store.AggregateResult
-		a, err = s.cfg.Store.QueryAggregate(key)
+		a, err = s.cfg.Store.QueryAggregateTraced(key, sp)
 		res, complete = a, a.Complete
 	case "filter":
 		var f store.FilterResult
-		f, err = s.cfg.Store.QueryFilter(key, lo, hi)
+		f, err = s.cfg.Store.QueryFilterTraced(key, lo, hi, sp)
 		res, complete = f, f.Complete
 	case "downsample":
 		var d store.DownsampleResult
-		d, err = s.cfg.Store.QueryDownsample(key)
+		d, err = s.cfg.Store.QueryDownsampleTraced(key, sp)
 		res, complete = d, d.Complete
 	}
 	if err != nil {
@@ -313,6 +335,7 @@ func (s *Server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-AVR-Complete", strconv.FormatBool(complete))
+	sp.WriteHeaders(w.Header())
 	if !complete {
 		obs.ServerStorePartial.Add(1)
 		w.WriteHeader(http.StatusPartialContent)

@@ -236,9 +236,9 @@ func TestStoreQueryEndpoint(t *testing.T) {
 	}
 
 	for _, bad := range []string{
-		"/v1/store/query",                          // missing key
-		"/v1/store/query?key=q&op=median",          // unknown op
-		"/v1/store/query?key=q&op=filter",          // missing lo/hi
+		"/v1/store/query",                           // missing key
+		"/v1/store/query?key=q&op=median",           // unknown op
+		"/v1/store/query?key=q&op=filter",           // missing lo/hi
 		"/v1/store/query?key=q&op=filter&lo=2&hi=1", // inverted range
 	} {
 		if resp, _ := doReq(t, http.MethodGet, ts.URL+bad, nil); resp.StatusCode != http.StatusBadRequest {

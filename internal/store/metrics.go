@@ -11,11 +11,12 @@ import (
 // process runs one logical store service); concurrent observers go
 // through the SyncHistogram lock. Tests assert deltas, not absolutes.
 var (
-	putLatencyHist   = obs.NewSyncHistogram(obs.StorePutLatencyHistogram())
-	getLatencyHist   = obs.NewSyncHistogram(obs.StoreGetLatencyHistogram())
-	blockRatioHist   = obs.NewSyncHistogram(obs.StoreBlockRatioHistogram())
-	queryLatencyHist = obs.NewSyncHistogram(obs.StoreQueryLatencyHistogram())
-	queryTrafficHist = obs.NewSyncHistogram(obs.StoreQueryTrafficHistogram())
+	putLatencyHist     = obs.NewSyncHistogram(obs.StorePutLatencyHistogram())
+	getLatencyHist     = obs.NewSyncHistogram(obs.StoreGetLatencyHistogram())
+	blockRatioHist     = obs.NewSyncHistogram(obs.StoreBlockRatioHistogram())
+	queryLatencyHist   = obs.NewSyncHistogram(obs.StoreQueryLatencyHistogram())
+	queryTrafficHist   = obs.NewSyncHistogram(obs.StoreQueryTrafficHistogram())
+	compactLatencyHist = obs.NewSyncHistogram(obs.StoreCompactLatencyHistogram())
 )
 
 func init() {
@@ -33,6 +34,9 @@ func init() {
 	}))
 	expvar.Publish("avr.store_query_traffic", expvar.Func(func() any {
 		return queryTrafficHist.Summary()
+	}))
+	expvar.Publish("avr.store_compact_latency", expvar.Func(func() any {
+		return compactLatencyHist.Summary()
 	}))
 }
 
@@ -73,11 +77,12 @@ type Stats struct {
 
 	SegmentList []SegmentStats `json:"segment_list,omitempty"`
 
-	PutLatency   obs.Summary `json:"put_latency"`
-	GetLatency   obs.Summary `json:"get_latency"`
-	BlockRatio   obs.Summary `json:"block_ratio"`
-	QueryLatency obs.Summary `json:"query_latency"`
-	QueryTraffic obs.Summary `json:"query_traffic"`
+	PutLatency     obs.Summary `json:"put_latency"`
+	GetLatency     obs.Summary `json:"get_latency"`
+	BlockRatio     obs.Summary `json:"block_ratio"`
+	QueryLatency   obs.Summary `json:"query_latency"`
+	QueryTraffic   obs.Summary `json:"query_traffic"`
+	CompactLatency obs.Summary `json:"compact_latency"`
 }
 
 // Stats snapshots the store.
@@ -126,5 +131,6 @@ func (s *Store) Stats() Stats {
 	st.BlockRatio = blockRatioHist.Summary()
 	st.QueryLatency = queryLatencyHist.Summary()
 	st.QueryTraffic = queryTrafficHist.Summary()
+	st.CompactLatency = compactLatencyHist.Summary()
 	return st
 }

@@ -13,6 +13,7 @@ import (
 	"avr/internal/compress"
 	"avr/internal/fixed"
 	"avr/internal/obs"
+	"avr/internal/trace"
 )
 
 // Compressed-domain query executor. The AVR block format is itself a
@@ -119,7 +120,7 @@ const sumSlack = 1e-9
 // allocation-free in steady state (the result slices of a downsample
 // are the only per-call allocation).
 type queryScratch struct {
-	hdr     [recHdr64 + compress.LineBytes]byte      // record header + summary line
+	hdr     [recHdr64 + compress.LineBytes]byte // record header + summary line
 	payload [compress.MaxCompressedLines * compress.LineBytes]byte
 	raw     [compress.BlockBytes]byte // raw-record payload
 	frame   getScratch                // lossless whole-frame reads
@@ -181,18 +182,22 @@ type queryRun struct {
 	// Aggregate state. sumW is Σ per-value bounds; sumAbs Σ|v| over all
 	// values (accumulation slack); the min/max fields are the envelope
 	// of the per-value intervals [v−w, v+w].
-	count                          int64
-	sum, sumW, sumAbs              float64
-	minLo, minHi, maxLo, maxHi     float64
+	count                      int64
+	sum, sumW, sumAbs          float64
+	minLo, minHi, maxLo, maxHi float64
 
 	// Filter state.
-	lo, hi           float64
-	defIn, pos, est  int64
+	lo, hi          float64
+	defIn, pos, est int64
 
 	// Downsample state: groups of 16 values flushed into points/bounds.
-	points, bounds          []float64
+	points, bounds             []float64
 	groupSum, groupW, groupAbs float64
-	groupN                  int
+	groupN                     int
+
+	// sp receives per-stage attribution (lock wait, query walk); nil
+	// outside the traced entry points.
+	sp *trace.Span
 
 	stats QueryStats
 }
@@ -336,11 +341,20 @@ func (q *queryRun) padGroup(v float64, exact bool) {
 // t1-widened min/max envelopes over the vector stored under key,
 // reading summaries (plus outliers) instead of decoding blocks.
 func (s *Store) QueryAggregate(key string) (AggregateResult, error) {
+	return s.QueryAggregateTraced(key, nil)
+}
+
+// QueryAggregateTraced is QueryAggregate with per-stage attribution
+// onto sp: store mutex wait (StageLock) and the compressed-domain walk
+// including its targeted preads (StageQuery). A nil span traces nothing
+// at no cost.
+func (s *Store) QueryAggregateTraced(key string, sp *trace.Span) (AggregateResult, error) {
 	t0 := time.Now()
 	q := queryRun{
 		op:    qopAggregate,
 		minLo: math.Inf(1), minHi: math.Inf(1),
 		maxLo: math.Inf(-1), maxHi: math.Inf(-1),
+		sp: sp,
 	}
 	width, err := s.runQuery(key, &q)
 	if err != nil {
@@ -368,11 +382,17 @@ func (s *Store) QueryAggregate(key string) (AggregateResult, error) {
 // bracket [MatchesMin, MatchesMax] plus a point estimate. Sub-blocks
 // are pruned from summary bounds; outliers are classified exactly.
 func (s *Store) QueryFilter(key string, lo, hi float64) (FilterResult, error) {
+	return s.QueryFilterTraced(key, lo, hi, nil)
+}
+
+// QueryFilterTraced is QueryFilter with QueryAggregateTraced's
+// per-stage attribution.
+func (s *Store) QueryFilterTraced(key string, lo, hi float64, sp *trace.Span) (FilterResult, error) {
 	if !(lo <= hi) {
 		return FilterResult{}, fmt.Errorf("store: bad filter range [%g, %g]", lo, hi)
 	}
 	t0 := time.Now()
-	q := queryRun{op: qopFilter, lo: lo, hi: hi}
+	q := queryRun{op: qopFilter, lo: lo, hi: hi, sp: sp}
 	width, err := s.runQuery(key, &q)
 	if err != nil {
 		return FilterResult{}, err
@@ -391,8 +411,14 @@ func (s *Store) QueryFilter(key string, lo, hi float64) (FilterResult, error) {
 // sub-block summaries: one point per 16 values, each with its own
 // error bound.
 func (s *Store) QueryDownsample(key string) (DownsampleResult, error) {
+	return s.QueryDownsampleTraced(key, nil)
+}
+
+// QueryDownsampleTraced is QueryDownsample with
+// QueryAggregateTraced's per-stage attribution.
+func (s *Store) QueryDownsampleTraced(key string, sp *trace.Span) (DownsampleResult, error) {
 	t0 := time.Now()
-	q := queryRun{op: qopDownsample}
+	q := queryRun{op: qopDownsample, sp: sp}
 	width, err := s.runQuery(key, &q)
 	if err != nil {
 		return DownsampleResult{}, err
@@ -421,7 +447,9 @@ func finishQuery(q *queryRun, t0 time.Time) {
 // stops at the first hole (torn put), marking the result incomplete,
 // exactly like the Get path serves a recovered prefix.
 func (s *Store) runQuery(key string, q *queryRun) (int, error) {
+	lt := q.sp.Begin()
 	s.mu.RLock()
+	q.sp.End(trace.StageLock, lt)
 	defer s.mu.RUnlock()
 	if s.closed {
 		return 0, ErrClosed
@@ -432,6 +460,11 @@ func (s *Store) runQuery(key string, q *queryRun) (int, error) {
 	}
 	qs := s.queries.Get().(*queryScratch)
 	defer s.queries.Put(qs)
+	// The walk itself — targeted preads plus summary math — is one
+	// stage; its frame reads are deliberately not split into StageSegRead
+	// so a span's stages stay disjoint.
+	wt := q.sp.Begin()
+	defer func() { q.sp.End(trace.StageQuery, wt) }()
 
 	q.stats.Complete = true
 	for i := range e.refs {

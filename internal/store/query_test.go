@@ -198,9 +198,9 @@ func TestPropertyQueryAllWorkloads(t *testing.T) {
 
 					span := gt.max - gt.min
 					for _, band := range [][2]float64{
-						{gt.min, gt.max},                             // everything
-						{gt.min + span/4, gt.max - span/4},           // mid band
-						{gt.min + span/2.1, gt.min + span/1.9},       // narrow band
+						{gt.min, gt.max},                                                 // everything
+						{gt.min + span/4, gt.max - span/4},                               // mid band
+						{gt.min + span/2.1, gt.min + span/1.9},                           // narrow band
 						{gt.max + 1 + math.Abs(gt.max), gt.max + 2 + 2*math.Abs(gt.max)}, // empty
 					} {
 						if !(band[0] <= band[1]) {

@@ -33,6 +33,7 @@ import (
 	"avr"
 	"avr/internal/compress"
 	"avr/internal/obs"
+	"avr/internal/trace"
 )
 
 // BlockValues is the store's fixed block size in values. Each block is
@@ -616,6 +617,14 @@ func (s *Store) flagged(key string, idx uint32) bool {
 
 // Put32 stores an fp32 vector under key, replacing any previous value.
 func (s *Store) Put32(key string, vals []float32) (PutResult, error) {
+	return s.Put32Traced(key, vals, nil)
+}
+
+// Put32Traced is Put32 with per-stage attribution onto sp: block
+// encoding (StageEncode), store mutex wait (StageLock), and segment
+// appends (StageSegWrite). A nil span traces nothing at no cost, which
+// is how Put32 calls it.
+func (s *Store) Put32Traced(key string, vals []float32, sp *trace.Span) (PutResult, error) {
 	if err := checkKey(key); err != nil {
 		return PutResult{}, err
 	}
@@ -626,14 +635,21 @@ func (s *Store) Put32(key string, vals []float32) (PutResult, error) {
 	ps := s.puts.Get().(*putScratch)
 	defer s.puts.Put(ps)
 	ps.ensure((len(vals) + BlockValues - 1) / BlockValues)
+	et := sp.Begin()
 	if err := s.encodeBlocks32(key, vals, ps); err != nil {
 		return PutResult{}, err
 	}
-	return s.commitPut(key, 32, uint64(len(vals)), 4*len(vals), ps, t0)
+	sp.End(trace.StageEncode, et)
+	return s.commitPut(key, 32, uint64(len(vals)), 4*len(vals), ps, t0, sp)
 }
 
 // Put64 stores an fp64 vector under key, replacing any previous value.
 func (s *Store) Put64(key string, vals []float64) (PutResult, error) {
+	return s.Put64Traced(key, vals, nil)
+}
+
+// Put64Traced is Put32Traced for fp64 vectors.
+func (s *Store) Put64Traced(key string, vals []float64, sp *trace.Span) (PutResult, error) {
 	if err := checkKey(key); err != nil {
 		return PutResult{}, err
 	}
@@ -644,19 +660,23 @@ func (s *Store) Put64(key string, vals []float64) (PutResult, error) {
 	ps := s.puts.Get().(*putScratch)
 	defer s.puts.Put(ps)
 	ps.ensure((len(vals) + BlockValues - 1) / BlockValues)
+	et := sp.Begin()
 	if err := s.encodeBlocks64(key, vals, ps); err != nil {
 		return PutResult{}, err
 	}
-	return s.commitPut(key, 64, uint64(len(vals)), 8*len(vals), ps, t0)
+	sp.End(trace.StageEncode, et)
+	return s.commitPut(key, 64, uint64(len(vals)), 8*len(vals), ps, t0, sp)
 }
 
 // commitPut appends the encoded blocks as frames and installs the new
 // index entry atomically with respect to readers. On append failure the
 // index keeps the old value; frames appended so far are dead weight for
 // compaction to reclaim.
-func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes int, ps *putScratch, t0 time.Time) (PutResult, error) {
+func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes int, ps *putScratch, t0 time.Time, sp *trace.Span) (PutResult, error) {
 	blocks := ps.blocks
+	lt := sp.Begin()
 	s.mu.Lock()
+	sp.End(trace.StageLock, lt)
 	defer s.mu.Unlock()
 	if s.closed {
 		return PutResult{}, ErrClosed
@@ -665,6 +685,7 @@ func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes in
 	seq := s.seq
 	refs := ps.refs
 	res := PutResult{Key: key, Values: int(totalVals), Blocks: len(blocks)}
+	wt := sp.Begin()
 	for i := range blocks {
 		eb := &blocks[i]
 		ps.rec = record{
@@ -675,6 +696,7 @@ func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes in
 		}
 		segID, off, frameLen, err := s.appendFrameLocked(&ps.rec, &ps.frame)
 		if err != nil {
+			sp.End(trace.StageSegWrite, wt)
 			for _, ref := range refs[:i] {
 				s.markDead(ref.seg, ref.frameLen)
 			}
@@ -697,6 +719,7 @@ func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes in
 		}
 		blockRatioHist.Observe(eb.ratio)
 	}
+	sp.End(trace.StageSegWrite, wt)
 	// Install the new entry, recycling the superseded one (same effect as
 	// dropEntry, without discarding its refs capacity).
 	var e *entry
@@ -748,8 +771,17 @@ type PutResult struct {
 // 64); exactly one of the two slices is non-nil. A vector whose tail was
 // lost to a crash returns its recovered prefix plus ErrIncomplete.
 func (s *Store) Get(key string) (vals32 []float32, vals64 []float64, width int, err error) {
+	return s.GetTraced(key, nil)
+}
+
+// GetTraced is Get with per-stage attribution onto sp: store mutex
+// wait (StageLock), segment reads (StageSegRead), and block decodes
+// (StageDecode). A nil span traces nothing at no cost.
+func (s *Store) GetTraced(key string, sp *trace.Span) (vals32 []float32, vals64 []float64, width int, err error) {
 	t0 := time.Now()
+	lt := sp.Begin()
 	s.mu.RLock()
+	sp.End(trace.StageLock, lt)
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, nil, 0, ErrClosed
@@ -761,10 +793,10 @@ func (s *Store) Get(key string) (vals32 []float32, vals64 []float64, width int, 
 	var complete bool
 	var nvals int
 	if e.width == 32 {
-		vals32, complete, err = s.read32Locked(nil, key, e)
+		vals32, complete, err = s.read32Locked(nil, key, e, sp)
 		nvals = len(vals32)
 	} else {
-		vals64, complete, err = s.read64Locked(nil, key, e)
+		vals64, complete, err = s.read64Locked(nil, key, e, sp)
 		nvals = len(vals64)
 	}
 	if err != nil {
@@ -808,8 +840,15 @@ func (s *Store) Get64(key string) ([]float64, error) {
 // allocation-free. An incomplete vector appends its recovered prefix
 // and returns ErrIncomplete alongside it.
 func (s *Store) Get32Into(dst []float32, key string) ([]float32, error) {
+	return s.Get32IntoTraced(dst, key, nil)
+}
+
+// Get32IntoTraced is Get32Into with GetTraced's per-stage attribution.
+func (s *Store) Get32IntoTraced(dst []float32, key string, sp *trace.Span) ([]float32, error) {
 	t0 := time.Now()
+	lt := sp.Begin()
 	s.mu.RLock()
+	sp.End(trace.StageLock, lt)
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
@@ -822,7 +861,7 @@ func (s *Store) Get32Into(dst []float32, key string) ([]float32, error) {
 		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, e.width)
 	}
 	base := len(dst)
-	dst, complete, err := s.read32Locked(dst, key, e)
+	dst, complete, err := s.read32Locked(dst, key, e, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -837,8 +876,15 @@ func (s *Store) Get32Into(dst []float32, key string) ([]float32, error) {
 
 // Get64Into is Get32Into for fp64 vectors.
 func (s *Store) Get64Into(dst []float64, key string) ([]float64, error) {
+	return s.Get64IntoTraced(dst, key, nil)
+}
+
+// Get64IntoTraced is Get32IntoTraced for fp64 vectors.
+func (s *Store) Get64IntoTraced(dst []float64, key string, sp *trace.Span) ([]float64, error) {
 	t0 := time.Now()
+	lt := sp.Begin()
 	s.mu.RLock()
+	sp.End(trace.StageLock, lt)
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
@@ -851,7 +897,7 @@ func (s *Store) Get64Into(dst []float64, key string) ([]float64, error) {
 		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, e.width)
 	}
 	base := len(dst)
-	dst, complete, err := s.read64Locked(dst, key, e)
+	dst, complete, err := s.read64Locked(dst, key, e, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -872,7 +918,7 @@ type getScratch struct {
 // read32Locked appends e's decoded fp32 blocks to dst in vector order,
 // stopping at the first hole (torn put). Caller holds at least the read
 // lock.
-func (s *Store) read32Locked(dst []float32, key string, e *entry) ([]float32, bool, error) {
+func (s *Store) read32Locked(dst []float32, key string, e *entry, sp *trace.Span) ([]float32, bool, error) {
 	gs := s.gets.Get().(*getScratch)
 	defer s.gets.Put(gs)
 	c := s.borrowCodec()
@@ -885,11 +931,14 @@ func (s *Store) read32Locked(dst []float32, key string, e *entry) ([]float32, bo
 		if ref.seg == 0 {
 			return dst, false, nil
 		}
+		rt := sp.Begin()
 		data, err := s.readFrameLocked(ref, gs)
+		sp.End(trace.StageSegRead, rt)
 		if err != nil {
 			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
 		}
 		n := len(dst)
+		dt := sp.Begin()
 		if ref.enc == encLossless {
 			dst, err = decodeLossless32To(dst, data, int(ref.valCount))
 		} else {
@@ -899,6 +948,7 @@ func (s *Store) read32Locked(dst []float32, key string, e *entry) ([]float32, bo
 					ErrCorrupt, len(dst)-n, ref.valCount)
 			}
 		}
+		sp.End(trace.StageDecode, dt)
 		if err != nil {
 			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
 		}
@@ -907,7 +957,7 @@ func (s *Store) read32Locked(dst []float32, key string, e *entry) ([]float32, bo
 }
 
 // read64Locked is read32Locked for fp64 entries.
-func (s *Store) read64Locked(dst []float64, key string, e *entry) ([]float64, bool, error) {
+func (s *Store) read64Locked(dst []float64, key string, e *entry, sp *trace.Span) ([]float64, bool, error) {
 	gs := s.gets.Get().(*getScratch)
 	defer s.gets.Put(gs)
 	c := s.borrowCodec()
@@ -920,11 +970,14 @@ func (s *Store) read64Locked(dst []float64, key string, e *entry) ([]float64, bo
 		if ref.seg == 0 {
 			return dst, false, nil
 		}
+		rt := sp.Begin()
 		data, err := s.readFrameLocked(ref, gs)
+		sp.End(trace.StageSegRead, rt)
 		if err != nil {
 			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
 		}
 		n := len(dst)
+		dt := sp.Begin()
 		if ref.enc == encLossless {
 			dst, err = decodeLossless64To(dst, data, int(ref.valCount))
 		} else {
@@ -934,6 +987,7 @@ func (s *Store) read64Locked(dst []float64, key string, e *entry) ([]float64, bo
 					ErrCorrupt, len(dst)-n, ref.valCount)
 			}
 		}
+		sp.End(trace.StageDecode, dt)
 		if err != nil {
 			return nil, false, fmt.Errorf("store: key %q block %d: %w", key, i, err)
 		}

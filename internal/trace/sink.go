@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Sink serializes sampled spans as JSONL: one self-describing JSON
+// object per line, append-friendly and greppable, the same shape the
+// obs epoch writers use for time series. The encoder is hand-rolled
+// with strconv appends into a buffer reused under the sink mutex, so
+// export stays allocation-free in steady state (the buffer grows once
+// to its high-water mark). Lines are written straight through — no
+// bufio layer — so at 1-in-64 sampling the file tail is always fresh
+// for a tail -f or a crashed process's post-mortem.
+//
+// A nil *Sink is valid and discards nothing because a Tracer without a
+// sink never calls it.
+type Sink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+// NewSink wraps w (typically an *os.File opened with O_APPEND).
+func NewSink(w io.Writer) *Sink {
+	return &Sink{w: w, buf: make([]byte, 0, 256)}
+}
+
+// write appends one span line:
+//
+//	{"id":"00061f9a1b2c0001","op":"put","total_ns":81234,"stages":{"queue":210,"encode":64012,"segwrite":9120}}
+//
+// Only touched stages appear. Write errors are swallowed: tracing is
+// observability, never a reason to fail the request it observes.
+func (s *Sink) write(op string, sp *Span, total int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buf[:0]
+	b = append(b, `{"id":"`...)
+	b = appendHexID(b, sp.id)
+	b = append(b, `","op":"`...)
+	b = append(b, op...)
+	b = append(b, `","total_ns":`...)
+	b = strconv.AppendInt(b, total, 10)
+	b = append(b, `,"stages":{`...)
+	first := true
+	for st, d := range sp.stages {
+		if d <= 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, '"')
+		b = append(b, stageNames[st]...)
+		b = append(b, `":`...)
+		b = strconv.AppendInt(b, int64(d), 10)
+	}
+	b = append(b, "}}\n"...)
+	s.buf = b
+	s.w.Write(b)
+}
+
+// appendHexID appends the 16-hex-digit span id without allocating.
+func appendHexID(b []byte, id uint64) []byte {
+	const hexdig = "0123456789abcdef"
+	var d [16]byte
+	for i := 15; i >= 0; i-- {
+		d[i] = hexdig[id&0xf]
+		id >>= 4
+	}
+	return append(b, d[:]...)
+}

@@ -26,10 +26,10 @@ OUT="${1:-BENCH_sim.json}"
 STORE_OUT="${2:-BENCH_store.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep|Recorder|Histogram}"
-STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|StoreQuery|CodecPool}"
+STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|StoreQuery|CodecPool|Traced|SpanPool}"
 
 PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/obs ./internal/sim ./internal/workloads"
-STORE_PKGS="./internal/store ./internal/server"
+STORE_PKGS="./internal/store ./internal/server ./internal/trace"
 
 # Hot-path benchmarks that must report 0 allocs/op: every demand access
 # in the simulator goes through these paths, and a single allocation per
@@ -42,8 +42,12 @@ GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLo
 # scratch on the write side, caller-supplied destinations (Get*Into) on
 # the read side. Compressed-domain aggregate/filter queries share the
 # bar (pooled scratch, targeted preads); downsample is exempt — its
-# result slices are the query's output.
-STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64 BenchmarkStoreQueryAggregate32 BenchmarkStoreQueryAggregate64 BenchmarkStoreQueryFilter32"
+# result slices are the query's output. The Traced* twins hold the
+# same paths to the same bar with a live span, tracer and JSONL sink
+# at the default export sampling — per-stage attribution must be free
+# enough to leave on (and BenchmarkSpanPool gates the span lifecycle
+# itself).
+STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64 BenchmarkStoreQueryAggregate32 BenchmarkStoreQueryAggregate64 BenchmarkStoreQueryFilter32 BenchmarkTracedPut32 BenchmarkTracedGet32 BenchmarkTracedQueryAggregate BenchmarkSpanPool"
 
 RAW="$(mktemp)"
 RAW_STORE="$(mktemp)"

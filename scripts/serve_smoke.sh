@@ -2,9 +2,10 @@
 # scripts/serve_smoke.sh — end-to-end smoke of the serving stack: build
 # avrd + avrload, start the daemon on an ephemeral port, run a short
 # verified load (avrload exits non-zero when no request succeeds or any
-# response mismatches the direct codec), then check graceful SIGTERM
-# drain. A CI gate, not a benchmark — see EXPERIMENTS.md for the
-# recorded load baseline workflow.
+# response mismatches the direct codec), scrape /metrics through the
+# strict exposition linter, check trace headers and the JSONL span
+# export, then check graceful SIGTERM drain. A CI gate, not a benchmark
+# — see EXPERIMENTS.md for the recorded load baseline workflow.
 #
 # Usage: scripts/serve_smoke.sh [duration] [concurrency]
 set -euo pipefail
@@ -23,8 +24,10 @@ trap cleanup EXIT
 
 go build -o "$TMP/avrd" ./cmd/avrd
 go build -o "$TMP/avrload" ./cmd/avrload
+go build -o "$TMP/promlint" ./cmd/promlint
 
-"$TMP/avrd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" &
+"$TMP/avrd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+    -trace-file "$TMP/traces.jsonl" -trace-sample 4 &
 AVRD_PID=$!
 
 for _ in $(seq 1 100); do
@@ -40,10 +43,32 @@ curl -sf "http://$ADDR/readyz" > /dev/null
 
 "$TMP/avrload" -addr "$ADDR" -c "$CONC" -duration "$DURATION" -values 4096 -dist heat
 
-# expvar counters must be visible on the service's own stats endpoint.
+# expvar counters must be visible on the service's own stats endpoint,
+# including the per-stage tracing breakdown.
 # Fetch then grep the captured body: `curl | grep -q` races — grep
 # exits at the first match and curl fails with a pipe write error.
-grep -q '"encodes"' <<<"$(curl -sf "http://$ADDR/v1/stats")"
+STATS="$(curl -sf "http://$ADDR/v1/stats")"
+grep -q '"encodes"' <<<"$STATS"
+grep -q '"stages"' <<<"$STATS"
+grep -q '"segwrite"' <<<"$STATS"
+
+# Every response must carry its trace id and per-stage durations.
+head -c 4096 /dev/zero > "$TMP/zeros.f32le"
+curl -sf -D "$TMP/hdrs" -o /dev/null \
+    --data-binary @"$TMP/zeros.f32le" "http://$ADDR/v1/encode"
+grep -qi '^x-avr-trace:' "$TMP/hdrs"
+grep -qi '^x-avr-stage-encode:' "$TMP/hdrs"
+
+# The Prometheus exposition must lint clean and carry the avr.*
+# counters plus the per-stage histograms.
+curl -sf "http://$ADDR/metrics" > "$TMP/metrics.txt"
+"$TMP/promlint" "$TMP/metrics.txt"
+grep -q '^avr_server_requests ' "$TMP/metrics.txt"
+grep -q '^avr_trace_stage_queue_bucket' "$TMP/metrics.txt"
+
+# Sampled spans must have landed in the JSONL export as parseable lines.
+[ -s "$TMP/traces.jsonl" ] || { echo "trace export file empty"; exit 1; }
+grep -q '"op":' "$TMP/traces.jsonl"
 
 # Graceful drain: SIGTERM must exit 0 after completing in-flight work.
 kill -TERM "$AVRD_PID"
