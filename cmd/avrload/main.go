@@ -27,6 +27,13 @@
 // (bytes_touched / bytes_total); -maxtraffic turns the budget into a
 // hard assertion for responses served purely from AVR blocks.
 //
+// With -mode cluster the loop targets an avrrouter instead: each
+// connection owns -batch keys and loops batched mput→mget round-trips
+// (/v1/store/mput, /v1/store/mget), bound-checking every returned
+// value. Because the check is client-side at t1, a node killed mid-run
+// must not produce a single corrupt count if the router's replication
+// and read-any failover work — the smoke test leans on exactly this.
+//
 // Every summary also breaks server-side latency down by pipeline stage
 // (queue wait, codec pool checkout, encode/decode kernel, segment I/O,
 // lock wait, query walk), rebuilt client-side from the X-AVR-Stage-*
@@ -71,7 +78,8 @@ func main() {
 	dist := flag.String("dist", "heat", "value distribution: "+strings.Join(workloads.Distributions(), ", "))
 	width := flag.Int("width", 32, "value width in bits: 32 or 64")
 	verify := flag.Bool("verify", true, "check every response byte-for-byte against a local codec")
-	mode := flag.String("mode", "codec", "traffic shape: codec (encode→decode), store (put→get against /v1/store), or query (compressed-domain queries against /v1/store/query)")
+	mode := flag.String("mode", "codec", "traffic shape: codec (encode→decode), store (put→get against /v1/store), query (compressed-domain queries against /v1/store/query), or cluster (batched mput→mget against an avrrouter)")
+	batch := flag.Int("batch", 8, "cluster mode: keys per batched mput/mget request")
 	maxTraffic := flag.Float64("maxtraffic", 0, "query mode: fail pure-AVR aggregate responses whose bytes_touched/bytes_total exceeds this fraction (0 = report only)")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON (for recorded baselines)")
 	var t1 float64
@@ -88,8 +96,11 @@ func main() {
 	if *width != 32 && *width != 64 {
 		cliutil.Fatal(fmt.Errorf("bad -width %d: want 32 or 64", *width))
 	}
-	if *mode != "codec" && *mode != "store" && *mode != "query" {
-		cliutil.Fatal(fmt.Errorf("bad -mode %q: want codec, store or query", *mode))
+	if *mode != "codec" && *mode != "store" && *mode != "query" && *mode != "cluster" {
+		cliutil.Fatal(fmt.Errorf("bad -mode %q: want codec, store, query or cluster", *mode))
+	}
+	if *mode == "cluster" && *batch < 1 {
+		cliutil.Fatal(fmt.Errorf("bad -batch %d: want >= 1", *batch))
 	}
 	base := "http://" + *addr
 
@@ -126,6 +137,8 @@ func main() {
 				results[i] = sp.runStore(client, base, deadline, *verify)
 			case "query":
 				results[i] = sp.runQuery(client, base, deadline, *maxTraffic)
+			case "cluster":
+				results[i] = sp.runCluster(client, base, deadline, *verify, *batch)
 			default:
 				results[i] = sp.run(client, base, deadline, *verify)
 			}
@@ -136,6 +149,12 @@ func main() {
 
 	sum := summarize(results, elapsed, *conc, *values, *width, *dist, t1)
 	sum.Mode = *mode
+	if *mode == "cluster" {
+		// Throughput counts batched round-trips; keys/s is the comparable
+		// number against single-key store mode.
+		sum.Batch = *batch
+		sum.KeysPerSec = sum.Throughput * float64(*batch)
+	}
 	if *mode == "store" || *mode == "query" {
 		// The wire accounting cannot see the stored size (puts and gets
 		// both move raw bytes); ask the daemon for the achieved ratio.
@@ -292,6 +311,74 @@ func (sp *workerSpec) runStore(client *http.Client, base string, deadline time.T
 		}
 		if verify && !sp.withinBound(got) {
 			res.corrupt++
+		}
+	}
+	return res
+}
+
+// runCluster loops batched mput→mget rounds against an avrrouter: this
+// connection owns -batch keys, writes them all in one round-trip, reads
+// them all back in another, and bound-checks every returned value. The
+// client-side t1 check is what makes the router's read-any semantics
+// testable: whichever replica served a key, the value must still be
+// within the threshold of what was stored — so a mid-run node kill must
+// produce zero corrupt counts if replication and failover work.
+func (sp *workerSpec) runCluster(client *http.Client, base string, deadline time.Time, verify bool, batch int) *workerResult {
+	res := &workerResult{}
+	items := make([]server.BatchPutItem, batch)
+	keys := make([]string, batch)
+	for j := range items {
+		keys[j] = fmt.Sprintf("%s-%d", sp.key, j)
+		items[j] = server.BatchPutItem{Key: keys[j], Width: sp.width, Data: sp.payload}
+	}
+	pb, err := json.Marshal(server.BatchPutRequest{Items: items})
+	if err != nil {
+		res.errs++
+		return res
+	}
+	gb, err := json.Marshal(server.BatchGetRequest{Keys: keys})
+	if err != nil {
+		res.errs++
+		return res
+	}
+	mputURL := base + "/v1/store/mput"
+	mgetURL := base + "/v1/store/mget"
+
+	for time.Now().Before(deadline) {
+		out, ok := sp.post(client, mputURL, pb, res)
+		if !ok {
+			continue
+		}
+		var pres server.BatchPutResult
+		if json.Unmarshal(out, &pres) != nil {
+			res.errs++
+			continue
+		}
+		for _, pr := range pres.Results {
+			if !pr.OK {
+				// A per-key write failure is an availability event, not
+				// corruption: the bound check below decides correctness.
+				res.errs++
+			}
+		}
+
+		out, ok = sp.post(client, mgetURL, gb, res)
+		if !ok {
+			continue
+		}
+		var gres server.BatchGetResult
+		if json.Unmarshal(out, &gres) != nil {
+			res.errs++
+			continue
+		}
+		for _, gr := range gres.Results {
+			if !gr.OK {
+				res.errs++
+				continue
+			}
+			if verify && !sp.withinBound(gr.Data) {
+				res.corrupt++
+			}
 		}
 	}
 	return res
@@ -600,6 +687,11 @@ type summary struct {
 	P99ms       float64 `json:"p99_ms"`
 	MaxMs       float64 `json:"max_ms"`
 	EncodeRatio float64 `json:"encode_ratio"`
+	// Cluster mode: keys per batched request, and batch-adjusted key
+	// throughput (requests_per_second × batch_size) — the number
+	// comparable against single-key store mode.
+	Batch      int     `json:"batch_size,omitempty"`
+	KeysPerSec float64 `json:"keys_per_second,omitempty"`
 	// Query mode: encoded bytes the executor read vs the raw bytes its
 	// aggregate responses covered, and their ratio.
 	QueryBytesTouched int64   `json:"query_bytes_touched,omitempty"`
@@ -716,6 +808,9 @@ func (s summary) print(base string) {
 		s.OK, s.Shed, 100*s.ShedRate, s.Errors, s.Corrupt)
 	fmt.Printf("  throughput: %.1f req/s, %.1f MB/s up, %.1f MB/s down\n",
 		s.Throughput, s.MBpsUp, s.MBpsDown)
+	if s.Batch > 0 {
+		fmt.Printf("  batching:   %d keys/request → %.1f keys/s\n", s.Batch, s.KeysPerSec)
+	}
 	fmt.Printf("  latency:    p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 		s.P50ms, s.P90ms, s.P99ms, s.MaxMs)
 	for st := 0; st < trace.NumStages; st++ {
@@ -741,7 +836,7 @@ func (s summary) print(base string) {
 	switch {
 	case s.Corrupt > 0 && s.Mode == "query":
 		fmt.Printf("  VERIFY FAILED: %d query responses beyond their error bound\n", s.Corrupt)
-	case s.Corrupt > 0 && s.Mode == "store":
+	case s.Corrupt > 0 && (s.Mode == "store" || s.Mode == "cluster"):
 		fmt.Printf("  VERIFY FAILED: %d gets beyond the t1 bound\n", s.Corrupt)
 	case s.Corrupt > 0:
 		fmt.Printf("  VERIFY FAILED: %d responses differ from the direct codec\n", s.Corrupt)
@@ -749,7 +844,7 @@ func (s summary) print(base string) {
 		fmt.Println("  FAILED: no successful requests")
 	case s.Mode == "query":
 		fmt.Println("  verify:     every query answer within its reported error bound")
-	case s.Mode == "store":
+	case s.Mode == "store" || s.Mode == "cluster":
 		fmt.Println("  verify:     every get within the t1 bound of its put")
 	default:
 		fmt.Println("  verify:     all responses byte-identical to the direct codec")

@@ -1,0 +1,143 @@
+// Command avrrouter fronts a sharded avrd fleet: a consistent-hash
+// ring (static JSON topology, no consensus) spreads store keys across
+// the nodes, every key is written to two replicas, and reads are
+// read-any — primary first, replica on error or timeout — which is
+// safe because every stored value was encoded at the store's quantized
+// t1, so the client's bound check holds whichever copy answers.
+//
+// Usage:
+//
+//	avrrouter -addr localhost:9090 -topology topology.json
+//	curl -s -X PUT --data-binary @values.f32le 'localhost:9090/v1/store/put?key=temps'
+//	curl -s 'localhost:9090/v1/store/get?key=temps' > approx.f32le
+//	curl -s 'localhost:9090/v1/store/query' | jq .sum          # cluster-wide aggregate
+//	curl -s localhost:9090/v1/stats | jq .nodes                # health + traffic per node
+//
+// topology.json:
+//
+//	{"vnodes": 128, "replication": 2, "nodes": [
+//	  {"name": "node-a", "addr": "127.0.0.1:8081"},
+//	  {"name": "node-b", "addr": "127.0.0.1:8082"},
+//	  {"name": "node-c", "addr": "127.0.0.1:8083"}]}
+//
+// The router carries its own bounded admission (worker slots + queue,
+// 429 with Retry-After when full — downstream 429s surface the fleet's
+// max Retry-After, not the router's), probes every node's /readyz and
+// ejects/readmits them from rotation, batches multi-key traffic via
+// /v1/store/mput and /v1/store/mget grouped by owning shard, and
+// exposes Prometheus metrics at /metrics plus request tracing with
+// route/fanout stages.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"avr/internal/cliutil"
+	"avr/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9090", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts, with -addr :0)")
+	topoPath := flag.String("topology", "", "cluster topology JSON file (required)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently proxied requests")
+	queue := flag.Int("queue", 0, "admission queue depth; 0 = 4×workers (beyond it requests shed with 429)")
+	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for a router worker before 503")
+	legTimeout := flag.Duration("leg-timeout", 5*time.Second, "max time for one downstream request")
+	retries := flag.Int("retries", 2, "extra attempts for the replica leg after its first failure")
+	retryBackoff := flag.Duration("retry-backoff", 25*time.Millisecond, "initial replica-leg backoff (doubles per retry)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "node /readyz polling cadence")
+	ejectAfter := flag.Int("eject-after", 2, "consecutive probe failures before a node leaves rotation")
+	readmitAfter := flag.Int("readmit-after", 2, "consecutive probe successes before an ejected node returns")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
+	traceSample := flag.Int("trace-sample", 0, "export one of every N request traces as JSONL; 0 = default (64), needs -trace-file")
+	traceFile := flag.String("trace-file", "", "append sampled request-trace JSONL to this file (empty disables export)")
+	var debugAddr string
+	cliutil.RegisterDebug(flag.CommandLine, &debugAddr)
+	flag.Parse()
+
+	cliutil.StartDebug(debugAddr)
+
+	if *topoPath == "" {
+		cliutil.Fatal(errors.New("avrrouter: -topology is required"))
+	}
+	topo, err := cluster.LoadTopology(*topoPath)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+
+	ccfg := cluster.Config{
+		Topology:         topo,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxBodyBytes:     *maxBody,
+		QueueTimeout:     *queueTimeout,
+		LegTimeout:       *legTimeout,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		ProbeInterval:    *probeInterval,
+		EjectAfter:       *ejectAfter,
+		ReadmitAfter:     *readmitAfter,
+		TraceSampleEvery: *traceSample,
+	}
+	if *traceFile != "" {
+		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		defer tf.Close()
+		ccfg.TraceSink = tf
+	}
+	ro, err := cluster.New(ccfg)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			cliutil.Fatal(err)
+		}
+	}
+	slog.Info("avrrouter listening", "addr", ln.Addr().String(),
+		"nodes", len(topo.Nodes), "vnodes", topo.VNodes,
+		"replication", topo.Replication, "workers", *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- ro.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			cliutil.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		slog.Info("avrrouter draining", "timeout", drainTimeout.String())
+		sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := ro.Shutdown(sdCtx); err != nil {
+			slog.Error("avrrouter drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		slog.Info("avrrouter drained cleanly")
+	}
+}

@@ -9,6 +9,12 @@
 //	    (manifest.json in the store directory) naming each key's
 //	    generator and seed so verify can regenerate the ground truth.
 //
+//	avrstore pack -addr A -manifest M [-keys N ...]
+//	    Same, but write through a live avrd or avrrouter at host:port
+//	    via PUT /v1/store/put. Against a router every key lands on two
+//	    replicas. The manifest goes to -manifest (no store dir exists
+//	    client-side).
+//
 //	avrstore inspect -dir D [-blocks]
 //	    Print the store's stats snapshot as JSON; -blocks adds the
 //	    per-key block layout.
@@ -19,6 +25,15 @@
 //	    block table says the block was stored lossless. -allow-partial
 //	    accepts vectors truncated by a crash (the recovered prefix must
 //	    still verify) — without it any incomplete vector fails.
+//
+//	avrstore verify -addr A -manifest M [-allow-partial]
+//	    Same ground truth, but through a live avrd or avrrouter: keys
+//	    are enumerated via GET /v1/store/key (on a router that fans out
+//	    to every shard and unions the answers), every manifest key must
+//	    be present, and every GET /v1/store/get value must sit within
+//	    the manifest t1 — whichever replica served it. This is the
+//	    offline proof that read-any replication returns bounded values
+//	    even with nodes down.
 //
 //	avrstore compact -dir D
 //	    Run compaction passes until no segment qualifies, printing each
@@ -102,7 +117,10 @@ func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json"
 
 func cmdPack(args []string) error {
 	fs := flag.NewFlagSet("pack", flag.ExitOnError)
-	dir := fs.String("dir", "", "store directory (required)")
+	dir := fs.String("dir", "", "store directory (required unless -addr)")
+	addr := fs.String("addr", "", "write through a live avrd/avrrouter at host:port instead of a local -dir")
+	addrFile := fs.String("addr-file", "", "read -addr from this file (written by -addr-file on the daemon)")
+	manifestOut := fs.String("manifest", "", "manifest path (default <dir>/manifest.json; required with -addr)")
 	keys := fs.Int("keys", 8, "number of keys to write")
 	values := fs.Int("values", 100000, "values per key")
 	dist := fs.String("dist", "heat", "value distribution: "+strings.Join(workloads.Distributions(), ", ")+", or mixed-all to cycle")
@@ -113,8 +131,19 @@ func cmdPack(args []string) error {
 	var t1 float64
 	cliutil.RegisterT1(fs, &t1)
 	fs.Parse(args)
+	if a, err := resolveAddr(*addr, *addrFile); err != nil {
+		return fmt.Errorf("pack: %w", err)
+	} else if a != "" {
+		if *manifestOut == "" {
+			return errors.New("pack: -manifest is required with -addr (there is no store directory to default into)")
+		}
+		if *width != 32 && *width != 64 {
+			return fmt.Errorf("pack: bad -width %d", *width)
+		}
+		return packRemote(a, *manifestOut, *keys, *values, *dist, *width, *seed, t1)
+	}
 	if *dir == "" {
-		return errors.New("pack: -dir is required")
+		return errors.New("pack: -dir or -addr is required")
 	}
 	if *width != 32 && *width != 64 {
 		return fmt.Errorf("pack: bad -width %d", *width)
@@ -164,7 +193,11 @@ func cmdPack(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(manifestPath(*dir), append(mb, '\n'), 0o644); err != nil {
+	mp := *manifestOut
+	if mp == "" {
+		mp = manifestPath(*dir)
+	}
+	if err := os.WriteFile(mp, append(mb, '\n'), 0o644); err != nil {
 		return err
 	}
 	st := s.Stats()
@@ -211,14 +244,29 @@ func cmdInspect(args []string) error {
 
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	dir := fs.String("dir", "", "store directory (required)")
+	dir := fs.String("dir", "", "store directory (required unless -addr)")
+	addr := fs.String("addr", "", "verify through a live avrd/avrrouter at host:port instead of a local -dir")
+	addrFile := fs.String("addr-file", "", "read -addr from this file (written by -addr-file on the daemon)")
+	manifestIn := fs.String("manifest", "", "manifest path (default <dir>/manifest.json; required with -addr)")
 	allowPartial := fs.Bool("allow-partial", false, "accept crash-truncated vectors (recovered prefix must still verify)")
 	fs.Parse(args)
+	if a, err := resolveAddr(*addr, *addrFile); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	} else if a != "" {
+		if *manifestIn == "" {
+			return errors.New("verify: -manifest is required with -addr")
+		}
+		return verifyRemote(a, *manifestIn, *allowPartial)
+	}
 	if *dir == "" {
-		return errors.New("verify: -dir is required")
+		return errors.New("verify: -dir or -addr is required")
+	}
+	mp := *manifestIn
+	if mp == "" {
+		mp = manifestPath(*dir)
 	}
 
-	mb, err := os.ReadFile(manifestPath(*dir))
+	mb, err := os.ReadFile(mp)
 	if err != nil {
 		return fmt.Errorf("verify: reading manifest (run pack first): %w", err)
 	}

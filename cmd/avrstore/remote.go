@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"avr/internal/server"
+	"avr/internal/store"
+	"avr/internal/workloads"
+)
+
+// Remote pack/verify: the same manifest-driven ground truth as the
+// local subcommands, but spoken over HTTP to a live avrd or avrrouter.
+// Against a router, pack lands every key on two replicas and verify
+// proves the read-any contract offline: whatever replica serves a key,
+// every value must sit within the manifest t1.
+
+// resolveAddr merges -addr and -addr-file.
+func resolveAddr(addr, addrFile string) (string, error) {
+	if addrFile == "" {
+		return addr, nil
+	}
+	b, err := os.ReadFile(addrFile)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+func remoteClient() *http.Client {
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+// packRemote generates the workload vectors and PUTs each one through
+// the daemon, recording the manifest locally.
+func packRemote(addr, manifestOut string, keys, values int, dist string, width int, seed uint64, t1 float64) error {
+	base := "http://" + addr
+	client := remoteClient()
+
+	dists := []string{dist}
+	if dist == "mixed-all" {
+		dists = workloads.Distributions()
+	}
+	// The daemon quantizes thresholds onto the codec-pool grid; record
+	// the same quantized t1 in the manifest so verify checks the bound
+	// the server actually enforced.
+	m := manifest{Width: width, T1: server.QuantizeT1(t1)}
+	for i := 0; i < keys; i++ {
+		e := manifestEntry{
+			Key:    fmt.Sprintf("pack-%04d", i),
+			Dist:   dists[i%len(dists)],
+			Seed:   seed + uint64(i),
+			Values: values,
+		}
+		payload, err := genPayload(e, width)
+		if err != nil {
+			return err
+		}
+		url := fmt.Sprintf("%s/v1/store/put?key=%s&width=%d", base, e.Key, width)
+		req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("pack: put %s: %w", e.Key, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("pack: put %s: %d: %s", e.Key, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var res store.PutResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			return fmt.Errorf("pack: put %s: bad response: %w", e.Key, err)
+		}
+		line := fmt.Sprintf("packed %s: %d values (%s), %d blocks (%d lossless), ratio %.2f",
+			e.Key, res.Values, e.Dist, res.Blocks, res.LosslessBlocks, res.Ratio)
+		if reps := resp.Header.Get("X-AVR-Replicas"); reps != "" {
+			line += ", " + reps + " replicas"
+		}
+		fmt.Println(line)
+		m.Entries = append(m.Entries, e)
+	}
+
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(manifestOut, append(mb, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("packed %d keys via %s, manifest %s (t1 %g)\n", len(m.Entries), addr, manifestOut, m.T1)
+	return nil
+}
+
+// genPayload regenerates one manifest entry's raw little-endian bytes.
+func genPayload(e manifestEntry, width int) ([]byte, error) {
+	if width == 32 {
+		vals, err := workloads.GenFloat32(e.Dist, e.Values, e.Seed)
+		if err != nil {
+			return nil, err
+		}
+		b := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+		}
+		return b, nil
+	}
+	vals, err := workloads.GenFloat64(e.Dist, e.Values, e.Seed)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b, nil
+}
+
+// verifyRemote checks every manifest key through the serving path:
+// enumerate keys via /v1/store/key (fanned out across the shards on a
+// router), then fetch each vector and bound-check it at the manifest
+// t1. Remote verification cannot see the block table, so the lossless
+// bit-exactness refinement of local verify does not apply — the t1
+// bound is the contract the wire promises.
+func verifyRemote(addr, manifestIn string, allowPartial bool) error {
+	mb, err := os.ReadFile(manifestIn)
+	if err != nil {
+		return fmt.Errorf("verify: reading manifest (run pack first): %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return fmt.Errorf("verify: bad manifest: %w", err)
+	}
+	base := "http://" + addr
+	client := remoteClient()
+
+	// The key listing must cover every manifest key — on a router this
+	// exercises the fan-out/union path and catches shards that lost
+	// their data entirely.
+	resp, err := client.Get(base + "/v1/store/key")
+	if err != nil {
+		return fmt.Errorf("verify: listing keys: %w", err)
+	}
+	var kl struct {
+		Keys []string `json:"keys"`
+	}
+	kerr := json.NewDecoder(resp.Body).Decode(&kl)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || kerr != nil {
+		return fmt.Errorf("verify: listing keys: status %d, err %v", resp.StatusCode, kerr)
+	}
+	live := make(map[string]bool, len(kl.Keys))
+	for _, k := range kl.Keys {
+		live[k] = true
+	}
+
+	var failures, partial int
+	for _, e := range m.Entries {
+		if !live[e.Key] {
+			fmt.Printf("FAIL %s: missing from the served key listing\n", e.Key)
+			failures++
+			continue
+		}
+		n, incomplete, verr := verifyRemoteEntry(client, base, m, e, allowPartial)
+		if verr != nil {
+			fmt.Printf("FAIL %s: %v\n", e.Key, verr)
+			failures++
+			continue
+		}
+		if incomplete {
+			partial++
+			fmt.Printf("ok   %s: %d/%d values (truncated), all within t1\n", e.Key, n, e.Values)
+		} else {
+			fmt.Printf("ok   %s: %d values within t1=%g\n", e.Key, n, m.T1)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("verify: %d of %d keys failed via %s", failures, len(m.Entries), addr)
+	}
+	fmt.Printf("verify: %d keys ok (%d partial) via %s at t1=%g\n",
+		len(m.Entries), partial, addr, m.T1)
+	return nil
+}
+
+// verifyRemoteEntry fetches one key and checks it against regenerated
+// ground truth. Returns the number of values served and whether the
+// vector was a crash-truncated prefix (206).
+func verifyRemoteEntry(client *http.Client, base string, m manifest, e manifestEntry, allowPartial bool) (int, bool, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/store/get?key=%s", base, e.Key))
+	if err != nil {
+		return 0, false, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return 0, false, rerr
+	}
+	incomplete := resp.StatusCode == http.StatusPartialContent
+	if resp.StatusCode != http.StatusOK && !incomplete {
+		return 0, false, fmt.Errorf("get: %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if incomplete && !allowPartial {
+		return 0, false, errors.New("vector incomplete; rerun with -allow-partial to accept the prefix")
+	}
+
+	want, err := genPayload(e, m.Width)
+	if err != nil {
+		return 0, false, err
+	}
+	vw := m.Width / 8
+	if len(body)%vw != 0 || len(body) > len(want) {
+		return 0, false, fmt.Errorf("get returned %d bytes, want at most %d in %d-byte values",
+			len(body), len(want), vw)
+	}
+	if !incomplete && len(body) != len(want) {
+		return 0, false, fmt.Errorf("get returned %d bytes, want %d", len(body), len(want))
+	}
+	n := len(body) / vw
+	for i := 0; i < n; i++ {
+		var g, w float64
+		if m.Width == 32 {
+			g = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:])))
+			w = float64(math.Float32frombits(binary.LittleEndian.Uint32(want[4*i:])))
+		} else {
+			g = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+			w = math.Float64frombits(binary.LittleEndian.Uint64(want[8*i:]))
+		}
+		if math.Abs(g-w) > m.T1*math.Abs(w)*(1+1e-9) {
+			return 0, false, fmt.Errorf("value %d: |%g - %g| beyond t1=%g", i, g, w, m.T1)
+		}
+	}
+	return n, incomplete, nil
+}

@@ -1,5 +1,5 @@
-// Command avrtop is a live terminal dashboard for one avrd instance:
-// it polls /v1/stats and /metrics on an interval and redraws a compact
+// Command avrtop is a live terminal dashboard for avrd instances: it
+// polls /v1/stats and /metrics on an interval and redraws a compact
 // fleet view — request and shed rates, error rate, in-flight depth,
 // wire throughput, achieved compression ratio, the compressed-domain
 // traffic-touched fraction, and an ASCII bar chart of per-stage p99
@@ -12,6 +12,13 @@
 //	avrtop -addr-file /tmp/avrd.addr -interval 2s
 //	avrtop -addr localhost:8080 -once           # one frame, no clearing
 //	avrtop -addr localhost:8080 -frames 10      # ten frames, then exit
+//	avrtop -addr node0:8080,node1:8080,node2:8080   # a sharded cluster
+//
+// With a comma-separated -addr list, each node gets its own panel under
+// a fleet summary line (nodes up, summed request rate and wire
+// throughput). A node that stops answering shows as DOWN and keeps the
+// rest of the dashboard alive — exactly the situation a sharded cluster
+// dashboard is for.
 //
 // Rates are computed from counter deltas between polls, so the first
 // frame shows totals only. Exit with ctrl-C (or -frames/-once).
@@ -33,7 +40,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:8080", "avrd address (host:port)")
+	addr := flag.String("addr", "localhost:8080", "avrd address (host:port), or a comma-separated list for a cluster")
 	addrFile := flag.String("addr-file", "", "read the avrd address from this file (written by avrd -addr-file)")
 	interval := flag.Duration("interval", time.Second, "poll/redraw interval")
 	frames := flag.Int("frames", 0, "exit after this many frames (0 = run until interrupted)")
@@ -47,16 +54,29 @@ func main() {
 		}
 		*addr = strings.TrimSpace(string(b))
 	}
-	base := "http://" + *addr
+	addrs := splitAddrs(*addr)
+	if len(addrs) == 0 {
+		cliutil.Fatal(fmt.Errorf("no addresses in -addr %q", *addr))
+	}
 	client := &http.Client{Timeout: 10 * time.Second}
 
-	var prev *sample
+	prevs := make([]*sample, len(addrs))
 	for n := 0; ; n++ {
-		cur, err := poll(client, base)
-		if err != nil {
-			cliutil.Fatal(err)
+		curs := make([]*sample, len(addrs))
+		errs := make([]error, len(addrs))
+		down := 0
+		for i, a := range addrs {
+			curs[i], errs[i] = poll(client, "http://"+a)
+			if errs[i] != nil {
+				down++
+			}
 		}
-		frame := renderFrame(*addr, prev, cur)
+		// A fully dark fleet on the first frame is a config error, not
+		// an outage worth dashboarding.
+		if n == 0 && down == len(addrs) {
+			cliutil.Fatal(errs[0])
+		}
+		frame := renderFleet(addrs, prevs, curs, errs)
 		if *once {
 			fmt.Print(frame)
 			return
@@ -66,9 +86,25 @@ func main() {
 		if *frames > 0 && n+1 >= *frames {
 			return
 		}
-		prev = cur
+		for i, c := range curs {
+			if c != nil {
+				prevs[i] = c
+			}
+		}
 		time.Sleep(*interval)
 	}
+}
+
+// splitAddrs parses the -addr value: one host:port, or a comma-
+// separated list for a sharded cluster.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // sample is one poll of the daemon: the /v1/stats document plus the
@@ -170,6 +206,52 @@ func bar(v, max float64, width int) string {
 		n = 1
 	}
 	return strings.Repeat("#", n)
+}
+
+// renderFleet formats one dashboard frame for the whole address list.
+// A single healthy node renders exactly the classic single-node frame;
+// multiple nodes get a fleet summary line (nodes up, summed rates)
+// followed by one panel per node, with unreachable nodes marked DOWN
+// instead of killing the dashboard. Pure, like renderFrame.
+func renderFleet(addrs []string, prevs, curs []*sample, errs []error) string {
+	if len(addrs) == 1 && errs[0] == nil {
+		return renderFrame(addrs[0], prevs[0], curs[0])
+	}
+	var b strings.Builder
+	up := 0
+	var reqRate, inRate, outRate float64
+	rated := false
+	for i := range addrs {
+		if errs[i] != nil {
+			continue
+		}
+		up++
+		if r := rate(prevs[i], curs[i], func(s server.Stats) int64 { return s.Requests }); r >= 0 {
+			reqRate += r
+			rated = true
+		}
+		if r := rate(prevs[i], curs[i], func(s server.Stats) int64 { return s.BytesIn }); r >= 0 {
+			inRate += r
+		}
+		if r := rate(prevs[i], curs[i], func(s server.Stats) int64 { return s.BytesOut }); r >= 0 {
+			outRate += r
+		}
+	}
+	fmt.Fprintf(&b, "avrtop fleet — %d/%d nodes up", up, len(addrs))
+	if rated {
+		fmt.Fprintf(&b, "   Σ req/s %.1f   Σ in %.1f MB/s   Σ out %.1f MB/s",
+			reqRate, inRate/1e6, outRate/1e6)
+	}
+	b.WriteString("\n\n")
+	for i, a := range addrs {
+		if errs[i] != nil {
+			fmt.Fprintf(&b, "avrtop — %s   DOWN (%v)\n\n", a, errs[i])
+			continue
+		}
+		b.WriteString(renderFrame(a, prevs[i], curs[i]))
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // renderFrame formats one dashboard frame. Pure: all inputs explicit,

@@ -106,6 +106,62 @@ func TestRenderFrameFirstAndDelta(t *testing.T) {
 	}
 }
 
+func TestSplitAddrs(t *testing.T) {
+	if got := splitAddrs("a:1"); len(got) != 1 || got[0] != "a:1" {
+		t.Errorf("single addr: %v", got)
+	}
+	got := splitAddrs(" a:1, b:2 ,,c:3 ")
+	if len(got) != 3 || got[0] != "a:1" || got[1] != "b:2" || got[2] != "c:3" {
+		t.Errorf("list with spaces and empties: %v", got)
+	}
+	if got := splitAddrs(" , "); got != nil {
+		t.Errorf("all-empty list: %v", got)
+	}
+}
+
+// TestRenderFleet: multi-node frames get a fleet summary, per-node
+// panels, DOWN markers for unreachable nodes, and summed rates.
+func TestRenderFleet(t *testing.T) {
+	addrs := []string{"n0:1", "n1:1", "n2:1"}
+	now := time.Now()
+	mk := func(req, bin int64) *sample {
+		st := testStats()
+		st.Requests, st.BytesIn = req, bin
+		return &sample{at: now, stats: st}
+	}
+	mkPrev := func(req, bin int64) *sample {
+		s := mk(req, bin)
+		s.at = now.Add(-2 * time.Second)
+		return s
+	}
+	curs := []*sample{mk(300, 2e6), nil, mk(100, 4e6)}
+	prevs := []*sample{mkPrev(100, 0), nil, mkPrev(0, 0)}
+	errs := []error{nil, http.ErrServerClosed, nil}
+
+	frame := renderFleet(addrs, prevs, curs, errs)
+	for _, want := range []string{
+		"avrtop fleet — 2/3 nodes up",
+		"Σ req/s 150.0", // (300-100)/2 + (100-0)/2
+		"Σ in 3.0 MB/s", // (2e6 + 4e6) / 2s / 1e6
+		"avrtop — n0:1",
+		"avrtop — n1:1   DOWN",
+		"avrtop — n2:1",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("fleet frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	// A single healthy node renders the classic frame, no fleet header.
+	solo := renderFleet([]string{"n0:1"}, []*sample{nil}, []*sample{mk(10, 0)}, []error{nil})
+	if strings.Contains(solo, "fleet") {
+		t.Errorf("single-node frame grew a fleet header:\n%s", solo)
+	}
+	if !strings.Contains(solo, "avrtop — n0:1") {
+		t.Errorf("single-node frame broken:\n%s", solo)
+	}
+}
+
 // TestPollAgainstLiveServer drives poll() end to end against a real
 // Server: stats parse into the pinned shape and the /metrics scrape
 // yields the families the dashboard reads.

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRingOwners is the route hot path: one consistent-hash lookup
+// plus the replica walk. Gated at 0 allocs/op in scripts/bench.sh — the
+// router resolves owners for every key of every request.
+func BenchmarkRingOwners(b *testing.B) {
+	r := NewRing(testTopology(16, 128))
+	keys := testKeys(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		p, rep := r.Owners(keys[i&4095])
+		sink += p + rep
+	}
+	benchSink = sink
+}
+
+// BenchmarkRouterPlanMget is the batch-plan hot path: group a 64-key
+// mget by preferred owner using the pooled scratch. Gated at 0
+// allocs/op — fan-out bookkeeping must not add allocation pressure on
+// top of the unavoidable network I/O.
+func BenchmarkRouterPlanMget(b *testing.B) {
+	topo := testTopology(8, 128)
+	for i := range topo.Nodes {
+		topo.Nodes[i].Addr = fmt.Sprintf("127.0.0.1:%d", 10000+i)
+	}
+	ro, err := New(Config{Topology: topo, ProbeInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ro.Close()
+	keys := testKeys(64)
+	key := func(i int) string { return keys[i] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := getPlan(len(ro.nodes))
+		ro.planRead(pl, len(keys), key)
+		benchSink += len(pl.touched)
+		putPlan(pl)
+	}
+}
+
+// benchSink defeats dead-code elimination.
+var benchSink int

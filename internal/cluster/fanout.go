@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"avr/internal/obs"
+	"avr/internal/server"
+	"avr/internal/trace"
+)
+
+// batchPlan is the pooled scratch for grouping a batch's keys by owning
+// node. Building it is part of the route hot path and allocation-free
+// in steady state (gated by BenchmarkRouterPlanMget): the pool hands
+// back the same per-node index slices, grown once to the batch's high-
+// water mark.
+type batchPlan struct {
+	// perNode[n] lists the request item indexes routed to node n.
+	perNode [][]int32
+	// touched lists the nodes with at least one item, in first-use order.
+	touched []int32
+}
+
+var planPool = sync.Pool{New: func() any { return new(batchPlan) }}
+
+// getPlan checks a cleared plan sized for n nodes out of the pool.
+func getPlan(n int) *batchPlan {
+	pl := planPool.Get().(*batchPlan)
+	if cap(pl.perNode) < n {
+		old := pl.perNode
+		pl.perNode = make([][]int32, n)
+		copy(pl.perNode, old)
+	}
+	pl.perNode = pl.perNode[:n]
+	for i := range pl.perNode {
+		pl.perNode[i] = pl.perNode[i][:0]
+	}
+	pl.touched = pl.touched[:0]
+	return pl
+}
+
+func putPlan(pl *batchPlan) { planPool.Put(pl) }
+
+// add routes item i to node n.
+func (pl *batchPlan) add(n, i int) {
+	if len(pl.perNode[n]) == 0 {
+		pl.touched = append(pl.touched, int32(n))
+	}
+	pl.perNode[n] = append(pl.perNode[n], int32(i))
+}
+
+// planRead groups n keys by their preferred read leg (healthy owner
+// first — see Router.legs).
+func (ro *Router) planRead(pl *batchPlan, n int, key func(int) string) {
+	for i := 0; i < n; i++ {
+		first, _ := ro.legs(key(i))
+		pl.add(first, i)
+	}
+}
+
+// planWrite groups n keys by every owner: replication-2 writes go to
+// both the primary and the replica.
+func (ro *Router) planWrite(pl *batchPlan, n int, key func(int) string) {
+	for i := 0; i < n; i++ {
+		p, rep := ro.ring.Owners(key(i))
+		pl.add(p, i)
+		if rep >= 0 {
+			pl.add(rep, i)
+		}
+	}
+}
+
+// batchLeg is one node's share of a fanned-out batch: the plan indexes
+// it covers and its outcome.
+type batchLeg struct {
+	node  int
+	items []int32
+	lr    legResult
+}
+
+// runLegs issues one downstream batch request per touched node
+// concurrently and waits for all of them.
+func (ro *Router) runLegs(ctx context.Context, pl *batchPlan, path, traceID string,
+	body func(items []int32) []byte) []batchLeg {
+	legs := make([]batchLeg, len(pl.touched))
+	var wg sync.WaitGroup
+	for li, n := range pl.touched {
+		legs[li] = batchLeg{node: int(n), items: pl.perNode[n]}
+		wg.Add(1)
+		go func(lg *batchLeg) {
+			defer wg.Done()
+			lg.lr = ro.doLegRetry(ctx, http.MethodPost, lg.node, path, traceID, body(lg.items))
+		}(&legs[li])
+	}
+	wg.Wait()
+	return legs
+}
+
+// handleMput serves POST /v1/store/mput on the router: the batch is
+// split by owning shard, each key written to both its replicas, and the
+// per-key results merged back in request order. A key succeeds when at
+// least one replica took the write; Replicas reports how many did.
+func (ro *Router) handleMput(w http.ResponseWriter, r *http.Request) {
+	sp := ro.tracer.Start()
+	defer ro.tracer.Finish("mput", sp)
+	sp.WriteID(w.Header())
+
+	body, err := readBody(w, r, ro.cfg.MaxBodyBytes)
+	if err != nil {
+		httpErrf(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req server.BatchPutRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpErrf(w, http.StatusBadRequest, "bad mput body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		httpErrf(w, http.StatusBadRequest, "mput body has no items")
+		return
+	}
+	if !ro.admit(w, r, sp) {
+		return
+	}
+	defer ro.release()
+	traceID := inboundTraceID(r, sp)
+
+	rt := sp.Begin()
+	pl := getPlan(len(ro.nodes))
+	ro.planWrite(pl, len(req.Items), func(i int) string { return req.Items[i].Key })
+	sp.End(trace.StageRoute, rt)
+
+	ft := sp.Begin()
+	legs := ro.runLegs(r.Context(), pl, "/v1/store/mput", traceID, func(items []int32) []byte {
+		sub := server.BatchPutRequest{Items: make([]server.BatchPutItem, len(items))}
+		for j, idx := range items {
+			sub.Items[j] = req.Items[idx]
+		}
+		b, _ := json.Marshal(sub)
+		return b
+	})
+	sp.End(trace.StageFanout, ft)
+
+	res := server.BatchPutResult{Results: make([]server.BatchPutItemResult, len(req.Items))}
+	for i := range res.Results {
+		res.Results[i].Key = req.Items[i].Key
+	}
+	anyShed, anyLegOK := false, false
+	for _, lg := range legs {
+		if !lg.lr.ok2xx() {
+			if lg.lr.status == http.StatusTooManyRequests {
+				anyShed = true
+			}
+			msg := legErrString(lg.lr, ro.nodes[lg.node].name)
+			for _, idx := range lg.items {
+				if out := &res.Results[idx]; !out.OK && out.Error == "" {
+					out.Error = msg
+				}
+			}
+			continue
+		}
+		anyLegOK = true
+		var sub server.BatchPutResult
+		if err := json.Unmarshal(lg.lr.body, &sub); err != nil || len(sub.Results) != len(lg.items) {
+			msg := ro.nodes[lg.node].name + ": bad mput response"
+			for _, idx := range lg.items {
+				if out := &res.Results[idx]; !out.OK && out.Error == "" {
+					out.Error = msg
+				}
+			}
+			continue
+		}
+		for j, idx := range lg.items {
+			out, in := &res.Results[idx], sub.Results[j]
+			if !in.OK {
+				if !out.OK && out.Error == "" {
+					out.Error = in.Error
+				}
+				continue
+			}
+			out.Replicas++
+			if !out.OK {
+				out.OK = true
+				out.Error = ""
+				out.Values, out.Blocks, out.Ratio = in.Values, in.Blocks, in.Ratio
+			}
+		}
+	}
+	putPlan(pl)
+	obs.RouterBatchKeys.Add(int64(len(req.Items)))
+
+	if !anyLegOK && anyShed {
+		ro.shedMerged(w, legs)
+		return
+	}
+	writeJSON(w, sp, res)
+}
+
+// handleMget serves POST /v1/store/mget on the router: keys are grouped
+// by their preferred (healthy-first) owner, fetched in one leg per
+// node, and any key that leg could not serve retries on its other
+// replica in a second round — the batched form of read-any failover.
+func (ro *Router) handleMget(w http.ResponseWriter, r *http.Request) {
+	sp := ro.tracer.Start()
+	defer ro.tracer.Finish("mget", sp)
+	sp.WriteID(w.Header())
+
+	body, err := readBody(w, r, ro.cfg.MaxBodyBytes)
+	if err != nil {
+		httpErrf(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req server.BatchGetRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpErrf(w, http.StatusBadRequest, "bad mget body: %v", err)
+		return
+	}
+	if len(req.Keys) == 0 {
+		httpErrf(w, http.StatusBadRequest, "mget body has no keys")
+		return
+	}
+	if !ro.admit(w, r, sp) {
+		return
+	}
+	defer ro.release()
+	traceID := inboundTraceID(r, sp)
+
+	rt := sp.Begin()
+	pl := getPlan(len(ro.nodes))
+	ro.planRead(pl, len(req.Keys), func(i int) string { return req.Keys[i] })
+	firstLeg := make([]int32, len(req.Keys))
+	for _, n := range pl.touched {
+		for _, idx := range pl.perNode[n] {
+			firstLeg[idx] = n
+		}
+	}
+	sp.End(trace.StageRoute, rt)
+
+	res := server.BatchGetResult{Results: make([]server.BatchGetItemResult, len(req.Keys))}
+	for i := range res.Results {
+		res.Results[i].Key = req.Keys[i]
+	}
+
+	mgetBody := func(items []int32) []byte {
+		sub := server.BatchGetRequest{Keys: make([]string, len(items))}
+		for j, idx := range items {
+			sub.Keys[j] = req.Keys[idx]
+		}
+		b, _ := json.Marshal(sub)
+		return b
+	}
+	// merge folds one round of legs into res and returns the item
+	// indexes still unresolved (leg failed, per-key read error, or
+	// not-found — read-any means a miss on one replica is not final).
+	merge := func(legs []batchLeg) (retry []int32, anyShed, anyOK bool) {
+		for _, lg := range legs {
+			if !lg.lr.ok2xx() {
+				if lg.lr.status == http.StatusTooManyRequests {
+					anyShed = true
+				}
+				msg := legErrString(lg.lr, ro.nodes[lg.node].name)
+				for _, idx := range lg.items {
+					if out := &res.Results[idx]; !out.OK {
+						out.Error = msg
+						retry = append(retry, idx)
+					}
+				}
+				continue
+			}
+			anyOK = true
+			var sub server.BatchGetResult
+			if err := json.Unmarshal(lg.lr.body, &sub); err != nil || len(sub.Results) != len(lg.items) {
+				msg := ro.nodes[lg.node].name + ": bad mget response"
+				for _, idx := range lg.items {
+					if out := &res.Results[idx]; !out.OK {
+						out.Error = msg
+						retry = append(retry, idx)
+					}
+				}
+				continue
+			}
+			for j, idx := range lg.items {
+				out, in := &res.Results[idx], sub.Results[j]
+				if out.OK {
+					continue
+				}
+				if in.OK {
+					*out = in
+					out.Key = req.Keys[idx]
+				} else {
+					out.Error, out.NotFound = in.Error, in.NotFound
+					retry = append(retry, idx)
+				}
+			}
+		}
+		return retry, anyShed, anyOK
+	}
+
+	ft := sp.Begin()
+	legs := ro.runLegs(r.Context(), pl, "/v1/store/mget", traceID, mgetBody)
+	retry, shed1, ok1 := merge(legs)
+	putPlan(pl)
+
+	anyShed, anyOK := shed1, ok1
+	if len(retry) > 0 && ro.ring.Nodes() > 1 {
+		// Second round on each unresolved key's other replica.
+		obs.RouterFailovers.Add(int64(len(retry)))
+		pl2 := getPlan(len(ro.nodes))
+		for _, idx := range retry {
+			p, rep := ro.ring.Owners(req.Keys[idx])
+			other := p
+			if int32(p) == firstLeg[idx] && rep >= 0 {
+				other = rep
+			}
+			pl2.add(other, int(idx))
+		}
+		legs2 := ro.runLegs(r.Context(), pl2, "/v1/store/mget", traceID, mgetBody)
+		_, shed2, ok2 := merge(legs2)
+		anyShed = anyShed || shed2
+		anyOK = anyOK || ok2
+		putPlan(pl2)
+		for i := range legs2 {
+			legs = append(legs, legs2[i])
+		}
+	}
+	sp.End(trace.StageFanout, ft)
+	obs.RouterBatchKeys.Add(int64(len(req.Keys)))
+
+	if !anyOK && anyShed {
+		ro.shedMerged(w, legs)
+		return
+	}
+	writeJSON(w, sp, res)
+}
+
+// shedMerged answers a batch every leg of which shed: 429 carrying the
+// max Retry-After the fleet asked for.
+func (ro *Router) shedMerged(w http.ResponseWriter, legs []batchLeg) {
+	obs.RouterErrors.Add(1)
+	secs := 0
+	for _, lg := range legs {
+		if lg.lr.err == nil && lg.lr.status == http.StatusTooManyRequests {
+			secs = mergeRetryAfter(secs, lg.lr.header)
+		}
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "cluster shedding, retry later", http.StatusTooManyRequests)
+}
+
+// fanKeys unions the live key sets of every in-rotation node (all nodes
+// when the prober has everything ejected — a wrong prober must not make
+// the key space look empty).
+func (ro *Router) fanKeys(ctx context.Context, traceID string) (keys []string, nodesAsked int, failed []legResult) {
+	idxs := make([]int, 0, len(ro.nodes))
+	for i, nd := range ro.nodes {
+		if nd.up.Load() {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		for i := range ro.nodes {
+			idxs = append(idxs, i)
+		}
+	}
+	results := make([]legResult, len(idxs))
+	var wg sync.WaitGroup
+	for j, i := range idxs {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			results[j] = ro.doLegRetry(ctx, http.MethodGet, i, "/v1/store/key", traceID, nil)
+		}(j, i)
+	}
+	wg.Wait()
+
+	seen := make(map[string]struct{})
+	for _, lr := range results {
+		if !lr.ok2xx() {
+			failed = append(failed, lr)
+			continue
+		}
+		var body struct {
+			Keys []string `json:"keys"`
+		}
+		if err := json.Unmarshal(lr.body, &body); err != nil {
+			failed = append(failed, lr)
+			continue
+		}
+		for _, k := range body.Keys {
+			seen[k] = struct{}{}
+		}
+	}
+	keys = make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, len(idxs), failed
+}
+
+// handleKeys serves GET /v1/store/key on the router: the union of every
+// shard's key set — the iteration surface avrstore verify fans out
+// over. Replicated keys appear once.
+func (ro *Router) handleKeys(w http.ResponseWriter, r *http.Request) {
+	sp := ro.tracer.Start()
+	defer ro.tracer.Finish("keys", sp)
+	sp.WriteID(w.Header())
+	if !ro.admit(w, r, sp) {
+		return
+	}
+	defer ro.release()
+
+	ft := sp.Begin()
+	keys, asked, failed := ro.fanKeys(r.Context(), inboundTraceID(r, sp))
+	sp.End(trace.StageFanout, ft)
+	if len(failed) == len(ro.nodes) || (len(keys) == 0 && len(failed) > 0 && len(failed) == asked) {
+		ro.failAll(w, failed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-AVR-Keys", strconv.Itoa(len(keys)))
+	w.Header().Set("X-AVR-Nodes", strconv.Itoa(asked))
+	sp.WriteHeaders(w.Header())
+	json.NewEncoder(w).Encode(struct {
+		Keys []string `json:"keys"`
+	}{Keys: keys})
+}

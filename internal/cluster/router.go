@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"avr/internal/obs"
+	"avr/internal/trace"
+)
+
+// Config tunes the router. The zero value of any field selects its
+// default.
+type Config struct {
+	// Topology is the static cluster description (required).
+	Topology Topology
+	// Workers caps concurrently proxied requests (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps requests waiting for a worker slot; arrivals
+	// beyond it shed with 429 (default 4×Workers).
+	QueueDepth int
+	// MaxBodyBytes caps request bodies; larger bodies get 413 (default
+	// 8 MiB — matching avrd, since put bodies pass through).
+	MaxBodyBytes int64
+	// QueueTimeout bounds the admission wait before 503 (default 2s).
+	QueueTimeout time.Duration
+	// LegTimeout bounds one downstream request (default 5s).
+	LegTimeout time.Duration
+	// Retries is how many extra attempts the replica leg gets after its
+	// first failure (default 2).
+	Retries int
+	// RetryBackoff is the initial backoff between replica-leg attempts,
+	// doubling each retry (default 25ms).
+	RetryBackoff time.Duration
+	// ProbeInterval is the /readyz polling cadence (default 500ms;
+	// negative disables the prober — for tests driving health directly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a node after this many consecutive probe
+	// failures (default 2); ReadmitAfter readmits after this many
+	// consecutive successes (default 2).
+	EjectAfter   int
+	ReadmitAfter int
+	// TraceSampleEvery / TraceSink mirror the avrd tracing config.
+	TraceSampleEvery int
+	TraceSink        io.Writer
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.LegTimeout <= 0 {
+		c.LegTimeout = 5 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 2
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 2
+	}
+	return c
+}
+
+// node is one downstream avrd plus its health state.
+type node struct {
+	name string
+	addr string
+	base string // http://addr
+
+	// up is the prober's verdict: false means out of rotation. Nodes
+	// start up — a cold router must route immediately; the prober
+	// corrects within EjectAfter×ProbeInterval.
+	up atomic.Bool
+	// consecFails/consecOKs drive eject/readmit hysteresis; prober
+	// goroutine only.
+	consecFails int
+	consecOKs   int
+	// lastProbe is the unix-nano time of the last probe.
+	lastProbe atomic.Int64
+
+	// Per-node traffic accounting for /v1/stats.
+	requests atomic.Int64
+	failures atomic.Int64
+}
+
+// Router shards store traffic across avrd nodes: consistent-hash
+// routing, replication-2 writes, read-any reads with replica fallback,
+// batched multi-key fan-out, and cluster-wide query scatter/merge. It
+// reuses the avrd admission pattern (bounded worker slots + queue,
+// 429/503 shedding) so a router in front of a slow fleet sheds instead
+// of queueing unboundedly.
+type Router struct {
+	cfg    Config
+	ring   *Ring
+	nodes  []*node
+	mux    *http.ServeMux
+	http   *http.Server
+	client *http.Client
+
+	slots    chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+	start    time.Time
+
+	tracer    *trace.Tracer
+	stopProbe chan struct{}
+	probeDone chan struct{}
+}
+
+// New creates a Router for the topology and starts its health prober
+// (unless disabled). Call Close to stop the prober.
+func New(cfg Config) (*Router, error) {
+	cfg.Topology = cfg.Topology.withDefaults()
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ro := &Router{
+		cfg:   cfg,
+		ring:  NewRing(cfg.Topology),
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.Workers),
+		start: time.Now(),
+		client: &http.Client{
+			// Per-leg deadlines come from request contexts; the client
+			// timeout is a backstop.
+			Timeout: 2 * cfg.LegTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        16 * cfg.Workers,
+				MaxIdleConnsPerHost: 4 * cfg.Workers,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, n := range cfg.Topology.Nodes {
+		nd := &node{name: n.Name, addr: n.Addr, base: "http://" + n.Addr}
+		nd.up.Store(true)
+		ro.nodes = append(ro.nodes, nd)
+	}
+
+	tcfg := trace.Config{SampleEvery: cfg.TraceSampleEvery}
+	if cfg.TraceSink != nil {
+		tcfg.Sink = trace.NewSink(cfg.TraceSink)
+	}
+	ro.tracer = trace.New(tcfg)
+
+	ro.mux.HandleFunc("PUT /v1/store/put", ro.handlePut)
+	ro.mux.HandleFunc("POST /v1/store/put", ro.handlePut)
+	ro.mux.HandleFunc("GET /v1/store/get", ro.handleGet)
+	ro.mux.HandleFunc("GET /v1/store/query", ro.handleQuery)
+	ro.mux.HandleFunc("POST /v1/store/mput", ro.handleMput)
+	ro.mux.HandleFunc("POST /v1/store/mget", ro.handleMget)
+	ro.mux.HandleFunc("GET /v1/store/key", ro.handleKeys)
+	ro.mux.HandleFunc("DELETE /v1/store/key", ro.handleDelete)
+	ro.mux.HandleFunc("GET /v1/store/stats", ro.handleStoreStats)
+	ro.mux.HandleFunc("GET /v1/stats", ro.handleStats)
+	ro.mux.Handle("GET /metrics", obs.MetricsHandler())
+	ro.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ro.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ro.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	ro.http = &http.Server{
+		Handler:           ro.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if cfg.ProbeInterval > 0 {
+		ro.stopProbe = make(chan struct{})
+		ro.probeDone = make(chan struct{})
+		go ro.probeLoop()
+	}
+	return ro, nil
+}
+
+// Handler returns the router's HTTP handler (for tests and embedding).
+func (ro *Router) Handler() http.Handler { return ro.mux }
+
+// Serve accepts connections on ln until Shutdown.
+func (ro *Router) Serve(ln net.Listener) error { return ro.http.Serve(ln) }
+
+// Shutdown drains gracefully: readiness flips to 503, in-flight
+// requests complete, the prober stops.
+func (ro *Router) Shutdown(ctx context.Context) error {
+	ro.draining.Store(true)
+	ro.stopProber()
+	return ro.http.Shutdown(ctx)
+}
+
+// Close stops the prober without serving shutdown (tests that use
+// Handler directly).
+func (ro *Router) Close() { ro.stopProber() }
+
+func (ro *Router) stopProber() {
+	if ro.stopProbe != nil {
+		select {
+		case <-ro.stopProbe:
+		default:
+			close(ro.stopProbe)
+		}
+		<-ro.probeDone
+	}
+}
+
+// errQueueFull mirrors the avrd admission signal.
+var errQueueFull = errors.New("cluster: admission queue full")
+
+// acquire claims a worker slot (see internal/server: same bounded
+// worker/queue shedding pattern).
+func (ro *Router) acquire(ctx context.Context) error {
+	select {
+	case ro.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if ro.queued.Add(1) > int64(ro.cfg.QueueDepth) {
+		ro.queued.Add(-1)
+		return errQueueFull
+	}
+	defer ro.queued.Add(-1)
+	select {
+	case ro.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (ro *Router) release() { <-ro.slots }
+
+// admit runs the admission handshake; true means the caller holds a
+// slot and must ro.release().
+func (ro *Router) admit(w http.ResponseWriter, r *http.Request, sp *trace.Span) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), ro.cfg.QueueTimeout)
+	defer cancel()
+	qt := sp.Begin()
+	err := ro.acquire(ctx)
+	sp.End(trace.StageQueue, qt)
+	if err == nil {
+		obs.RouterRequests.Add(1)
+		return true
+	}
+	obs.RouterShed.Add(1)
+	if errors.Is(err, errQueueFull) {
+		secs := ownRetryAfter(ro.queued.Load(), int64(ro.cfg.QueueDepth), ro.cfg.QueueTimeout)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "router queue full, retry later", http.StatusTooManyRequests)
+	} else {
+		http.Error(w, "timed out waiting for a router worker",
+			http.StatusServiceUnavailable)
+	}
+	return false
+}
+
+// ownRetryAfter sizes the router's own 429 hint from queue occupancy,
+// the same linear 1s→ceil(timeout) ramp avrd uses. Downstream-caused
+// 429s do NOT use this — they surface the max Retry-After the fleet
+// itself asked for (see mergeRetryAfter).
+func ownRetryAfter(queued, depth int64, timeout time.Duration) int {
+	maxSecs := int(math.Ceil(timeout.Seconds()))
+	if maxSecs < 1 {
+		maxSecs = 1
+	}
+	if depth <= 0 {
+		return maxSecs
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	if queued > depth {
+		queued = depth
+	}
+	secs := int(math.Ceil(timeout.Seconds() * float64(queued) / float64(depth)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxSecs {
+		secs = maxSecs
+	}
+	return secs
+}
+
+// mergeRetryAfter folds one downstream 429's Retry-After into the max
+// seen so far. A router fronting a shedding fleet must surface the
+// fleet's own backoff demand, not its (empty) queue's — otherwise a
+// herd told "retry in 1s" by the router hammers nodes that asked for
+// 4s. Unparsable or absent headers leave the running max unchanged;
+// the caller falls back to 1s if nothing parsed.
+func mergeRetryAfter(maxSecs int, h http.Header) int {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return maxSecs
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return maxSecs
+	}
+	if secs > maxSecs {
+		return secs
+	}
+	return maxSecs
+}
+
+// probeLoop polls every node's /readyz on the configured cadence and
+// flips nodes out of / back into rotation with EjectAfter/ReadmitAfter
+// hysteresis.
+func (ro *Router) probeLoop() {
+	defer close(ro.probeDone)
+	tick := time.NewTicker(ro.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ro.stopProbe:
+			return
+		case <-tick.C:
+			for _, nd := range ro.nodes {
+				ro.probeNode(nd)
+			}
+		}
+	}
+}
+
+// probeNode issues one /readyz probe and applies the hysteresis.
+func (ro *Router) probeNode(nd *node) {
+	ctx, cancel := context.WithTimeout(context.Background(), ro.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, nd.base+"/readyz", nil)
+	ok := false
+	if err == nil {
+		resp, rerr := ro.client.Do(req)
+		if rerr == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	nd.lastProbe.Store(time.Now().UnixNano())
+	if ok {
+		nd.consecOKs++
+		nd.consecFails = 0
+		if !nd.up.Load() && nd.consecOKs >= ro.cfg.ReadmitAfter {
+			nd.up.Store(true)
+			obs.RouterNodeReadmits.Add(1)
+		}
+		return
+	}
+	nd.consecFails++
+	nd.consecOKs = 0
+	if nd.up.Load() && nd.consecFails >= ro.cfg.EjectAfter {
+		nd.up.Store(false)
+		obs.RouterNodeEjects.Add(1)
+	}
+}
+
+// legs orders a key's owner nodes for a read or write: healthy first.
+// The second element is -1 without a replica. Pure bookkeeping — part
+// of the allocation-free route hot path.
+func (ro *Router) legs(key string) (first, second int) {
+	p, rep := ro.ring.Owners(key)
+	if rep < 0 {
+		return p, -1
+	}
+	if !ro.nodes[p].up.Load() && ro.nodes[rep].up.Load() {
+		return rep, p
+	}
+	return p, rep
+}
+
+// legResult is one downstream attempt's outcome.
+type legResult struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// ok2xx reports a usable response (206 partial gets count: the prefix
+// is still within bound).
+func (lr legResult) ok2xx() bool {
+	return lr.err == nil && lr.status >= 200 && lr.status < 300
+}
+
+// doLeg issues one downstream request and slurps the response.
+func (ro *Router) doLeg(ctx context.Context, method string, nodeIdx int, pathAndQuery, traceID string, body []byte) legResult {
+	nd := ro.nodes[nodeIdx]
+	nd.requests.Add(1)
+	obs.RouterFanouts.Add(1)
+	lctx, cancel := context.WithTimeout(ctx, ro.cfg.LegTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(lctx, method, nd.base+pathAndQuery, rd)
+	if err != nil {
+		nd.failures.Add(1)
+		return legResult{err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	if traceID != "" {
+		req.Header[trace.TraceHeader] = []string{traceID}
+	}
+	resp, err := ro.client.Do(req)
+	if err != nil {
+		nd.failures.Add(1)
+		return legResult{err: fmt.Errorf("%s: %w", nd.name, err)}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		nd.failures.Add(1)
+		return legResult{err: fmt.Errorf("%s: reading response: %w", nd.name, err)}
+	}
+	if resp.StatusCode >= 500 {
+		nd.failures.Add(1)
+	}
+	return legResult{status: resp.StatusCode, header: resp.Header, body: b}
+}
+
+// doLegRetry is doLeg with retry-with-backoff for transport errors and
+// 5xx responses — the replica leg's contract. 4xx (including 404 and
+// 429) returns immediately: the node answered; retrying won't change
+// its mind.
+func (ro *Router) doLegRetry(ctx context.Context, method string, nodeIdx int, pathAndQuery, traceID string, body []byte) legResult {
+	lr := ro.doLeg(ctx, method, nodeIdx, pathAndQuery, traceID, body)
+	backoff := ro.cfg.RetryBackoff
+	for try := 0; try < ro.cfg.Retries; try++ {
+		if lr.err == nil && lr.status < 500 {
+			return lr
+		}
+		select {
+		case <-ctx.Done():
+			return lr
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		obs.RouterRetries.Add(1)
+		lr = ro.doLeg(ctx, method, nodeIdx, pathAndQuery, traceID, body)
+	}
+	return lr
+}
+
+// inboundTraceID resolves the trace id to propagate: forwarded when the
+// client sent one (a mesh of routers shares one id per request),
+// created from the span otherwise.
+func inboundTraceID(r *http.Request, sp *trace.Span) string {
+	if id := r.Header.Get("X-AVR-Trace"); id != "" {
+		return id
+	}
+	return trace.FormatID(sp.ID())
+}
+
+// passthroughHeaders copies the downstream response headers the client
+// relies on: content type plus every X-AVR-* marker (width, values,
+// completeness, ratio, and the downstream's stage timings — the
+// router's own WriteHeaders then overwrites only the stages the router
+// itself touched: queue, route, fanout).
+func passthroughHeaders(dst http.Header, src http.Header) {
+	if ct := src.Get("Content-Type"); ct != "" {
+		dst.Set("Content-Type", ct)
+	}
+	for k, v := range src {
+		if len(v) > 0 && len(k) > 6 && k[:6] == "X-Avr-" {
+			dst[k] = v
+		}
+	}
+}
+
+// failAll writes the response for a request every leg failed: 429 with
+// the fleet's merged Retry-After when any leg shed, 404 when every leg
+// answered not-found, 502 otherwise.
+func (ro *Router) failAll(w http.ResponseWriter, results []legResult) {
+	obs.RouterErrors.Add(1)
+	retrySecs := 0
+	all404 := len(results) > 0
+	var firstErr string
+	for _, lr := range results {
+		if lr.err == nil && lr.status == http.StatusTooManyRequests {
+			retrySecs = mergeRetryAfter(retrySecs, lr.header)
+			if retrySecs == 0 {
+				retrySecs = 1
+			}
+		}
+		if lr.err != nil || lr.status != http.StatusNotFound {
+			all404 = false
+		}
+		if firstErr == "" {
+			if lr.err != nil {
+				firstErr = lr.err.Error()
+			} else if lr.status >= 400 {
+				firstErr = fmt.Sprintf("downstream %d: %s", lr.status, bytes.TrimSpace(lr.body))
+			}
+		}
+	}
+	switch {
+	case retrySecs > 0:
+		w.Header().Set("Retry-After", strconv.Itoa(retrySecs))
+		http.Error(w, "cluster shedding, retry later", http.StatusTooManyRequests)
+	case all404:
+		http.Error(w, "key not found on any replica", http.StatusNotFound)
+	default:
+		http.Error(w, "all replicas failed: "+firstErr, http.StatusBadGateway)
+	}
+}

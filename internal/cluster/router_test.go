@@ -1,0 +1,622 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/textproto"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avr/internal/obs"
+	"avr/internal/server"
+	"avr/internal/store"
+)
+
+// testCluster is a router fronting n real avrd nodes (full server +
+// store stacks over httptest).
+type testCluster struct {
+	router *httptest.Server
+	ro     *Router
+	nodes  []*httptest.Server
+	stores []*store.Store
+	t1     float64
+}
+
+// newTestCluster boots n avrd nodes and a router over them. The prober
+// is disabled unless probeInterval > 0 — most tests drive health
+// directly and must not race it.
+func newTestCluster(t *testing.T, n int, cfg Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	topo := Topology{VNodes: 64, Replication: 2}
+	for i := 0; i < n; i++ {
+		st, err := store.Open(store.Config{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+		tc.stores = append(tc.stores, st)
+		tc.t1 = st.T1()
+		srv := server.New(server.Config{Store: st, T1: st.T1()})
+		ts := httptest.NewServer(srv.Handler())
+		tc.nodes = append(tc.nodes, ts)
+		topo.Nodes = append(topo.Nodes, Node{
+			Name: fmt.Sprintf("node-%02d", i),
+			Addr: strings.TrimPrefix(ts.URL, "http://"),
+		})
+	}
+	cfg.Topology = topo
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1 // off
+	}
+	ro, err := New(cfg)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	tc.ro = ro
+	tc.router = httptest.NewServer(ro.Handler())
+	t.Cleanup(func() {
+		tc.router.Close()
+		ro.Close()
+		for _, ts := range tc.nodes {
+			ts.Close()
+		}
+		for _, st := range tc.stores {
+			st.Close()
+		}
+	})
+	return tc
+}
+
+func f32le(vals ...float32) []byte {
+	b := make([]byte, 0, 4*len(vals))
+	for _, v := range vals {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+	}
+	return b
+}
+
+func leF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (tc *testCluster) put(t *testing.T, key string, vals []float32) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPut,
+		tc.router.URL+"/v1/store/put?key="+key, bytes.NewReader(f32le(vals...)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("put %s: %v", key, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// checkVals asserts every reconstructed value is within the relative
+// t1 bound (the same check avrload's withinBound applies).
+func (tc *testCluster) checkVals(t *testing.T, key string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("key %s: got %d values, want %d", key, len(got), len(want))
+	}
+	for i := range got {
+		w := float64(want[i])
+		tol := tc.t1*math.Abs(w)*(1+1e-9) + 1e-12
+		if d := math.Abs(float64(got[i]) - w); d > tol {
+			t.Fatalf("key %s value %d: |%g-%g| = %g out of bound %g",
+				key, i, got[i], want[i], d, tol)
+		}
+	}
+}
+
+// testVals builds a deterministic value vector for key index k.
+func testVals(k, n int) []float32 {
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(k) + float32(i)*0.25
+	}
+	return vals
+}
+
+// TestClusterPutGetQuery drives the single-key path end to end: routed
+// replicated puts, read-any gets, per-key and cluster-wide aggregates,
+// key listing, delete.
+func TestClusterPutGetQuery(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	const keys, vn = 24, 64
+
+	var trueSum float64
+	for k := 0; k < keys; k++ {
+		vals := testVals(k, vn)
+		for _, v := range vals {
+			trueSum += float64(v)
+		}
+		resp := tc.put(t, fmt.Sprintf("key-%d", k), vals)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("put key-%d: status %d", k, resp.StatusCode)
+		}
+		if rep := resp.Header.Get("X-AVR-Replicas"); rep != "2" {
+			t.Fatalf("put key-%d: X-AVR-Replicas %q, want 2", k, rep)
+		}
+		if id := resp.Header.Get("X-AVR-Trace"); len(id) != 16 {
+			t.Fatalf("put key-%d: trace id %q", k, id)
+		}
+	}
+
+	// Every key reads back within bound through the router.
+	for k := 0; k < keys; k++ {
+		resp, err := http.Get(tc.router.URL + fmt.Sprintf("/v1/store/get?key=key-%d", k))
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get key-%d: status %d: %s", k, resp.StatusCode, body)
+		}
+		tc.checkVals(t, fmt.Sprintf("key-%d", k), leF32(body), testVals(k, vn))
+	}
+
+	// Replication 2: every key is on exactly two of the three stores.
+	for k := 0; k < keys; k++ {
+		copies := 0
+		for _, st := range tc.stores {
+			for _, sk := range st.Keys() {
+				if sk == fmt.Sprintf("key-%d", k) {
+					copies++
+				}
+			}
+		}
+		if copies != 2 {
+			t.Fatalf("key-%d stored on %d nodes, want 2", k, copies)
+		}
+	}
+
+	// Key listing is the deduplicated union.
+	resp, err := http.Get(tc.router.URL + "/v1/store/key")
+	if err != nil {
+		t.Fatalf("keys: %v", err)
+	}
+	var kl struct {
+		Keys []string `json:"keys"`
+	}
+	json.NewDecoder(resp.Body).Decode(&kl)
+	resp.Body.Close()
+	if len(kl.Keys) != keys {
+		t.Fatalf("key listing has %d keys, want %d (replicas must dedup): %v",
+			len(kl.Keys), keys, kl.Keys)
+	}
+
+	// Single-key query proxies through.
+	resp, err = http.Get(tc.router.URL + "/v1/store/query?key=key-0")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var agg store.AggregateResult
+	json.NewDecoder(resp.Body).Decode(&agg)
+	resp.Body.Close()
+	if agg.Count != vn {
+		t.Fatalf("single-key aggregate count %d, want %d", agg.Count, vn)
+	}
+
+	// Cluster-wide aggregate: exact counts prove replication did not
+	// double-count; the summed error bound must cover the true sum.
+	resp, err = http.Get(tc.router.URL + "/v1/store/query")
+	if err != nil {
+		t.Fatalf("cluster query: %v", err)
+	}
+	var cagg ClusterAggregateResult
+	json.NewDecoder(resp.Body).Decode(&cagg)
+	resp.Body.Close()
+	if cagg.Keys != keys || cagg.Count != int64(keys*vn) {
+		t.Fatalf("cluster aggregate keys=%d count=%d, want keys=%d count=%d (double counting?)",
+			cagg.Keys, cagg.Count, keys, keys*vn)
+	}
+	if !cagg.Complete {
+		t.Fatalf("cluster aggregate incomplete with all nodes up: %+v", cagg)
+	}
+	if d := math.Abs(cagg.Sum - trueSum); d > cagg.ErrorBound+1e-6 {
+		t.Fatalf("cluster sum %g vs true %g: error %g exceeds bound %g",
+			cagg.Sum, trueSum, d, cagg.ErrorBound)
+	}
+	if cagg.Min > 0 || cagg.Max < float64(keys-1) {
+		t.Fatalf("cluster min/max [%g,%g] did not widen over per-key extrema", cagg.Min, cagg.Max)
+	}
+
+	// Missing keys 404 through the whole replica set.
+	resp, err = http.Get(tc.router.URL + "/v1/store/get?key=nope")
+	if err != nil {
+		t.Fatalf("get missing: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing key status %d, want 404", resp.StatusCode)
+	}
+
+	// Delete removes both copies.
+	req, _ := http.NewRequest(http.MethodDelete, tc.router.URL+"/v1/store/key?key=key-0", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d, want 204", resp.StatusCode)
+	}
+	for i, st := range tc.stores {
+		for _, sk := range st.Keys() {
+			if sk == "key-0" {
+				t.Fatalf("key-0 still on node %d after delete", i)
+			}
+		}
+	}
+}
+
+// TestClusterBatch drives mput/mget through the router: shard-grouped
+// fan-out, request-order results, per-key errors as data.
+func TestClusterBatch(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	const keys, vn = 32, 48
+
+	var preq server.BatchPutRequest
+	for k := 0; k < keys; k++ {
+		preq.Items = append(preq.Items, server.BatchPutItem{
+			Key:  fmt.Sprintf("bk-%d", k),
+			Data: f32le(testVals(k, vn)...),
+		})
+	}
+	// One malformed item: batch still succeeds, that key reports its
+	// error in place.
+	preq.Items = append(preq.Items, server.BatchPutItem{Key: "bad", Data: []byte{1, 2, 3}})
+
+	pb, _ := json.Marshal(preq)
+	resp, err := http.Post(tc.router.URL+"/v1/store/mput", "application/json", bytes.NewReader(pb))
+	if err != nil {
+		t.Fatalf("mput: %v", err)
+	}
+	var pres server.BatchPutResult
+	json.NewDecoder(resp.Body).Decode(&pres)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mput status %d", resp.StatusCode)
+	}
+	if len(pres.Results) != keys+1 {
+		t.Fatalf("mput returned %d results, want %d", len(pres.Results), keys+1)
+	}
+	for i, pr := range pres.Results[:keys] {
+		if pr.Key != fmt.Sprintf("bk-%d", i) {
+			t.Fatalf("mput result %d is %q: order not preserved", i, pr.Key)
+		}
+		if !pr.OK || pr.Replicas != 2 {
+			t.Fatalf("mput %s: ok=%v replicas=%d err=%q, want ok on 2 replicas",
+				pr.Key, pr.OK, pr.Replicas, pr.Error)
+		}
+	}
+	if bad := pres.Results[keys]; bad.OK || bad.Error == "" {
+		t.Fatalf("malformed item: ok=%v err=%q, want a per-key error", bad.OK, bad.Error)
+	}
+
+	var greq server.BatchGetRequest
+	for k := 0; k < keys; k++ {
+		greq.Keys = append(greq.Keys, fmt.Sprintf("bk-%d", k))
+	}
+	greq.Keys = append(greq.Keys, "missing-key")
+	gb, _ := json.Marshal(greq)
+	resp, err = http.Post(tc.router.URL+"/v1/store/mget", "application/json", bytes.NewReader(gb))
+	if err != nil {
+		t.Fatalf("mget: %v", err)
+	}
+	var gres server.BatchGetResult
+	json.NewDecoder(resp.Body).Decode(&gres)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mget status %d", resp.StatusCode)
+	}
+	if len(gres.Results) != keys+1 {
+		t.Fatalf("mget returned %d results, want %d", len(gres.Results), keys+1)
+	}
+	for i, gr := range gres.Results[:keys] {
+		if !gr.OK || !gr.Complete {
+			t.Fatalf("mget %s: ok=%v complete=%v err=%q", gr.Key, gr.OK, gr.Complete, gr.Error)
+		}
+		tc.checkVals(t, gr.Key, leF32(gr.Data), testVals(i, vn))
+	}
+	if miss := gres.Results[keys]; miss.OK || !miss.NotFound {
+		t.Fatalf("missing key: ok=%v not_found=%v, want a not-found result", miss.OK, miss.NotFound)
+	}
+}
+
+// TestClusterFailover kills one node and proves reads — single and
+// batched — complete from replicas, still within bound.
+func TestClusterFailover(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{
+		LegTimeout:   2 * time.Second,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	const keys, vn = 16, 32
+	for k := 0; k < keys; k++ {
+		if resp := tc.put(t, fmt.Sprintf("fk-%d", k), testVals(k, vn)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("put fk-%d: status %d", k, resp.StatusCode)
+		}
+	}
+
+	// Kill node 0 (its store lives on so data isn't lost to the other
+	// replicas — only the server is unreachable).
+	tc.nodes[0].Close()
+	failoversBefore := obs.RouterFailovers.Value()
+
+	for k := 0; k < keys; k++ {
+		resp, err := http.Get(tc.router.URL + fmt.Sprintf("/v1/store/get?key=fk-%d", k))
+		if err != nil {
+			t.Fatalf("get after kill: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get fk-%d after kill: status %d: %s", k, resp.StatusCode, body)
+		}
+		tc.checkVals(t, fmt.Sprintf("fk-%d", k), leF32(body), testVals(k, vn))
+	}
+	if obs.RouterFailovers.Value() == failoversBefore {
+		t.Fatalf("no failovers recorded with a node down")
+	}
+
+	var greq server.BatchGetRequest
+	for k := 0; k < keys; k++ {
+		greq.Keys = append(greq.Keys, fmt.Sprintf("fk-%d", k))
+	}
+	gb, _ := json.Marshal(greq)
+	resp, err := http.Post(tc.router.URL+"/v1/store/mget", "application/json", bytes.NewReader(gb))
+	if err != nil {
+		t.Fatalf("mget after kill: %v", err)
+	}
+	var gres server.BatchGetResult
+	json.NewDecoder(resp.Body).Decode(&gres)
+	resp.Body.Close()
+	for i, gr := range gres.Results {
+		if !gr.OK {
+			t.Fatalf("mget %s after kill: err=%q", gr.Key, gr.Error)
+		}
+		tc.checkVals(t, gr.Key, leF32(gr.Data), testVals(i, vn))
+	}
+
+	// Writes degrade to one replica but still succeed.
+	resp2 := tc.put(t, "post-kill", testVals(99, vn))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("put after kill: status %d", resp2.StatusCode)
+	}
+	if rep := resp2.Header.Get("X-AVR-Replicas"); rep != "1" && rep != "2" {
+		t.Fatalf("put after kill: X-AVR-Replicas %q", rep)
+	}
+}
+
+// TestMergeRetryAfter table-tests the downstream Retry-After fold: the
+// router must surface the fleet's max demand, not its own queue's.
+func TestMergeRetryAfter(t *testing.T) {
+	h := func(v string) http.Header {
+		hd := http.Header{}
+		if v != "" {
+			hd.Set("Retry-After", v)
+		}
+		return hd
+	}
+	cases := []struct {
+		name    string
+		start   int
+		headers []http.Header
+		want    int
+	}{
+		{"absent stays", 0, []http.Header{h("")}, 0},
+		{"single value", 0, []http.Header{h("3")}, 3},
+		{"max wins", 0, []http.Header{h("3"), h("7"), h("2")}, 7},
+		{"smaller keeps running max", 5, []http.Header{h("2")}, 5},
+		{"garbage ignored", 4, []http.Header{h("soon"), h("")}, 4},
+		{"negative ignored", 2, []http.Header{h("-3")}, 2},
+		{"zero is valid but not above", 1, []http.Header{h("0")}, 1},
+	}
+	for _, c := range cases {
+		got := c.start
+		for _, hd := range c.headers {
+			got = mergeRetryAfter(got, hd)
+		}
+		if got != c.want {
+			t.Errorf("%s: merged %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterPropagatesFromDownstream pins the end-to-end behavior:
+// every replica sheds with its own Retry-After, the router's 429 must
+// carry the max of them.
+func TestRetryAfterPropagatesFromDownstream(t *testing.T) {
+	shedWith := func(secs string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", secs)
+			http.Error(w, "shedding", http.StatusTooManyRequests)
+		}))
+	}
+	a, b := shedWith("4"), shedWith("9")
+	defer a.Close()
+	defer b.Close()
+
+	topo := Topology{VNodes: 16, Replication: 2, Nodes: []Node{
+		{Name: "a", Addr: strings.TrimPrefix(a.URL, "http://")},
+		{Name: "b", Addr: strings.TrimPrefix(b.URL, "http://")},
+	}}
+	ro, err := New(Config{Topology: topo, ProbeInterval: -1,
+		Retries: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	ts := httptest.NewServer(ro.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/store/get?key=anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "9" {
+		t.Fatalf("Retry-After %q, want the downstream max 9", ra)
+	}
+}
+
+// TestProberEjectReadmit flips a node's /readyz and watches the prober
+// take it out of rotation and back, with the obs counters moving.
+func TestProberEjectReadmit(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	nodeSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && !ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	defer nodeSrv.Close()
+
+	ejectsBefore := obs.RouterNodeEjects.Value()
+	readmitsBefore := obs.RouterNodeReadmits.Value()
+
+	topo := Topology{VNodes: 16, Nodes: []Node{
+		{Name: "solo", Addr: strings.TrimPrefix(nodeSrv.URL, "http://")},
+	}}
+	ro, err := New(Config{Topology: topo,
+		ProbeInterval: 5 * time.Millisecond, ProbeTimeout: 200 * time.Millisecond,
+		EjectAfter: 2, ReadmitAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+
+	waitUp := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if ro.Stats().Nodes[0].Up == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("node never became up=%v", want)
+	}
+
+	waitUp(true)
+	ready.Store(false)
+	waitUp(false)
+	if obs.RouterNodeEjects.Value() <= ejectsBefore {
+		t.Fatalf("eject counter did not move")
+	}
+	ready.Store(true)
+	waitUp(true)
+	if obs.RouterNodeReadmits.Value() <= readmitsBefore {
+		t.Fatalf("readmit counter did not move")
+	}
+}
+
+// TestOwnRetryAfter pins the router's own queue-derived hint.
+func TestOwnRetryAfter(t *testing.T) {
+	cases := []struct {
+		queued, depth int64
+		timeout       time.Duration
+		want          int
+	}{
+		{0, 32, 2 * time.Second, 1},
+		{16, 32, 2 * time.Second, 1},
+		{32, 32, 2 * time.Second, 2},
+		{64, 32, 2 * time.Second, 2}, // clamped to depth then ceil
+		{32, 32, 10 * time.Second, 10},
+		{0, 0, 2 * time.Second, 2}, // no queue: worst case
+	}
+	for _, c := range cases {
+		if got := ownRetryAfter(c.queued, c.depth, c.timeout); got != c.want {
+			t.Errorf("ownRetryAfter(%d,%d,%v) = %d, want %d",
+				c.queued, c.depth, c.timeout, got, c.want)
+		}
+	}
+}
+
+// TestTraceForwarding: the router forwards an inbound X-AVR-Trace to
+// the downstream leg and reports route/fanout stages on its response.
+func TestTraceForwarding(t *testing.T) {
+	var gotTrace atomic.Value
+	nodeSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTrace.Store(r.Header.Get("X-AVR-Trace"))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(f32le(1, 2, 3))
+	}))
+	defer nodeSrv.Close()
+
+	topo := Topology{VNodes: 16, Nodes: []Node{
+		{Name: "solo", Addr: strings.TrimPrefix(nodeSrv.URL, "http://")},
+	}}
+	ro, err := New(Config{Topology: topo, ProbeInterval: -1, TraceSampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	ts := httptest.NewServer(ro.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/store/get?key=k", nil)
+	req.Header.Set("X-AVR-Trace", "00000000deadbeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got, _ := gotTrace.Load().(string); got != "00000000deadbeef" {
+		t.Fatalf("downstream saw trace id %q, want the forwarded one", got)
+	}
+	// The router's response must attribute time to the fanout stage.
+	fanoutKey := textproto.CanonicalMIMEHeaderKey("X-AVR-Stage-Fanout")
+	if resp.Header.Get(fanoutKey) == "" {
+		t.Fatalf("no %s header on routed response: %v", fanoutKey, resp.Header)
+	}
+}
+
+// TestRouterReadyzDrain: Shutdown flips readiness before closing.
+func TestRouterReadyzDrain(t *testing.T) {
+	topo := Topology{VNodes: 16, Nodes: []Node{{Name: "a", Addr: "127.0.0.1:1"}}}
+	ro, err := New(Config{Topology: topo, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	ts := httptest.NewServer(ro.Handler())
+	defer ts.Close()
+
+	resp, _ := http.Get(ts.URL + "/readyz")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", resp.StatusCode)
+	}
+	ro.draining.Store(true)
+	resp, _ = http.Get(ts.URL + "/readyz")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+}

@@ -100,6 +100,31 @@ var (
 	StoreQueries           = expvar.NewInt("avr.store_queries")
 	StoreQueryBytesTouched = expvar.NewInt("avr.store_query_bytes_touched")
 	StoreQueryBytesTotal   = expvar.NewInt("avr.store_query_bytes_total")
+
+	// Router-tier counters (internal/cluster, cmd/avrrouter).
+	//
+	// RouterRequests counts requests admitted past the router's bounded
+	// queue; RouterShed the 429/503 backpressure responses; RouterErrors
+	// requests that failed on every replica leg.
+	RouterRequests = expvar.NewInt("avr.router_requests")
+	RouterShed     = expvar.NewInt("avr.router_shed")
+	RouterErrors   = expvar.NewInt("avr.router_errors")
+	// RouterFanouts counts downstream legs issued (every proxied
+	// request, replica fallbacks and retries included).
+	RouterFanouts = expvar.NewInt("avr.router_fanouts")
+	// RouterFailovers counts reads/writes that fell through from the
+	// primary to the replica leg; RouterRetries counts replica-leg
+	// retry attempts beyond the first.
+	RouterFailovers = expvar.NewInt("avr.router_failovers")
+	RouterRetries   = expvar.NewInt("avr.router_retries")
+	// RouterBatchKeys counts keys moved through the batched mput/mget
+	// endpoints (the round-trip amortization the batch API exists for).
+	RouterBatchKeys = expvar.NewInt("avr.router_batch_keys")
+	// RouterNodeEjects/RouterNodeReadmits count health-prober state
+	// transitions: a node leaving rotation after consecutive /readyz
+	// failures, and coming back after consecutive successes.
+	RouterNodeEjects   = expvar.NewInt("avr.router_node_ejects")
+	RouterNodeReadmits = expvar.NewInt("avr.router_node_readmits")
 )
 
 // debugMetricsOnce guards /metrics registration on the default mux:

@@ -435,10 +435,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz serves GET /readyz: 200 while accepting traffic, 503
-// once draining so load balancers rotate the instance out.
+// once draining — and, when the store endpoints are enabled, 503 once
+// the store can no longer answer (closed by drain or failed). Health
+// probers (the cluster router's included) trust this endpoint to mean
+// "requests sent here will be served", so it must reflect store health,
+// not just server lifecycle.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.Ready() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.cfg.Store != nil && s.cfg.Store.Closed() {
+		http.Error(w, "store closed", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ready")

@@ -37,6 +37,10 @@ import (
 //	                                     vector answers as 206 over its
 //	                                     recovered prefix
 //	DELETE /v1/store/key?key=K           durable tombstone
+//	GET  /v1/store/key                   every live key, sorted (JSON)
+//	POST /v1/store/mput                  batched multi-key put (JSON,
+//	                                     see batch.go)
+//	POST /v1/store/mget                  batched multi-key get (JSON)
 //	GET  /v1/store/stats                 store snapshot JSON
 
 // registerStore wires the store endpoints onto the mux.
@@ -47,6 +51,7 @@ func (s *Server) registerStore() {
 	s.mux.HandleFunc("GET /v1/store/query", s.handleStoreQuery)
 	s.mux.HandleFunc("DELETE /v1/store/key", s.handleStoreDelete)
 	s.mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
+	s.registerBatch()
 }
 
 // storeFail maps store errors onto HTTP status codes.

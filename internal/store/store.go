@@ -1106,6 +1106,16 @@ func (s *Store) BlockInfos(key string) ([]BlockInfo, error) {
 // T1 returns the store's per-value error threshold.
 func (s *Store) T1() float64 { return s.cfg.T1 }
 
+// Closed reports whether the store has been shut down (every operation
+// would fail with ErrClosed). Serving tiers surface it through /readyz
+// so load balancers and the cluster router's health prober rotate the
+// node out as soon as the store stops being able to answer.
+func (s *Store) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
 // Close stops the background worker, fsyncs and closes every segment.
 func (s *Store) Close() error {
 	if s.stopCompact != nil {

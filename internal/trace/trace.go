@@ -2,8 +2,9 @@
 // allocation-free, sampling span recorder that attributes each request's
 // latency to the pipeline stage that spent it — admission queue wait,
 // codec pool checkout, encode/decode kernel time, store segment I/O,
-// compressed-domain query walk, and store lock wait (the compaction
-// interference signal).
+// compressed-domain query walk, store lock wait (the compaction
+// interference signal), and the cluster router's shard resolution and
+// downstream fan-out legs.
 //
 // The design follows the internal/obs contract: *disabled instrumentation
 // is free*. A nil *Tracer starts nil *Spans, and every Span method is a
@@ -66,9 +67,17 @@ const (
 	// plus summary math, everything between lock acquisition and the
 	// assembled answer.
 	StageQuery
+	// StageRoute is the router tier's shard resolution: ring lookups
+	// plus batch plan bookkeeping (grouping keys by owning node) —
+	// pure CPU, no network.
+	StageRoute
+	// StageFanout is the router tier's downstream time: every proxied
+	// leg, including replica fallbacks and retries, from first byte out
+	// to last byte back.
+	StageFanout
 
 	// NumStages is the number of traced stages.
-	NumStages = int(StageQuery) + 1
+	NumStages = int(StageFanout) + 1
 )
 
 // stageNames are the wire names: JSONL keys, header suffixes, expvar
@@ -76,6 +85,7 @@ const (
 var stageNames = [NumStages]string{
 	"queue", "pool", "encode", "decode",
 	"segread", "segwrite", "lockwait", "query",
+	"route", "fanout",
 }
 
 // String returns the stage's wire name.

@@ -48,6 +48,8 @@ func TestStageNamesAndHeaders(t *testing.T) {
 		StageSegWrite: "segwrite",
 		StageLock:     "lockwait",
 		StageQuery:    "query",
+		StageRoute:    "route",
+		StageFanout:   "fanout",
 	}
 	if len(want) != NumStages {
 		t.Fatalf("test covers %d stages, NumStages = %d", len(want), NumStages)

@@ -26,10 +26,10 @@ OUT="${1:-BENCH_sim.json}"
 STORE_OUT="${2:-BENCH_store.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep|Recorder|Histogram}"
-STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|StoreQuery|CodecPool|Traced|SpanPool}"
+STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|StoreQuery|CodecPool|Traced|SpanPool|RingOwners|RouterPlan}"
 
 PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/obs ./internal/sim ./internal/workloads"
-STORE_PKGS="./internal/store ./internal/server ./internal/trace"
+STORE_PKGS="./internal/store ./internal/server ./internal/trace ./internal/cluster"
 
 # Hot-path benchmarks that must report 0 allocs/op: every demand access
 # in the simulator goes through these paths, and a single allocation per
@@ -46,8 +46,10 @@ GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLo
 # same paths to the same bar with a live span, tracer and JSONL sink
 # at the default export sampling — per-stage attribution must be free
 # enough to leave on (and BenchmarkSpanPool gates the span lifecycle
-# itself).
-STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64 BenchmarkStoreQueryAggregate32 BenchmarkStoreQueryAggregate64 BenchmarkStoreQueryFilter32 BenchmarkTracedPut32 BenchmarkTracedGet32 BenchmarkTracedQueryAggregate BenchmarkSpanPool"
+# itself). The router hot path — ring owner lookup plus batch fan-out
+# planning — is held to the same bar: both sit on every proxied
+# request, so the router adds network hops but no allocator pressure.
+STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64 BenchmarkStoreQueryAggregate32 BenchmarkStoreQueryAggregate64 BenchmarkStoreQueryFilter32 BenchmarkTracedPut32 BenchmarkTracedGet32 BenchmarkTracedQueryAggregate BenchmarkSpanPool BenchmarkRingOwners BenchmarkRouterPlanMget"
 
 RAW="$(mktemp)"
 RAW_STORE="$(mktemp)"

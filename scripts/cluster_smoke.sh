@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# scripts/cluster_smoke.sh — end-to-end gate for the sharded tier:
+# three avrd shards behind one avrrouter, replication 2, read-any.
+#
+#   1. pack a manifest through the router, verify through the router
+#      (every key present in the fanned-out listing, every value within
+#      the manifest t1 whichever replica serves it)
+#   2. kill -9 one shard mid-cluster-load — avrload must finish with
+#      zero out-of-bound reads (failovers are availability noise; a
+#      single corrupt get fails the script)
+#   3. with the shard still dead, verify the full manifest again: every
+#      key must survive on its other replica
+#   4. restart the shard and watch the prober eject/readmit counters,
+#      then promlint the router's /metrics exposition
+#
+# A CI gate, not a benchmark — EXPERIMENTS.md records the 3-node vs
+# single-node throughput baseline.
+#
+# Usage: scripts/cluster_smoke.sh [duration] [concurrency]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${1:-4s}"
+CONC="${2:-8}"
+
+TMP="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]}"; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/avrd" ./cmd/avrd
+go build -o "$TMP/avrrouter" ./cmd/avrrouter
+go build -o "$TMP/avrload" ./cmd/avrload
+go build -o "$TMP/avrstore" ./cmd/avrstore
+go build -o "$TMP/promlint" ./cmd/promlint
+
+wait_addr() { # file
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "no address in $1"; exit 1
+}
+
+start_node() { # index
+    "$TMP/avrd" -addr 127.0.0.1:0 -addr-file "$TMP/node$1.addr" \
+        -store-dir "$TMP/store$1" &
+    eval "NODE$1_PID=$!"
+    PIDS+=("$!")
+}
+
+for i in 0 1 2; do start_node "$i"; done
+for i in 0 1 2; do wait_addr "$TMP/node$i.addr"; done
+
+cat > "$TMP/topology.json" <<EOF
+{
+  "vnodes": 64,
+  "replication": 2,
+  "nodes": [
+    {"name": "n0", "addr": "$(cat "$TMP/node0.addr")"},
+    {"name": "n1", "addr": "$(cat "$TMP/node1.addr")"},
+    {"name": "n2", "addr": "$(cat "$TMP/node2.addr")"}
+  ]
+}
+EOF
+
+"$TMP/avrrouter" -addr 127.0.0.1:0 -addr-file "$TMP/router.addr" \
+    -topology "$TMP/topology.json" -probe-interval 200ms &
+ROUTER_PID=$!
+PIDS+=("$ROUTER_PID")
+wait_addr "$TMP/router.addr"
+ROUTER="$(cat "$TMP/router.addr")"
+echo "router up on $ROUTER over nodes $(cat "$TMP"/node{0,1,2}.addr | tr '\n' ' ')"
+
+curl -sf "http://$ROUTER/healthz" > /dev/null
+curl -sf "http://$ROUTER/readyz" > /dev/null
+
+# --- Act 1: manifest pack + verify through the router -----------------
+"$TMP/avrstore" pack -addr "$ROUTER" -manifest "$TMP/manifest.json" \
+    -keys 24 -values 8000 -dist mixed-all
+"$TMP/avrstore" verify -addr "$ROUTER" -manifest "$TMP/manifest.json"
+
+# --- Act 2: kill -9 one shard under cluster load ----------------------
+# avrload exits non-zero on a single out-of-bound read; shard-kill
+# failures surface as errors/failovers, never as corruption.
+"$TMP/avrload" -addr "$ROUTER" -mode cluster -c "$CONC" \
+    -duration "$DURATION" -values 2000 -batch 8 &
+LOAD_PID=$!
+sleep 1
+kill -9 "$NODE0_PID"
+echo "killed shard n0 mid-load"
+wait "$LOAD_PID" || { echo "cluster load saw out-of-bound reads"; exit 1; }
+
+# --- Act 3: every manifest key must survive on its other replica ------
+"$TMP/avrstore" verify -addr "$ROUTER" -manifest "$TMP/manifest.json"
+
+# --- Act 4: eject on the dead shard, readmit after restart ------------
+poll_stat() { # json_field min_value
+    for _ in $(seq 1 100); do
+        # Strip whitespace first: the stats JSON is indented.
+        v="$(curl -sf "http://$ROUTER/v1/stats" | tr -d ' \n\t' \
+            | grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2 || true)"
+        [ -n "$v" ] && [ "$v" -ge "$2" ] && return 0
+        sleep 0.1
+    done
+    echo "router stat $1 never reached $2"; exit 1
+}
+poll_stat node_ejects 1
+
+# Same address as before — the topology is static, so the shard must
+# come back where the ring expects it. The store dir recovers whatever
+# the kill -9 left on disk.
+"$TMP/avrd" -addr "$(cat "$TMP/node0.addr")" \
+    -store-dir "$TMP/store0" &
+PIDS+=("$!")
+poll_stat node_readmits 1
+
+# One more load run against the healed cluster.
+"$TMP/avrload" -addr "$ROUTER" -mode cluster -c "$CONC" -duration 2s \
+    -values 2000 -batch 8
+
+# --- Exposition lint ---------------------------------------------------
+curl -sf "http://$ROUTER/metrics" > "$TMP/metrics.txt"
+"$TMP/promlint" "$TMP/metrics.txt"
+grep -q '^avr_router_fanouts ' "$TMP/metrics.txt"
+
+echo "cluster smoke OK (router pack/verify, kill -9 failover with zero out-of-bound reads, eject/readmit)"
