@@ -74,6 +74,8 @@ func main() {
 	storeCompactEvery := flag.Duration("store-compact-interval", 30*time.Second, "background compaction cadence; 0 disables the worker")
 	storeSync := flag.Bool("store-sync", false, "fsync the active segment after every put (durability over throughput)")
 	storeEncWorkers := flag.Int("store-encode-workers", 0, "goroutines encoding a put's blocks in parallel; 0 or 1 = serial")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "summary-line read cache byte budget; 0 disables the cache")
+	prefetch := flag.Bool("prefetch", true, "stride-prefetch summary lines on sequential key patterns (needs -cache-bytes > 0)")
 	traceSample := flag.Int("trace-sample", 0, "export one of every N request traces as JSONL; 0 = default (64), needs -trace-file")
 	traceFile := flag.String("trace-file", "", "append sampled request-trace JSONL to this file (empty disables export)")
 	var t1 float64
@@ -98,6 +100,8 @@ func main() {
 			CompactEvery:       *storeCompactEvery,
 			SyncEveryPut:       *storeSync,
 			EncodeWorkers:      *storeEncWorkers,
+			CacheBytes:         *cacheBytes,
+			Prefetch:           *prefetch,
 		})
 		if err != nil {
 			cliutil.Fatal(err)

@@ -27,6 +27,15 @@
 // (bytes_touched / bytes_total); -maxtraffic turns the budget into a
 // hard assertion for responses served purely from AVR blocks.
 //
+// With -mode storehot the loop reads a shared key space seeded once up
+// front: each connection samples keys from a Zipfian popularity curve
+// (a few keys absorb most reads) with periodic sequential scan phases
+// over the whole space — the access pattern the summary-first read
+// cache and its stride prefetcher are built for. The summary reports
+// the cache hit rate and a hit-vs-miss latency split, classified per
+// response from the X-AVR-Cache header avrd stamps when -cache-bytes
+// is on.
+//
 // With -mode cluster the loop targets an avrrouter instead: each
 // connection owns -batch keys and loops batched mput→mget round-trips
 // (/v1/store/mput, /v1/store/mget), bound-checking every returned
@@ -53,6 +62,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -78,8 +88,9 @@ func main() {
 	dist := flag.String("dist", "heat", "value distribution: "+strings.Join(workloads.Distributions(), ", "))
 	width := flag.Int("width", 32, "value width in bits: 32 or 64")
 	verify := flag.Bool("verify", true, "check every response byte-for-byte against a local codec")
-	mode := flag.String("mode", "codec", "traffic shape: codec (encode→decode), store (put→get against /v1/store), query (compressed-domain queries against /v1/store/query), or cluster (batched mput→mget against an avrrouter)")
+	mode := flag.String("mode", "codec", "traffic shape: codec (encode→decode), store (put→get against /v1/store), storehot (Zipfian re-reads of a shared key space, cache hit-rate report), query (compressed-domain queries against /v1/store/query), or cluster (batched mput→mget against an avrrouter)")
 	batch := flag.Int("batch", 8, "cluster mode: keys per batched mput/mget request")
+	hotKeys := flag.Int("hotkeys", 64, "storehot mode: distinct keys in the shared space")
 	maxTraffic := flag.Float64("maxtraffic", 0, "query mode: fail pure-AVR aggregate responses whose bytes_touched/bytes_total exceeds this fraction (0 = report only)")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON (for recorded baselines)")
 	var t1 float64
@@ -96,11 +107,16 @@ func main() {
 	if *width != 32 && *width != 64 {
 		cliutil.Fatal(fmt.Errorf("bad -width %d: want 32 or 64", *width))
 	}
-	if *mode != "codec" && *mode != "store" && *mode != "query" && *mode != "cluster" {
-		cliutil.Fatal(fmt.Errorf("bad -mode %q: want codec, store, query or cluster", *mode))
+	switch *mode {
+	case "codec", "store", "storehot", "query", "cluster":
+	default:
+		cliutil.Fatal(fmt.Errorf("bad -mode %q: want codec, store, storehot, query or cluster", *mode))
 	}
 	if *mode == "cluster" && *batch < 1 {
 		cliutil.Fatal(fmt.Errorf("bad -batch %d: want >= 1", *batch))
+	}
+	if *mode == "storehot" && *hotKeys < 2 {
+		cliutil.Fatal(fmt.Errorf("bad -hotkeys %d: want >= 2", *hotKeys))
 	}
 	base := "http://" + *addr
 
@@ -124,6 +140,26 @@ func main() {
 		specs[i] = sp
 	}
 
+	// storehot reads a shared key space: one spec per key, seeded with a
+	// put each before the clock starts so the run measures reads only.
+	var keySpace []*workerSpec
+	if *mode == "storehot" {
+		keySpace = make([]*workerSpec, *hotKeys)
+		seedRes := &workerResult{}
+		for k := range keySpace {
+			sp, err := newWorkerSpec(*dist, *values, *width, t1, uint64(k)+1)
+			if err != nil {
+				cliutil.Fatal(err)
+			}
+			sp.key = fmt.Sprintf("hot-%d", k)
+			keySpace[k] = sp
+			putURL := fmt.Sprintf("%s/v1/store/put?key=%s&width=%d", base, sp.key, sp.width)
+			if _, ok := sp.post(client, putURL, sp.payload, seedRes); !ok {
+				cliutil.Fatal(fmt.Errorf("seeding storehot key %s failed", sp.key))
+			}
+		}
+	}
+
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	results := make([]*workerResult, *conc)
@@ -135,6 +171,8 @@ func main() {
 			switch *mode {
 			case "store":
 				results[i] = sp.runStore(client, base, deadline, *verify)
+			case "storehot":
+				results[i] = runStoreHot(client, base, deadline, *verify, keySpace, uint64(i)+1)
 			case "query":
 				results[i] = sp.runQuery(client, base, deadline, *maxTraffic)
 			case "cluster":
@@ -155,7 +193,7 @@ func main() {
 		sum.Batch = *batch
 		sum.KeysPerSec = sum.Throughput * float64(*batch)
 	}
-	if *mode == "store" || *mode == "query" {
+	if *mode == "store" || *mode == "storehot" || *mode == "query" {
 		// The wire accounting cannot see the stored size (puts and gets
 		// both move raw bytes); ask the daemon for the achieved ratio.
 		sum.EncodeRatio = fetchStoreRatio(client, base)
@@ -243,6 +281,11 @@ type workerResult struct {
 	bytesUp, bytesDown      int64
 	touched, total          int64     // query mode: aggregate traffic account
 	lat                     []float64 // seconds per successful request
+	// storehot mode: per-response cache verdicts from X-AVR-Cache, with
+	// the latency distribution split by verdict so the summary can show
+	// what a hit buys over a miss.
+	cacheHits, cacheMisses, cachePrefetch int64
+	latHit, latMiss                       []float64
 	// stageLat collects the per-stage durations (seconds) the daemon
 	// advertises on each response via X-AVR-Stage-* headers, indexed by
 	// trace.Stage.
@@ -382,6 +425,80 @@ func (sp *workerSpec) runCluster(client *http.Client, base string, deadline time
 		}
 	}
 	return res
+}
+
+// runStoreHot loops reads over the shared storehot key space: mostly
+// Zipf-sampled re-reads (rank 0 is the hottest key), with a full
+// sequential scan of the space every scanEvery iterations — the phase
+// mix the read cache and stride prefetcher are built for. Each response
+// is bound-checked against the seeded payload and classified by its
+// X-AVR-Cache verdict.
+func runStoreHot(client *http.Client, base string, deadline time.Time, verify bool, keySpace []*workerSpec, seed uint64) *workerResult {
+	const scanEvery = 40 // Zipf reads between sequential scan phases
+	res := &workerResult{}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(keySpace)-1))
+	readOne := func(sp *workerSpec) {
+		url := fmt.Sprintf("%s/v1/store/get?key=%s", base, sp.key)
+		got, ok := sp.getCacheSplit(client, url, res)
+		if ok && verify && !sp.withinBound(got) {
+			res.corrupt++
+		}
+	}
+	for i := 0; time.Now().Before(deadline); i++ {
+		if i > 0 && i%scanEvery == 0 {
+			for k := 0; k < len(keySpace) && time.Now().Before(deadline); k++ {
+				readOne(keySpace[k])
+			}
+			continue
+		}
+		readOne(keySpace[zipf.Uint64()])
+	}
+	return res
+}
+
+// getCacheSplit is get plus the storehot bookkeeping: the X-AVR-Cache
+// verdict counters and the hit-vs-miss latency split. A missing header
+// (cache disabled server-side) counts as a miss, so the hit rate reads
+// zero rather than lying.
+func (sp *workerSpec) getCacheSplit(client *http.Client, url string, res *workerResult) ([]byte, bool) {
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		res.errs++
+		time.Sleep(10 * time.Millisecond)
+		return nil, false
+	}
+	out, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK && rerr == nil:
+		lat := time.Since(t0).Seconds()
+		res.ok++
+		res.lat = append(res.lat, lat)
+		res.bytesDown += int64(len(out))
+		res.recordStages(resp.Header)
+		switch resp.Header.Get("X-AVR-Cache") {
+		case "hit":
+			res.cacheHits++
+			res.latHit = append(res.latHit, lat)
+		case "prefetch":
+			res.cacheHits++
+			res.cachePrefetch++
+			res.latHit = append(res.latHit, lat)
+		default:
+			res.cacheMisses++
+			res.latMiss = append(res.latMiss, lat)
+		}
+		return out, true
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable:
+		res.shed++
+		time.Sleep(time.Millisecond)
+	default:
+		res.errs++
+	}
+	return nil, false
 }
 
 // runQuery stores the vector once, then loops compressed-domain queries
@@ -692,6 +809,16 @@ type summary struct {
 	// comparable against single-key store mode.
 	Batch      int     `json:"batch_size,omitempty"`
 	KeysPerSec float64 `json:"keys_per_second,omitempty"`
+	// Storehot mode: per-response cache verdicts (X-AVR-Cache) and the
+	// latency split between cache hits and misses.
+	CacheHits     int64   `json:"cache_hits,omitempty"`
+	CacheMisses   int64   `json:"cache_misses,omitempty"`
+	CachePrefetch int64   `json:"cache_prefetch,omitempty"`
+	CacheHitRate  float64 `json:"cache_hit_rate,omitempty"`
+	HitP50ms      float64 `json:"hit_p50_ms,omitempty"`
+	HitP99ms      float64 `json:"hit_p99_ms,omitempty"`
+	MissP50ms     float64 `json:"miss_p50_ms,omitempty"`
+	MissP99ms     float64 `json:"miss_p99_ms,omitempty"`
 	// Query mode: encoded bytes the executor read vs the raw bytes its
 	// aggregate responses covered, and their ratio.
 	QueryBytesTouched int64   `json:"query_bytes_touched,omitempty"`
@@ -717,7 +844,7 @@ func summarize(results []*workerResult, elapsed time.Duration, conc, values, wid
 		Concurrency: conc, Duration: elapsed.Seconds(),
 		Values: values, Width: width, Dist: dist, T1: t1,
 	}
-	var lat []float64
+	var lat, latHit, latMiss []float64
 	var stageLat [trace.NumStages][]float64
 	var up, down int64
 	for _, r := range results {
@@ -729,7 +856,12 @@ func summarize(results []*workerResult, elapsed time.Duration, conc, values, wid
 		down += r.bytesDown
 		s.QueryBytesTouched += r.touched
 		s.QueryBytesTotal += r.total
+		s.CacheHits += r.cacheHits
+		s.CacheMisses += r.cacheMisses
+		s.CachePrefetch += r.cachePrefetch
 		lat = append(lat, r.lat...)
+		latHit = append(latHit, r.latHit...)
+		latMiss = append(latMiss, r.latMiss...)
 		for st := range r.stageLat {
 			stageLat[st] = append(stageLat[st], r.stageLat[st]...)
 		}
@@ -771,6 +903,15 @@ func summarize(results []*workerResult, elapsed time.Duration, conc, values, wid
 	s.P99ms = 1000 * percentile(lat, 0.99)
 	if len(lat) > 0 {
 		s.MaxMs = 1000 * lat[len(lat)-1]
+	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+		sort.Float64s(latHit)
+		sort.Float64s(latMiss)
+		s.HitP50ms = 1000 * percentile(latHit, 0.50)
+		s.HitP99ms = 1000 * percentile(latHit, 0.99)
+		s.MissP50ms = 1000 * percentile(latMiss, 0.50)
+		s.MissP99ms = 1000 * percentile(latMiss, 0.99)
 	}
 	// Achieved ratio from the wire accounting. Per OK request the mean
 	// bytes moved is (up+down)/OK; an encode leg moves payload+enc and a
@@ -822,8 +963,14 @@ func (s summary) print(base string) {
 		fmt.Printf("  stage %-9s p50 %.3fms  p99 %.3fms  mean %.3fms  (n=%d)\n",
 			name+":", d.P50ms, d.P99ms, d.MeanMs, d.Count)
 	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		fmt.Printf("  cache:      %.1f%% hit (%d hit / %d miss, %d via prefetch)\n",
+			100*s.CacheHitRate, s.CacheHits, s.CacheMisses, s.CachePrefetch)
+		fmt.Printf("  hit  lat:   p50 %.3fms  p99 %.3fms\n", s.HitP50ms, s.HitP99ms)
+		fmt.Printf("  miss lat:   p50 %.3fms  p99 %.3fms\n", s.MissP50ms, s.MissP99ms)
+	}
 	if s.EncodeRatio > 0 {
-		if s.Mode == "store" || s.Mode == "query" {
+		if s.Mode == "store" || s.Mode == "storehot" || s.Mode == "query" {
 			fmt.Printf("  ratio:      %.2f:1 achieved on disk (store stats)\n", s.EncodeRatio)
 		} else {
 			fmt.Printf("  ratio:      %.2f:1 achieved on the encode path\n", s.EncodeRatio)
@@ -836,7 +983,7 @@ func (s summary) print(base string) {
 	switch {
 	case s.Corrupt > 0 && s.Mode == "query":
 		fmt.Printf("  VERIFY FAILED: %d query responses beyond their error bound\n", s.Corrupt)
-	case s.Corrupt > 0 && (s.Mode == "store" || s.Mode == "cluster"):
+	case s.Corrupt > 0 && (s.Mode == "store" || s.Mode == "storehot" || s.Mode == "cluster"):
 		fmt.Printf("  VERIFY FAILED: %d gets beyond the t1 bound\n", s.Corrupt)
 	case s.Corrupt > 0:
 		fmt.Printf("  VERIFY FAILED: %d responses differ from the direct codec\n", s.Corrupt)
@@ -844,7 +991,7 @@ func (s summary) print(base string) {
 		fmt.Println("  FAILED: no successful requests")
 	case s.Mode == "query":
 		fmt.Println("  verify:     every query answer within its reported error bound")
-	case s.Mode == "store" || s.Mode == "cluster":
+	case s.Mode == "store" || s.Mode == "storehot" || s.Mode == "cluster":
 		fmt.Println("  verify:     every get within the t1 bound of its put")
 	default:
 		fmt.Println("  verify:     all responses byte-identical to the direct codec")

@@ -63,6 +63,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on shutdown")
 	traceSample := flag.Int("trace-sample", 0, "export one of every N request traces as JSONL; 0 = default (64), needs -trace-file")
 	traceFile := flag.String("trace-file", "", "append sampled request-trace JSONL to this file (empty disables export)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "router-side response cache budget in bytes; 0 disables (nodes cache independently)")
+	prefetch := flag.Bool("prefetch", true, "enable stride prefetch in the router response cache (needs -cache-bytes)")
 	var debugAddr string
 	cliutil.RegisterDebug(flag.CommandLine, &debugAddr)
 	flag.Parse()
@@ -90,6 +92,8 @@ func main() {
 		EjectAfter:       *ejectAfter,
 		ReadmitAfter:     *readmitAfter,
 		TraceSampleEvery: *traceSample,
+		CacheBytes:       *cacheBytes,
+		Prefetch:         *prefetch,
 	}
 	if *traceFile != "" {
 		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

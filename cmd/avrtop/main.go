@@ -287,6 +287,25 @@ func renderFrame(addr string, prev, cur *sample) string {
 		}
 	}
 
+	if st.CacheHits+st.CacheMisses > 0 || st.CacheResidentBytes > 0 {
+		ratio := float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+		line := fmt.Sprintf("  cache: hit %.1f%% (%d/%d)  resident %.1f MB in %d lines  evict %d",
+			ratio*100, st.CacheHits, st.CacheHits+st.CacheMisses,
+			float64(st.CacheResidentBytes)/1e6, st.CacheLines, st.CacheEvictions)
+		// Interval hit ratio: the lifetime number hides load shifts.
+		hd := rate(prev, cur, func(s server.Stats) int64 { return s.CacheHits })
+		md := rate(prev, cur, func(s server.Stats) int64 { return s.CacheMisses })
+		if hd >= 0 && md >= 0 && hd+md > 0 {
+			line += fmt.Sprintf("  now %.1f%%", hd/(hd+md)*100)
+		}
+		b.WriteString(line + "\n")
+		if st.PrefetchIssued > 0 {
+			fmt.Fprintf(&b, "  prefetch: issued %d  useful %d (%.1f%% accurate)\n",
+				st.PrefetchIssued, st.PrefetchUseful,
+				float64(st.PrefetchUseful)/float64(st.PrefetchIssued)*100)
+		}
+	}
+
 	// Per-stage p99 bars, scaled to the slowest stage.
 	var maxP99 float64
 	for _, d := range st.Stages {

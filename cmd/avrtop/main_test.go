@@ -68,6 +68,14 @@ func testStats() server.Stats {
 		StorePuts:     3,
 		StoreGets:     2,
 		StoreQueries:  4,
+
+		CacheHits:          75,
+		CacheMisses:        25,
+		CacheResidentBytes: 2e6,
+		CacheLines:         12,
+		CacheEvictions:     1,
+		PrefetchIssued:     10,
+		PrefetchUseful:     8,
 		Stages: map[string]server.StageStats{
 			"queue":  {Count: 100, MeanUs: 5, P50Us: 4, P99Us: 20},
 			"encode": {Count: 100, MeanUs: 50, P50Us: 45, P99Us: 200},
@@ -87,6 +95,8 @@ func TestRenderFrameFirstAndDelta(t *testing.T) {
 		"ready=true",
 		"100 total", // no previous sample: totals, not rates
 		"store: puts 3  gets 2  queries 4",
+		"cache: hit 75.0% (75/100)  resident 2.0 MB in 12 lines  evict 1",
+		"prefetch: issued 10  useful 8 (80.0% accurate)",
 		"queue", "encode", "#",
 		"traces: 100 spans, 2 exported",
 	} {

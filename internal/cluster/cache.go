@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+
+	"avr/internal/obs"
+	"avr/internal/readcache"
+)
+
+// Router-side read cache: the router mount of internal/readcache. The
+// resident unit is a complete /v1/store/get response body — the router
+// never decodes values, so the cacheable artifact is the wire form —
+// keyed by store key and invalidated on every write the router itself
+// proxies (put, mput, delete). Only 200 responses marked complete are
+// admitted: a 206 torn-tail prefix must keep hitting the nodes, which
+// know when the tail reappears.
+//
+// Consistency: the router has no store lock to order fills against
+// writes, so inserts are guarded by per-key write generations (a fixed
+// table of 256 hashed counters). A fill snapshots the key's generation
+// before fetching and skips the insert if any write bumped it
+// meanwhile; write handlers bump before invalidating. A fill racing a
+// write therefore either sees the new bytes or inserts nothing —
+// hash collisions only ever cause extra skipped fills, never staleness.
+
+// genTable is the per-key write-generation guard.
+type genTable [256]atomic.Uint64
+
+// cachedResp is one resident get response.
+type cachedResp struct {
+	body   []byte
+	width  string
+	values string
+}
+
+// slot hashes key to its generation counter (inline FNV-1a, no alloc).
+func (g *genTable) slot(key string) *atomic.Uint64 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &g[h&0xFF]
+}
+
+func (g *genTable) bump(key string)        { g.slot(key).Add(1) }
+func (g *genTable) load(key string) uint64 { return g.slot(key).Load() }
+
+// initCache builds the router's response cache when cfg.CacheBytes is
+// set. Fills fetch from the key's read-any legs in the background with
+// the same timeout budget as a foreground leg.
+func (ro *Router) initCache() {
+	if ro.cfg.CacheBytes <= 0 {
+		return
+	}
+	ro.cache = readcache.New(readcache.Config{
+		MaxBytes: ro.cfg.CacheBytes,
+		Load:     ro.loadCachedGet,
+		Prefetch: ro.cfg.Prefetch,
+	})
+}
+
+// loadCachedGet is the readcache fill callback: fetch key from its
+// owners and admit the response if it is complete.
+func (ro *Router) loadCachedGet(key string, prefetch bool) {
+	if ro.draining.Load() {
+		return
+	}
+	gen := ro.writeGen.load(key)
+	ctx, cancel := context.WithTimeout(context.Background(), ro.cfg.LegTimeout)
+	defer cancel()
+	first, second := ro.legs(key)
+	path := "/v1/store/get?key=" + urlEscape(key)
+	lr := ro.doLeg(ctx, http.MethodGet, first, path, "", nil)
+	if !lr.ok2xx() && second >= 0 {
+		lr = ro.doLeg(ctx, http.MethodGet, second, path, "", nil)
+	}
+	if lr.err != nil || lr.status != http.StatusOK ||
+		lr.header.Get("X-AVR-Complete") != "true" {
+		return
+	}
+	if ro.writeGen.load(key) != gen {
+		return // a write landed while we fetched: the bytes may be stale
+	}
+	resp := &cachedResp{
+		body:   lr.body,
+		width:  lr.header.Get("X-AVR-Width"),
+		values: lr.header.Get("X-AVR-Values"),
+	}
+	size := int64(len(key)) + int64(len(resp.body)) + 128
+	ro.cache.Put(key, size, resp, prefetch)
+	// Re-check after the insert: a write that bumped between the first
+	// check and the Put has already run its Invalidate (bump precedes
+	// Invalidate), so our insert could have slipped in behind it. Either
+	// we see the bump here and undo the insert, or the bump came after
+	// this load — in which case its Invalidate is ordered after our Put
+	// and removes the line itself. No interleaving leaves stale bytes.
+	if ro.writeGen.load(key) != gen {
+		ro.cache.Invalidate(key)
+	}
+}
+
+// serveCached answers a get from the router cache when the key is
+// resident. Returns false on a miss after queueing an async fill.
+func (ro *Router) serveCached(w http.ResponseWriter, key string) bool {
+	if ro.cache == nil {
+		return false
+	}
+	ro.cache.Observe(key)
+	ent, ok := ro.cache.Get(key)
+	if !ok {
+		obs.CacheMisses.Add(1)
+		ro.cache.RequestFill(key)
+		return false
+	}
+	resp := ent.Meta.(*cachedResp)
+	src := "hit"
+	if ent.ConsumePrefetched() {
+		obs.PrefetchUseful.Add(1)
+		src = "prefetch"
+	}
+	obs.CacheHits.Add(1)
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-AVR-Width", resp.width)
+	h.Set("X-AVR-Values", resp.values)
+	h.Set("X-AVR-Complete", "true")
+	h.Set("X-AVR-Cache", src)
+	w.Write(resp.body)
+	return true
+}
+
+// invalidateKey drops key's resident response after a proxied write.
+// The generation bump comes first so any in-flight fill that read the
+// pre-write bytes refuses to insert them.
+func (ro *Router) invalidateKey(key string) {
+	if ro.cache == nil {
+		return
+	}
+	ro.writeGen.bump(key)
+	ro.cache.Invalidate(key)
+}
+
+// CacheStats mirrors the store-side snapshot for /v1/stats.
+type CacheStats struct {
+	Enabled       bool  `json:"enabled"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Lines         int   `json:"lines"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+}
+
+func (ro *Router) cacheStats() CacheStats {
+	if ro.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Enabled:       true,
+		ResidentBytes: ro.cache.Bytes(),
+		Lines:         ro.cache.Len(),
+		BudgetBytes:   ro.cfg.CacheBytes,
+	}
+}

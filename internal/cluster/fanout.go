@@ -144,6 +144,9 @@ func (ro *Router) handleMput(w http.ResponseWriter, r *http.Request) {
 		return b
 	})
 	sp.End(trace.StageFanout, ft)
+	for i := range req.Items {
+		ro.invalidateKey(req.Items[i].Key)
+	}
 
 	res := server.BatchPutResult{Results: make([]server.BatchPutItemResult, len(req.Items))}
 	for i := range res.Results {

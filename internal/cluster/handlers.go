@@ -96,6 +96,9 @@ func (ro *Router) handlePut(w http.ResponseWriter, r *http.Request) {
 		prLR = ro.doLegRetry(r.Context(), http.MethodPut, p, path, traceID, body)
 	}
 	sp.End(trace.StageFanout, ft)
+	// Write-through invalidation: even a failed leg may have mutated one
+	// replica before erroring, so drop the cached response regardless.
+	ro.invalidateKey(key)
 
 	replicas := 0
 	best := prLR
@@ -132,7 +135,11 @@ func (ro *Router) handlePut(w http.ResponseWriter, r *http.Request) {
 // be. The reply is safe from whichever replica answers: every stored
 // value was encoded at the store's quantized t1, so the client's bound
 // check holds regardless of which copy served it.
-func (ro *Router) proxyRead(w http.ResponseWriter, r *http.Request, sp *trace.Span, key, path string) {
+//
+// markMiss stamps X-AVR-Cache: miss over the leg's own verdict — set
+// when the router-tier cache was consulted and missed, so the client
+// measures the tier it talked to rather than the node behind it.
+func (ro *Router) proxyRead(w http.ResponseWriter, r *http.Request, sp *trace.Span, key, path string, markMiss bool) {
 	traceID := inboundTraceID(r, sp)
 	rt := sp.Begin()
 	first, second := ro.legs(key)
@@ -153,6 +160,9 @@ func (ro *Router) proxyRead(w http.ResponseWriter, r *http.Request, sp *trace.Sp
 		return
 	}
 	passthroughHeaders(w.Header(), lr.header)
+	if markMiss {
+		w.Header().Set("X-AVR-Cache", "miss")
+	}
 	sp.WriteHeaders(w.Header())
 	w.WriteHeader(lr.status)
 	w.Write(lr.body)
@@ -172,7 +182,13 @@ func (ro *Router) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer ro.release()
-	ro.proxyRead(w, r, sp, key, "/v1/store/get?"+r.URL.RawQuery)
+	ct := sp.Begin()
+	if ro.serveCached(w, key) {
+		sp.End(trace.StageCacheHit, ct)
+		sp.WriteHeaders(w.Header())
+		return
+	}
+	ro.proxyRead(w, r, sp, key, "/v1/store/get?"+r.URL.RawQuery, ro.cache != nil)
 }
 
 // handleDelete proxies DELETE /v1/store/key to both replicas. Deleting
@@ -204,6 +220,7 @@ func (ro *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 		results = append(results, ro.doLegRetry(r.Context(), http.MethodDelete, rep, path, traceID, nil))
 	}
 	sp.End(trace.StageFanout, ft)
+	ro.invalidateKey(key)
 
 	acked, all404 := 0, true
 	for _, lr := range results {
@@ -252,7 +269,7 @@ func (ro *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer ro.release()
-		ro.proxyRead(w, r, sp, key, "/v1/store/query?"+r.URL.RawQuery)
+		ro.proxyRead(w, r, sp, key, "/v1/store/query?"+r.URL.RawQuery, false)
 		return
 	}
 
@@ -449,6 +466,7 @@ type RouterStats struct {
 	BatchKeys     int64             `json:"batch_keys"`
 	NodeEjects    int64             `json:"node_ejects"`
 	NodeReadmits  int64             `json:"node_readmits"`
+	Cache         CacheStats        `json:"cache"`
 	Nodes         []RouterNodeStats `json:"nodes"`
 }
 
@@ -468,6 +486,7 @@ func (ro *Router) Stats() RouterStats {
 		BatchKeys:     obs.RouterBatchKeys.Value(),
 		NodeEjects:    obs.RouterNodeEjects.Value(),
 		NodeReadmits:  obs.RouterNodeReadmits.Value(),
+		Cache:         ro.cacheStats(),
 	}
 	now := time.Now().UnixNano()
 	for _, nd := range ro.nodes {

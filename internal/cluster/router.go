@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"avr/internal/obs"
+	"avr/internal/readcache"
 	"avr/internal/trace"
 )
 
@@ -54,6 +55,12 @@ type Config struct {
 	// TraceSampleEvery / TraceSink mirror the avrd tracing config.
 	TraceSampleEvery int
 	TraceSink        io.Writer
+	// CacheBytes is the byte budget of the router-side response cache
+	// over read-any gets (0 — the default — disables it: the nodes run
+	// their own summary-line caches, so the router tier opts in).
+	CacheBytes int64
+	// Prefetch enables stride prefetch on the response cache.
+	Prefetch bool
 }
 
 // withDefaults fills unset fields.
@@ -138,6 +145,11 @@ type Router struct {
 	tracer    *trace.Tracer
 	stopProbe chan struct{}
 	probeDone chan struct{}
+
+	// cache holds complete get responses (nil when Config.CacheBytes is
+	// 0); writeGen guards its fills against proxied writes (cache.go).
+	cache    *readcache.Cache
+	writeGen genTable
 }
 
 // New creates a Router for the topology and starts its health prober
@@ -176,6 +188,7 @@ func New(cfg Config) (*Router, error) {
 		tcfg.Sink = trace.NewSink(cfg.TraceSink)
 	}
 	ro.tracer = trace.New(tcfg)
+	ro.initCache()
 
 	ro.mux.HandleFunc("PUT /v1/store/put", ro.handlePut)
 	ro.mux.HandleFunc("POST /v1/store/put", ro.handlePut)
@@ -218,16 +231,20 @@ func (ro *Router) Handler() http.Handler { return ro.mux }
 func (ro *Router) Serve(ln net.Listener) error { return ro.http.Serve(ln) }
 
 // Shutdown drains gracefully: readiness flips to 503, in-flight
-// requests complete, the prober stops.
+// requests complete, the prober and cache fill workers stop.
 func (ro *Router) Shutdown(ctx context.Context) error {
 	ro.draining.Store(true)
 	ro.stopProber()
+	ro.cache.Close()
 	return ro.http.Shutdown(ctx)
 }
 
-// Close stops the prober without serving shutdown (tests that use
-// Handler directly).
-func (ro *Router) Close() { ro.stopProber() }
+// Close stops the prober and cache workers without serving shutdown
+// (tests that use Handler directly).
+func (ro *Router) Close() {
+	ro.stopProber()
+	ro.cache.Close()
+}
 
 func (ro *Router) stopProber() {
 	if ro.stopProbe != nil {

@@ -620,3 +620,104 @@ func TestRouterReadyzDrain(t *testing.T) {
 		t.Fatalf("readyz while draining: %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestRouterCacheHitAndInvalidation drives the router-side response
+// cache: a cold get is a miss that queues an async fill, re-reads hit
+// with byte-identical bodies, and a proxied overwrite (put or mput)
+// drops the resident line so the next read serves fresh bytes.
+func TestRouterCacheHitAndInvalidation(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{CacheBytes: 16 << 20})
+	const key, vn = "cached-key", 96
+
+	getOnce := func() (string, []byte) {
+		t.Helper()
+		resp, err := http.Get(tc.router.URL + "/v1/store/get?key=" + key)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get: status %d: %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-AVR-Cache"), body
+	}
+	// waitHit polls until the async fill lands and returns the hit body.
+	waitHit := func() []byte {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			src, body := getOnce()
+			if src == "hit" || src == "prefetch" {
+				return body
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatal("async fill never landed: every read stayed a miss")
+		return nil
+	}
+
+	tc.put(t, key, testVals(1, vn))
+	src, cold := getOnce()
+	if src != "miss" {
+		t.Fatalf("cold read X-AVR-Cache = %q, want miss", src)
+	}
+	hit := waitHit()
+	if !bytes.Equal(hit, cold) {
+		t.Fatal("cached body differs from the proxied read")
+	}
+	tc.checkVals(t, key, leF32(hit), testVals(1, vn))
+	if st := tc.ro.Stats(); !st.Cache.Enabled || st.Cache.Lines == 0 {
+		t.Fatalf("router stats cache = %+v, want enabled with resident lines", st.Cache)
+	}
+
+	// Overwrite through the router: the resident line must be dropped
+	// and the next hit must carry the new generation's bytes.
+	tc.put(t, key, testVals(7, vn))
+	src, fresh := getOnce()
+	if src != "miss" {
+		t.Fatalf("post-overwrite read X-AVR-Cache = %q, want miss (stale line must be invalidated)", src)
+	}
+	tc.checkVals(t, key, leF32(fresh), testVals(7, vn))
+	tc.checkVals(t, key, leF32(waitHit()), testVals(7, vn))
+
+	// Batched overwrite (mput) invalidates too.
+	mreq := server.BatchPutRequest{Items: []server.BatchPutItem{
+		{Key: key, Data: f32le(testVals(3, vn)...)}}}
+	mb, _ := json.Marshal(mreq)
+	resp, err := http.Post(tc.router.URL+"/v1/store/mput", "application/json", bytes.NewReader(mb))
+	if err != nil {
+		t.Fatalf("mput: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mput: status %d", resp.StatusCode)
+	}
+	src, fresh = getOnce()
+	if src != "miss" {
+		t.Fatalf("post-mput read X-AVR-Cache = %q, want miss", src)
+	}
+	tc.checkVals(t, key, leF32(fresh), testVals(3, vn))
+
+	// Delete drops the line for good: the key must 404, not hit.
+	req, _ := http.NewRequest(http.MethodDelete, tc.router.URL+"/v1/store/key?key="+key, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode/100 != 2 {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	gresp, err := http.Get(tc.router.URL + "/v1/store/get?key=" + key)
+	if err != nil {
+		t.Fatalf("get after delete: %v", err)
+	}
+	io.Copy(io.Discard, gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", gresp.StatusCode)
+	}
+}

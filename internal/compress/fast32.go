@@ -272,3 +272,30 @@ func (c *Compressor) DecompressInto(out *[BlockValues]uint32, summary *[SummaryV
 		}
 	}
 }
+
+// DecompressBits32 is DecompressInto for Float32 data with the convert
+// sweep vectorized: interpolate (SIMD when available), one
+// fixed→float-bits pass through simd.FixedToFloatsBits, then the
+// bitmap-driven outlier overlay. Bit-identical to DecompressInto — the
+// kernel replicates fixed.FixedToFloats lane for lane (the property test
+// in internal/simd pins it) — but writing float bit patterns straight
+// into out, which callers may alias over a []float32 destination. This
+// is the read-cache hit path: reconstruction from a resident summary
+// line at memory speed.
+func (c *Compressor) DecompressBits32(out *[BlockValues]uint32, summary *[SummaryValues]int32, bitmap, outlierBytes []byte, m Method, bias int8) {
+	interpolate(summary, &c.recon, m)
+	if simd.Enabled() {
+		simd.FixedToFloatsBits(out, &c.recon, int32(-int(bias)))
+	} else {
+		fixed.FixedToFloats(out[:], c.recon[:], bias)
+	}
+	oi := 0
+	for bi, b := range bitmap {
+		for b != 0 {
+			i := bi<<3 + bits.TrailingZeros8(b)
+			b &= b - 1
+			out[i] = binary.LittleEndian.Uint32(outlierBytes[oi:])
+			oi += 4
+		}
+	}
+}

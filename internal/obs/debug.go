@@ -101,6 +101,26 @@ var (
 	StoreQueryBytesTouched = expvar.NewInt("avr.store_query_bytes_touched")
 	StoreQueryBytesTotal   = expvar.NewInt("avr.store_query_bytes_total")
 
+	// Read-cache counters (internal/readcache, mounted store-side by
+	// internal/store and router-side by internal/cluster — one logical
+	// cache per process, so process-global atomics are the right scope).
+	//
+	// CacheHits/CacheMisses count reads served from resident summary
+	// lines vs reads that fell through to the disk path; CacheEvictions
+	// counts lines evicted to stay under the byte budget.
+	CacheHits      = expvar.NewInt("avr.cache_hits")
+	CacheMisses    = expvar.NewInt("avr.cache_misses")
+	CacheEvictions = expvar.NewInt("avr.cache_evictions")
+	// CacheResidentBytes/CacheLines gauge the cache's current occupancy
+	// (updated by delta on insert/evict/invalidate).
+	CacheResidentBytes = expvar.NewInt("avr.cache_resident_bytes")
+	CacheLines         = expvar.NewInt("avr.cache_lines")
+	// PrefetchIssued counts summary lines pulled in by the stride
+	// prefetcher; PrefetchUseful counts prefetched lines that later
+	// served a hit (the pair is the prefetch accuracy).
+	PrefetchIssued = expvar.NewInt("avr.prefetch_issued")
+	PrefetchUseful = expvar.NewInt("avr.prefetch_useful")
+
 	// Router-tier counters (internal/cluster, cmd/avrrouter).
 	//
 	// RouterRequests counts requests admitted past the router's bounded
@@ -126,6 +146,18 @@ var (
 	RouterNodeEjects   = expvar.NewInt("avr.router_node_ejects")
 	RouterNodeReadmits = expvar.NewInt("avr.router_node_readmits")
 )
+
+func init() {
+	// Hit ratio derived from the cache counters, exported on /metrics
+	// as a gauge (WriteMetrics renders float64-valued Funcs directly).
+	expvar.Publish("avr.cache_hit_ratio", expvar.Func(func() any {
+		h, m := CacheHits.Value(), CacheMisses.Value()
+		if h+m == 0 {
+			return 0.0
+		}
+		return float64(h) / float64(h+m)
+	}))
+}
 
 // debugMetricsOnce guards /metrics registration on the default mux:
 // ServeDebug may be called more than once per process (tests), and

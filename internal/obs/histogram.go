@@ -198,6 +198,25 @@ func StoreQueryLatencyHistogram() *Histogram {
 			25000, 50000, 100000, 250000, 1e6})
 }
 
+// CacheHitLatencyHistogram bins read-cache hit latency in microseconds
+// (summary interpolation + outlier patch-in, no segment read). Buckets
+// start well below the get histogram's: a hit is a memory-speed
+// reconstruction, routinely single-digit microseconds.
+func CacheHitLatencyHistogram() *Histogram {
+	return NewHistogram("cache_hit_latency", "µs",
+		[]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+			5000, 10000, 25000})
+}
+
+// CacheMissLatencyHistogram bins read latency for cache misses (the
+// full disk path: segment read + CRC + decode), on the same µs scale as
+// the get histogram so the hit/miss split is directly comparable.
+func CacheMissLatencyHistogram() *Histogram {
+	return NewHistogram("cache_miss_latency", "µs",
+		[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+			25000, 50000, 100000, 250000, 1e6})
+}
+
 // StageLatencyHistogram bins one traced request stage's latency in
 // microseconds (internal/trace). The buckets extend below the serving
 // histogram's because a single stage — a pool checkout, a lock wait —

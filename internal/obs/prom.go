@@ -21,9 +21,11 @@ import (
 // promGauges lists the avr.* integers that are occupancy levels rather
 // than monotone totals, so the exposition can type them honestly.
 var promGauges = map[string]bool{
-	"avr.runs_in_flight":   true,
-	"avr.workers_busy":     true,
-	"avr.server_in_flight": true,
+	"avr.runs_in_flight":       true,
+	"avr.workers_busy":         true,
+	"avr.server_in_flight":     true,
+	"avr.cache_resident_bytes": true,
+	"avr.cache_lines":          true,
 }
 
 // promName maps an expvar key to a legal Prometheus metric name:
@@ -52,11 +54,15 @@ func WriteMetrics(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "# HELP %s expvar %s\n# TYPE %s %s\n%s %d\n",
 				name, kv.Key, name, typ, name, v.Value())
 		case expvar.Func:
-			s, ok := v.Value().(Summary)
-			if !ok {
-				return
+			switch val := v.Value().(type) {
+			case Summary:
+				err = writeHistogram(w, name, kv.Key, val)
+			case float64:
+				// Derived ratios (e.g. avr.cache_hit_ratio) export as
+				// gauges.
+				_, err = fmt.Fprintf(w, "# HELP %s expvar %s\n# TYPE %s gauge\n%s %g\n",
+					name, kv.Key, name, name, val)
 			}
-			err = writeHistogram(w, name, kv.Key, s)
 		}
 	})
 	return err

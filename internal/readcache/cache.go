@@ -1,0 +1,409 @@
+// Package readcache is the serving tier's rendering of the paper's
+// DBUF/PFE pair: an in-memory, byte-budgeted, sharded-LRU cache whose
+// unit of residency is a key's *summary line* — the summary + outlier
+// bitmap + packed outliers of its encoded frames — rather than the
+// decoded vector, so a fixed budget holds ~16× more hot keys than a
+// decoded-block cache would (Touché's keep-it-compressed capacity
+// argument applied at the service layer). The cache is content-agnostic:
+// entries carry an opaque Meta the owner reconstructs from on a hit
+// (internal/store keeps pre-parsed summary slabs, internal/cluster keeps
+// whole proxied responses).
+//
+// Population is asynchronous: a miss calls RequestFill, which
+// singleflights the key onto a bounded worker queue (a thundering herd
+// fills once; a full queue drops the request silently — the next miss
+// retries). A confidence-gated stride prefetcher (prefetch.go) watches
+// the key stream and pulls predicted next keys through the same queue
+// ahead of the request, falling through silently when wrong — the
+// paper's PFE, with the LVA-style confidence gate.
+//
+// Staleness is the owner's problem by design: entries are immutable
+// after Put, and owners validate a version captured in Meta against
+// their source of truth before serving a hit (the store checks its index
+// seq under the same read lock). Invalidate hooks exist as an efficiency
+// measure, not a correctness one.
+package readcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"avr/internal/obs"
+)
+
+// Config tunes a cache. The zero value of any field selects its
+// default.
+type Config struct {
+	// MaxBytes is the resident-byte budget across all shards
+	// (required; New returns nil when it is non-positive, and a nil
+	// *Cache is a valid no-op cache).
+	MaxBytes int64
+	// Shards is the number of independently locked LRU shards
+	// (default 16, rounded up to a power of two).
+	Shards int
+	// FillWorkers is the number of background fill goroutines
+	// (default 2).
+	FillWorkers int
+	// FillQueue bounds the pending fill/prefetch requests (default
+	// 256); requests beyond it are dropped, not queued.
+	FillQueue int
+	// Load fills one key: read the backing source and Put the entry
+	// (or not, on error). Called from fill workers only, never from
+	// the request path. Required for RequestFill/prefetch to do
+	// anything.
+	Load func(key string, prefetch bool)
+	// Prefetch enables the stride prefetcher.
+	Prefetch bool
+	// PrefetchDepth is how many predicted keys past the last observed
+	// one to pull in (default 2).
+	PrefetchDepth int
+	// PrefetchMinConfidence is how many consecutive same-stride
+	// observations arm the prefetcher (default 2).
+	PrefetchMinConfidence int
+}
+
+// Entry is one resident line. Meta is immutable after Put; readers may
+// hold the pointer past eviction (the LRU links are owned by the shard
+// and never touched by readers).
+type Entry struct {
+	// Meta is the owner's reconstruction state for this key.
+	Meta any
+	// Size is the accounted resident size in bytes.
+	Size int64
+
+	key        string
+	prev, next *Entry // shard LRU links, guarded by the shard mutex
+	prefetched atomic.Bool
+}
+
+// ConsumePrefetched reports whether this entry was brought in by the
+// prefetcher and has not served a hit yet; the flag is consumed, so the
+// first validated hit (and only it) counts as prefetch-useful.
+func (e *Entry) ConsumePrefetched() bool {
+	return e.prefetched.Load() && e.prefetched.CompareAndSwap(true, false)
+}
+
+// shard is one independently locked LRU: a map plus an intrusive
+// doubly-linked list threaded through the entries, most recent at head.
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*Entry
+	head  *Entry // most recently used
+	tail  *Entry // eviction candidate
+	bytes int64
+	max   int64
+}
+
+// Cache is a sharded summary-line cache. A nil *Cache is a valid
+// disabled cache: every method is a no-op and Get always misses.
+type Cache struct {
+	cfg    Config
+	shards []shard
+	mask   uint32
+
+	fills   chan fillReq
+	pending map[string]struct{} // singleflight: keys queued or filling
+	pmu     sync.Mutex
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	pf *strideTracker
+}
+
+type fillReq struct {
+	key      string
+	prefetch bool
+}
+
+// New builds a cache, or returns nil (a valid no-op cache) when the
+// byte budget is non-positive.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		return nil
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	nsh := 1
+	for nsh < cfg.Shards {
+		nsh <<= 1
+	}
+	if cfg.FillWorkers <= 0 {
+		cfg.FillWorkers = 2
+	}
+	if cfg.FillQueue <= 0 {
+		cfg.FillQueue = 256
+	}
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = 2
+	}
+	if cfg.PrefetchMinConfidence <= 0 {
+		cfg.PrefetchMinConfidence = 2
+	}
+	c := &Cache{
+		cfg:     cfg,
+		shards:  make([]shard, nsh),
+		mask:    uint32(nsh - 1),
+		fills:   make(chan fillReq, cfg.FillQueue),
+		pending: make(map[string]struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*Entry)
+		// Budget split evenly: per-shard budgets avoid a global byte
+		// counter on the hit path, at the cost of slightly earlier
+		// eviction for keys that happen to collide on a shard.
+		c.shards[i].max = cfg.MaxBytes / int64(nsh)
+	}
+	if cfg.Prefetch {
+		c.pf = newStrideTracker(cfg.PrefetchDepth, cfg.PrefetchMinConfidence)
+	}
+	if cfg.Load != nil {
+		for w := 0; w < cfg.FillWorkers; w++ {
+			c.wg.Add(1)
+			go c.fillWorker()
+		}
+	}
+	return c
+}
+
+// Close stops the fill workers. Resident entries stay readable; pending
+// fill requests are drained without being executed.
+func (c *Cache) Close() {
+	if c == nil || !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(c.fills)
+	c.wg.Wait()
+}
+
+// fnv1a hashes the key for shard selection without allocating.
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// Get returns the resident entry for key, bumping its recency. The
+// caller owns hit/miss accounting: only it can tell a validated hit
+// from a stale line.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.items[key]
+	if ok && e != sh.head {
+		sh.unlink(e)
+		sh.pushFront(e)
+	}
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// Contains reports residency without bumping recency (prefetch dedup).
+func (c *Cache) Contains(key string) bool {
+	if c == nil {
+		return false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	_, ok := sh.items[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Put inserts (or replaces) the entry for key and evicts from the
+// shard's LRU tail until the shard is back under budget. A line larger
+// than the whole shard budget is not admitted — it would evict the
+// entire shard to hold one key.
+func (c *Cache) Put(key string, size int64, meta any, prefetched bool) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(key)
+	if size > sh.max {
+		return
+	}
+	e := &Entry{Meta: meta, Size: size, key: key}
+	e.prefetched.Store(prefetched)
+	var freedLines, freedBytes int64
+	sh.mu.Lock()
+	if old, ok := sh.items[key]; ok {
+		sh.unlink(old)
+		delete(sh.items, key)
+		sh.bytes -= old.Size
+		freedLines++
+		freedBytes += old.Size
+	}
+	sh.items[key] = e
+	sh.pushFront(e)
+	sh.bytes += size
+	freedLines--
+	freedBytes -= size
+	evicted := int64(0)
+	for sh.bytes > sh.max && sh.tail != nil {
+		v := sh.tail
+		sh.unlink(v)
+		delete(sh.items, v.key)
+		sh.bytes -= v.Size
+		freedLines++
+		freedBytes += v.Size
+		evicted++
+	}
+	sh.mu.Unlock()
+	obs.CacheResidentBytes.Add(-freedBytes)
+	obs.CacheLines.Add(-freedLines)
+	obs.CacheEvictions.Add(evicted)
+}
+
+// Invalidate drops key if resident.
+func (c *Cache) Invalidate(key string) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.items[key]
+	if ok {
+		sh.unlink(e)
+		delete(sh.items, key)
+		sh.bytes -= e.Size
+	}
+	sh.mu.Unlock()
+	if ok {
+		obs.CacheResidentBytes.Add(-e.Size)
+		obs.CacheLines.Add(-1)
+	}
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	var bytes, lines int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		bytes += sh.bytes
+		lines += int64(len(sh.items))
+		sh.items = make(map[string]*Entry)
+		sh.head, sh.tail, sh.bytes = nil, nil, 0
+		sh.mu.Unlock()
+	}
+	obs.CacheResidentBytes.Add(-bytes)
+	obs.CacheLines.Add(-lines)
+}
+
+// Bytes returns the resident byte total.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the resident line count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// RequestFill asks the background workers to load key. Non-blocking:
+// the key singleflights (one fill per key in flight), and a full queue
+// drops the request — the next miss simply asks again.
+func (c *Cache) RequestFill(key string) { c.requestFill(key, false) }
+
+func (c *Cache) requestFill(key string, prefetch bool) {
+	if c == nil || c.cfg.Load == nil || c.closed.Load() {
+		return
+	}
+	c.pmu.Lock()
+	if _, dup := c.pending[key]; dup {
+		c.pmu.Unlock()
+		return
+	}
+	c.pending[key] = struct{}{}
+	c.pmu.Unlock()
+	select {
+	case c.fills <- fillReq{key: key, prefetch: prefetch}:
+		if prefetch {
+			obs.PrefetchIssued.Add(1)
+		}
+	default:
+		c.pmu.Lock()
+		delete(c.pending, key)
+		c.pmu.Unlock()
+	}
+}
+
+func (c *Cache) fillWorker() {
+	defer c.wg.Done()
+	for req := range c.fills {
+		c.cfg.Load(req.key, req.prefetch)
+		c.pmu.Lock()
+		delete(c.pending, req.key)
+		c.pmu.Unlock()
+	}
+}
+
+// Observe feeds one requested key to the stride prefetcher; predicted
+// next keys not already resident are queued as prefetch fills. A no-op
+// unless Config.Prefetch is set.
+func (c *Cache) Observe(key string) {
+	if c == nil || c.pf == nil {
+		return
+	}
+	c.pf.observe(c, key)
+}
+
+// ---- intrusive LRU list (shard mutex held) ----
+
+func (sh *shard) pushFront(e *Entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

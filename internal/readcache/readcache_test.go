@@ -1,0 +1,280 @@
+package readcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	if e, ok := c.Get("k"); e != nil || ok {
+		t.Fatalf("nil cache Get = %v, %v", e, ok)
+	}
+	c.Put("k", 10, nil, false)
+	c.Invalidate("k")
+	c.InvalidateAll()
+	c.RequestFill("k")
+	c.Observe("k")
+	c.Close()
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatal("nil cache reports occupancy")
+	}
+	if New(Config{MaxBytes: 0}) != nil {
+		t.Fatal("New with no budget should return the nil no-op cache")
+	}
+}
+
+func TestPutGetInvalidate(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	defer c.Close()
+	c.Put("a", 100, "meta-a", false)
+	e, ok := c.Get("a")
+	if !ok || e.Meta.(string) != "meta-a" {
+		t.Fatalf("Get(a) = %v, %v", e, ok)
+	}
+	if e.ConsumePrefetched() {
+		t.Fatal("demand-filled entry claims prefetched")
+	}
+	c.Put("p", 50, "meta-p", true)
+	e, _ = c.Get("p")
+	if !e.ConsumePrefetched() {
+		t.Fatal("prefetched entry lost its flag")
+	}
+	if e.ConsumePrefetched() {
+		t.Fatal("prefetched flag not consumed")
+	}
+	c.Invalidate("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get(a) after Invalidate")
+	}
+	if got := c.Bytes(); got != 50 {
+		t.Fatalf("Bytes = %d, want 50", got)
+	}
+	c.InvalidateAll()
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatalf("after InvalidateAll: %d bytes, %d lines", c.Bytes(), c.Len())
+	}
+}
+
+// TestBudgetInvariant is the eviction-under-budget invariant: resident
+// bytes never exceed MaxBytes, at any point under randomized
+// insert/replace/invalidate traffic, and recently used keys survive
+// eviction longer than cold ones.
+func TestBudgetInvariant(t *testing.T) {
+	const budget = 64 << 10
+	c := New(Config{MaxBytes: budget, Shards: 4})
+	defer c.Close()
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 20000; op++ {
+		key := fmt.Sprintf("k-%d", rng.Intn(400))
+		switch rng.Intn(10) {
+		case 0:
+			c.Invalidate(key)
+		case 1:
+			c.Get(key)
+		default:
+			c.Put(key, int64(16+rng.Intn(2048)), op, rng.Intn(8) == 0)
+		}
+		if got := c.Bytes(); got > budget {
+			t.Fatalf("op %d: resident bytes %d exceed budget %d", op, got, budget)
+		}
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache empty after sustained inserts")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// One shard so recency is globally ordered.
+	c := New(Config{MaxBytes: 300, Shards: 1})
+	defer c.Close()
+	c.Put("a", 100, nil, false)
+	c.Put("b", 100, nil, false)
+	c.Put("c", 100, nil, false)
+	c.Get("a") // bump a over b
+	c.Put("d", 100, nil, false)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b (LRU) survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted out of order", k)
+		}
+	}
+}
+
+func TestOversizedLineNotAdmitted(t *testing.T) {
+	c := New(Config{MaxBytes: 1024, Shards: 1})
+	defer c.Close()
+	c.Put("big", 2048, nil, false)
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("over-budget line admitted")
+	}
+}
+
+func TestFillSingleflight(t *testing.T) {
+	var mu sync.Mutex
+	loads := map[string]int{}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	c := New(Config{
+		MaxBytes:    1 << 20,
+		FillWorkers: 1,
+		Load: func(key string, prefetch bool) {
+			mu.Lock()
+			loads[key]++
+			mu.Unlock()
+			if key == "slow" {
+				close(started)
+				<-release
+			}
+		},
+	})
+	defer c.Close()
+	c.RequestFill("slow")
+	<-started
+	// While "slow" is filling, repeated requests for it must coalesce.
+	for i := 0; i < 10; i++ {
+		c.RequestFill("slow")
+	}
+	c.RequestFill("other")
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		done := loads["other"] == 1
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if loads["slow"] != 1 {
+		t.Fatalf("slow loaded %d times, want 1 (singleflight)", loads["slow"])
+	}
+	if loads["other"] != 1 {
+		t.Fatalf("other loaded %d times, want 1", loads["other"])
+	}
+}
+
+// waitLoads polls until want distinct keys have been loaded.
+func waitLoads(t *testing.T, loaded *sync.Map, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		n := 0
+		loaded.Range(func(any, any) bool { n++; return true })
+		if n >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d loads", want)
+}
+
+func TestStridePrefetch(t *testing.T) {
+	var loaded sync.Map
+	var prefetches atomic.Int64
+	c := New(Config{
+		MaxBytes: 1 << 20,
+		Prefetch: true,
+		Load: func(key string, prefetch bool) {
+			loaded.Store(key, prefetch)
+			if prefetch {
+				prefetches.Add(1)
+			}
+		},
+	})
+	defer c.Close()
+	// Sequential scan with zero-padded keys: ts-00003, 00004, 00005 …
+	// Two same-stride deltas arm the predictor on the third access.
+	for i := 3; i <= 5; i++ {
+		c.Observe(fmt.Sprintf("ts-%05d", i))
+	}
+	waitLoads(t, &loaded, 2)
+	for _, want := range []string{"ts-00006", "ts-00007"} {
+		v, ok := loaded.Load(want)
+		if !ok {
+			t.Fatalf("predicted key %s not prefetched", want)
+		}
+		if v != true {
+			t.Fatalf("%s loaded as demand fill, want prefetch", want)
+		}
+	}
+	if prefetches.Load() < 2 {
+		t.Fatalf("prefetches = %d, want >= 2", prefetches.Load())
+	}
+}
+
+func TestStrideIgnoresNonSequential(t *testing.T) {
+	var loads atomic.Int64
+	c := New(Config{
+		MaxBytes: 1 << 20,
+		Prefetch: true,
+		Load:     func(string, bool) { loads.Add(1) },
+	})
+	defer c.Close()
+	// Random jumps never build confidence; repeats are neutral.
+	for _, k := range []string{"k-10", "k-3", "k-900", "k-900", "k-41", "k-7", "nodigits", ""} {
+		c.Observe(k)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := loads.Load(); n != 0 {
+		t.Fatalf("unconfident stream issued %d prefetches", n)
+	}
+}
+
+func TestStrideNegativeAndWideStrides(t *testing.T) {
+	var loaded sync.Map
+	c := New(Config{
+		MaxBytes: 1 << 20,
+		Prefetch: true,
+		Load:     func(key string, prefetch bool) { loaded.Store(key, prefetch) },
+	})
+	defer c.Close()
+	// Descending scan, stride -2.
+	for _, n := range []int{20, 18, 16} {
+		c.Observe(fmt.Sprintf("rev-%d", n))
+	}
+	waitLoads(t, &loaded, 2)
+	for _, want := range []string{"rev-14", "rev-12"} {
+		if _, ok := loaded.Load(want); !ok {
+			t.Fatalf("predicted key %s not prefetched", want)
+		}
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	cases := []struct {
+		key    string
+		prefix string
+		n      int64
+		ok     bool
+	}{
+		{"ts-00041", "ts-", 41, true},
+		{"k7", "k", 7, true},
+		{"123", "", 123, true},
+		{"nodigits", "", 0, false},
+		{"", "", 0, false},
+		{"k-99999999999999999999999", "", 0, false}, // > 18 digits
+	}
+	for _, tc := range cases {
+		prefix, n, ok := splitKey(tc.key)
+		if ok != tc.ok || (ok && (prefix != tc.prefix || n != tc.n)) {
+			t.Fatalf("splitKey(%q) = %q, %d, %v; want %q, %d, %v",
+				tc.key, prefix, n, ok, tc.prefix, tc.n, tc.ok)
+		}
+	}
+	if got := pad(42, 5); got != "00042" {
+		t.Fatalf("pad(42, 5) = %q", got)
+	}
+	if got := pad(123456, 3); got != "123456" {
+		t.Fatalf("pad(123456, 3) = %q", got)
+	}
+}

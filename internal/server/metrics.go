@@ -56,6 +56,15 @@ type Stats struct {
 	QueryBytesTouched int64 `json:"query_bytes_touched"`
 	QueryBytesTotal   int64 `json:"query_bytes_total"`
 
+	// Read-cache counters (all zero when -cache-bytes is 0).
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	CacheEvictions     int64 `json:"cache_evictions"`
+	CacheResidentBytes int64 `json:"cache_resident_bytes"`
+	CacheLines         int64 `json:"cache_lines"`
+	PrefetchIssued     int64 `json:"prefetch_issued"`
+	PrefetchUseful     int64 `json:"prefetch_useful"`
+
 	Latency obs.Summary `json:"latency"`
 	Ratio   obs.Summary `json:"ratio"`
 
@@ -111,6 +120,14 @@ func (s *Server) snapshotStats() Stats {
 		StoreQueries:      obs.StoreQueries.Value(),
 		QueryBytesTouched: obs.StoreQueryBytesTouched.Value(),
 		QueryBytesTotal:   obs.StoreQueryBytesTotal.Value(),
+
+		CacheHits:          obs.CacheHits.Value(),
+		CacheMisses:        obs.CacheMisses.Value(),
+		CacheEvictions:     obs.CacheEvictions.Value(),
+		CacheResidentBytes: obs.CacheResidentBytes.Value(),
+		CacheLines:         obs.CacheLines.Value(),
+		PrefetchIssued:     obs.PrefetchIssued.Value(),
+		PrefetchUseful:     obs.PrefetchUseful.Value(),
 
 		Latency: latencyHist.Summary(),
 		Ratio:   ratioHist.Summary(),

@@ -191,11 +191,16 @@ func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	obs.ServerRequests.Add(1)
 
-	v32, v64, width, err := s.cfg.Store.GetTraced(key, sp)
+	v32, v64, width, src, err := s.cfg.Store.GetCachedTraced(key, sp)
 	incomplete := errors.Is(err, store.ErrIncomplete)
 	if err != nil && !incomplete {
 		storeFail(w, err)
 		return
+	}
+	// hit|miss|prefetch when the read cache is configured; omitted when
+	// it is off, so clients can tell "disabled" from "missed".
+	if cs := src.String(); cs != "" {
+		w.Header().Set("X-AVR-Cache", cs)
 	}
 	bufp := getBufPool.Get().(*[]byte)
 	defer getBufPool.Put(bufp)

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"testing"
+	"time"
 
 	"avr/internal/store"
 )
@@ -247,5 +248,52 @@ func TestStoreQueryEndpoint(t *testing.T) {
 	}
 	if resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/query?key=absent", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("absent key: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStoreGetCacheHeader pins the X-AVR-Cache contract: absent when the
+// read cache is off, "miss" on a cold read, "hit" once the async fill
+// lands — with hit and miss bodies byte-identical.
+func TestStoreGetCacheHeader(t *testing.T) {
+	// Cache off: no header at all.
+	_, ts := storeServer(t, Config{})
+	_, payload := f32Payload(t, "heat", 6000, 1)
+	if resp, body := doReq(t, http.MethodPut, ts.URL+"/v1/store/put?key=k", payload); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d %s", resp.StatusCode, body)
+	}
+	resp, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/get?key=k", nil)
+	if h, ok := resp.Header["X-Avr-Cache"]; ok {
+		t.Fatalf("cache disabled but X-AVR-Cache = %q", h)
+	}
+
+	// Cache on: miss, then (after the background fill) hit.
+	st, err := store.Open(store.Config{Dir: t.TempDir(), CacheBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	_, ts2 := testServer(t, Config{Store: st})
+	if resp, body := doReq(t, http.MethodPut, ts2.URL+"/v1/store/put?key=k", payload); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d %s", resp.StatusCode, body)
+	}
+	resp, cold := doReq(t, http.MethodGet, ts2.URL+"/v1/store/get?key=k", nil)
+	if h := resp.Header.Get("X-AVR-Cache"); h != "miss" {
+		t.Fatalf("cold read X-AVR-Cache = %q, want miss", h)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var warm []byte
+	for {
+		resp, body := doReq(t, http.MethodGet, ts2.URL+"/v1/store/get?key=k", nil)
+		if h := resp.Header.Get("X-AVR-Cache"); h == "hit" {
+			warm = body
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async fill never produced a cache hit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Fatal("cache-hit body differs from disk-path body")
 	}
 }

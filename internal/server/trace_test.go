@@ -66,6 +66,9 @@ func TestStatsShape(t *testing.T) {
 		"store_puts", "store_gets", "store_deletes",
 		"store_put_bytes", "store_get_bytes", "store_partial_206",
 		"store_queries", "query_bytes_touched", "query_bytes_total",
+		"cache_hits", "cache_misses", "cache_evictions",
+		"cache_resident_bytes", "cache_lines",
+		"prefetch_issued", "prefetch_useful",
 		"latency", "ratio", "stages",
 	}
 	var got []string

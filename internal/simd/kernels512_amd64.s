@@ -23,6 +23,46 @@ DATA fixconst512<>+20(SB)/4, $1
 DATA fixconst512<>+24(SB)/4, $254
 GLOBL fixconst512<>(SB), RODATA|NOPTR, $28
 
+// func fixedToFloatsAVX512(dst *[256]uint32, recon *[256]int32, nb int32)
+//
+// The reconstruction half of errCheckAVX512 with a store instead of the
+// classification: per 16-lane group, a = bits(float32(recon) * 2^-16);
+// lanes whose exponent is outside {0, 0xFF} get a&0x807FFFFF |
+// uint32(e(a)+nb)<<23; dst[g] = a.
+TEXT ·fixedToFloatsAVX512(SB), NOSPLIT, $0-20
+	MOVQ dst+0(FP), DI
+	MOVQ recon+8(FP), SI
+	VPBROADCASTD errconst512<>+0(SB), Z15 // 2^-16f
+	VPBROADCASTD errconst512<>+4(SB), Z14 // expmask
+	VPBROADCASTD errconst512<>+16(SB), Z8 // clear-exp
+	MOVL nb+16(FP), AX
+	VPBROADCASTD AX, Z11
+	MOVQ $16, CX
+
+f2f512:
+	VMOVDQU32 (SI), Z0
+	VCVTDQ2PS Z0, Z0
+	VMULPS Z15, Z0, Z0
+	VPANDD Z14, Z0, Z1
+	VPTESTNMD Z1, Z1, K1 // e == 0
+	VPCMPEQD Z14, Z1, K2 // e == 0xFF
+	KORW K1, K2, K3
+	KNOTW K3, K3 // surgery lanes
+	VPSRLD $23, Z1, Z1
+	VPADDD Z11, Z1, Z1
+	VPSLLD $23, Z1, Z1
+	VPANDD Z8, Z0, Z2
+	VPORD Z1, Z2, Z2
+	VMOVDQU32 Z2, K3, Z0 // merge rebiased bits into surgery lanes
+	VMOVDQU32 Z0, (DI)
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ f2f512
+	VZEROUPPER
+	RET
+
 // func errCheckAVX512(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64
 TEXT ·errCheckAVX512(SB), NOSPLIT, $0-40
 	MOVQ vals+0(FP), DI

@@ -67,6 +67,29 @@ func errCheckAVX2(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, 
 //go:noescape
 func errCheckAVX512(vals *[256]uint32, recon *[256]int32, bm *[32]byte, nb int32, lim uint32) int64
 
+// FixedToFloatsBits is the vectorized decode-side conversion sweep of
+// fixed.FixedToFloats: dst[i] = bits(float32(recon[i]) * 2^-16) with the
+// exponent un-bias nb re-applied (uint32(e+nb)<<23 reinserted, lanes with
+// e∈{0,255} left untouched). It is the first half of ErrCheckRecon32
+// with a store in place of the classification, so the same lane-for-lane
+// equivalence argument applies: VCVTDQ2PS + VMULPS by the exact power of
+// two 2^-16f reproduce the scalar float32(v) * (1.0 / (1<<16)) bit for
+// bit, and the rebias surgery is the identical mask-and-reinsert. Call
+// only when Enabled() is true.
+func FixedToFloatsBits(dst *[256]uint32, recon *[256]int32, nb int32) {
+	if hasAVX512 {
+		fixedToFloatsAVX512(dst, recon, nb)
+		return
+	}
+	fixedToFloatsAVX2(dst, recon, nb)
+}
+
+//go:noescape
+func fixedToFloatsAVX2(dst *[256]uint32, recon *[256]int32, nb int32)
+
+//go:noescape
+func fixedToFloatsAVX512(dst *[256]uint32, recon *[256]int32, nb int32)
+
 // FloatsToFixedScaled is the vectorized biased-conversion sweep of
 // fixed.FloatsToFixed: dst[i] = round-to-even(float64(src[i]) * scale)
 // with saturation at ±MaxInt32/MinInt32 and zeros/denormals flushed to

@@ -119,6 +119,47 @@ eloop:
 	VZEROUPPER
 	RET
 
+// func fixedToFloatsAVX2(dst *[256]uint32, recon *[256]int32, nb int32)
+//
+// The reconstruction half of errCheckAVX2 with a store instead of the
+// classification: per 8-lane group, a = bits(float32(recon) * 2^-16);
+// lanes whose exponent is outside {0, 0xFF} get a&0x807FFFFF |
+// uint32(e(a)+nb)<<23; dst[g] = a.
+TEXT ·fixedToFloatsAVX2(SB), NOSPLIT, $0-20
+	MOVQ dst+0(FP), DI
+	MOVQ recon+8(FP), SI
+	VPBROADCASTD errconst<>+0(SB), Y15 // 2^-16f
+	VPBROADCASTD errconst<>+4(SB), Y14 // expmask
+	VPBROADCASTD errconst<>+16(SB), Y8 // clear-exp
+	MOVL nb+16(FP), AX
+	VMOVD AX, X11
+	VPBROADCASTD X11, Y11
+	VPXOR Y7, Y7, Y7 // zero
+	MOVQ $32, CX
+
+f2floop:
+	VMOVDQU (SI), Y0
+	VCVTDQ2PS Y0, Y0
+	VMULPS Y15, Y0, Y0
+	VPAND Y14, Y0, Y1   // exponent bits in place
+	VPCMPEQD Y7, Y1, Y2 // e == 0
+	VPCMPEQD Y14, Y1, Y3 // e == 0xFF
+	VPOR Y3, Y2, Y2     // skip-surgery lanes
+	VPSRLD $23, Y1, Y1
+	VPADDD Y11, Y1, Y1  // e + nb
+	VPSLLD $23, Y1, Y1
+	VPAND Y8, Y0, Y3
+	VPOR Y1, Y3, Y3          // rebiased bits
+	VPBLENDVB Y2, Y0, Y3, Y0 // skip lanes keep original
+	VMOVDQU Y0, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ f2floop
+	VZEROUPPER
+	RET
+
 // func floatsToFixedAVX2(dst *[256]int32, src *[256]uint32, bias int32, scale float64) bool
 //
 // Per 8-lane group: flag lanes whose exponent is special or whose biased

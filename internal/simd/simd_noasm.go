@@ -18,6 +18,12 @@ func FloatsToFixedScaled(dst *[256]int32, src *[256]uint32, bias int32, scale fl
 	panic("simd: FloatsToFixedScaled called without AVX2")
 }
 
+// FixedToFloatsBits is unavailable on this target; callers must check
+// Enabled() first.
+func FixedToFloatsBits(dst *[256]uint32, recon *[256]int32, nb int32) {
+	panic("simd: FixedToFloatsBits called without AVX2")
+}
+
 // Enabled512 reports whether the AVX-512-only kernels are available; on
 // non-amd64 targets they do not exist.
 func Enabled512() bool { return false }

@@ -161,6 +161,56 @@ func TestErrCheckRecon32MatchesScalar(t *testing.T) {
 	}
 }
 
+func scalarFixedToFloatsBits(dst *[256]uint32, recon *[256]int32, nb int32) {
+	for i, v := range recon {
+		b := math.Float32bits(float32(v) * (1.0 / (1 << 16)))
+		if nb != 0 {
+			if e := int(b>>23) & 0xFF; e != 0 && e != 0xFF {
+				b = b&^uint32(0xFF<<23) | uint32(e+int(nb))<<23
+			}
+		}
+		dst[i] = b
+	}
+}
+
+func TestFixedToFloatsBitsMatchesScalar(t *testing.T) {
+	if !Enabled() {
+		t.Skip("AVX2 not available")
+	}
+	rng := rand.New(rand.NewSource(6))
+	var recon [256]int32
+	var want, got [256]uint32
+	for round := 0; round < 2000; round++ {
+		nb := int32(rng.Intn(256) - 128)
+		if round == 0 {
+			nb = 0 // the no-surgery fast case must still agree
+		}
+		for i := range recon {
+			recon[i] = randInt32(rng)
+		}
+		scalarFixedToFloatsBits(&want, &recon, nb)
+		impls := []struct {
+			name string
+			fn   func(*[256]uint32, *[256]int32, int32)
+		}{{"avx2", fixedToFloatsAVX2}}
+		if hasAVX512 {
+			impls = append(impls, struct {
+				name string
+				fn   func(*[256]uint32, *[256]int32, int32)
+			}{"avx512", fixedToFloatsAVX512})
+		}
+		for _, impl := range impls {
+			impl.fn(&got, &recon, nb)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s round %d (nb=%d): dst[%d] = %#x, want %#x (recon=%d)",
+						impl.name, round, nb, i, got[i], want[i], recon[i])
+				}
+			}
+		}
+	}
+}
+
 func TestFloatsToFixedScaledMatchesScalar(t *testing.T) {
 	if !Enabled() {
 		t.Skip("AVX2 not available")

@@ -103,6 +103,85 @@ func BenchmarkStoreGet32(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheHitGet32 measures the summary-line cache hit path on
+// the same vector as BenchmarkStoreGet32: seq validation, SIMD
+// interpolate, the vectorized fixed→float sweep straight into the
+// reused destination, outlier patch-in — no segment read, no CRC, no
+// per-value decode. The ratio of the two MB/s numbers is the cache's
+// speedup; the alloc gate pins it at 0 allocs/op.
+func BenchmarkCacheHitGet32(b *testing.B) {
+	s := benchStore(b, Config{CacheBytes: 64 << 20})
+	vals := benchVals32(b, "heat", 4*BlockValues)
+	if _, err := s.Put32("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	s.loadCacheLine("bench", false)
+	if !s.cache.Contains("bench") {
+		b.Fatal("warm fill did not cache the line")
+	}
+	dst := make([]float32, 0, len(vals))
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, src, err := s.Get32IntoCached(dst, "bench", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src != CacheHit {
+			b.Fatalf("served as %q, want hit", src)
+		}
+		dst = out[:0]
+	}
+}
+
+// BenchmarkCacheHitGet64 is the fp64 hit path (scalar interpolate — the
+// fp64 pipeline has no SIMD tier — but still segment-read-free).
+func BenchmarkCacheHitGet64(b *testing.B) {
+	s := benchStore(b, Config{CacheBytes: 64 << 20})
+	vals := benchVals64(b, "wave", 2*BlockValues)
+	if _, err := s.Put64("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	s.loadCacheLine("bench", false)
+	if !s.cache.Contains("bench") {
+		b.Fatal("warm fill did not cache the line")
+	}
+	dst := make([]float64, 0, len(vals))
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, src, err := s.Get64IntoCached(dst, "bench", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src != CacheHit {
+			b.Fatalf("served as %q, want hit", src)
+		}
+		dst = out[:0]
+	}
+}
+
+// BenchmarkCacheLookup isolates the cache data structure itself: one
+// sharded-LRU Get with a recency bump, no reconstruction. This is the
+// fixed overhead every cached read pays before any value work.
+func BenchmarkCacheLookup(b *testing.B) {
+	s := benchStore(b, Config{CacheBytes: 64 << 20})
+	vals := benchVals32(b, "heat", BlockValues)
+	if _, err := s.Put32("bench", vals); err != nil {
+		b.Fatal(err)
+	}
+	s.loadCacheLine("bench", false)
+	if !s.cache.Contains("bench") {
+		b.Fatal("warm fill did not cache the line")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.cache.Get("bench"); !ok {
+			b.Fatal("line fell out of the cache")
+		}
+	}
+}
+
 func BenchmarkStoreGet64(b *testing.B) {
 	s := benchStore(b, Config{})
 	vals := benchVals64(b, "wave", 2*BlockValues)

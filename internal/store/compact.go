@@ -328,6 +328,13 @@ func (s *Store) moveFrame(victim uint32, rec record, off, frameLen int64, pre *r
 		seg: segID, off: newOff, frameLen: newLen,
 		enc: newRec.Enc, valCount: newRec.ValCount, t1: newRec.T1,
 	}
+	if newRec.Enc != rec.Enc {
+		// Recompression converted the block (lossless → AVR): the key's
+		// resident summary line no longer matches the on-disk bytes. A
+		// pure move keeps the bytes identical, so only conversion
+		// invalidates.
+		s.invalidateCacheLocked(rec.Key)
+	}
 	bk := blockKey{rec.Key, rec.BlockIdx}
 	if newRec.Enc == encAVR && rec.Enc == encLossless {
 		delete(s.flags, bk) // converted: no longer badly-compressing

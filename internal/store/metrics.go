@@ -17,6 +17,11 @@ var (
 	queryLatencyHist   = obs.NewSyncHistogram(obs.StoreQueryLatencyHistogram())
 	queryTrafficHist   = obs.NewSyncHistogram(obs.StoreQueryTrafficHistogram())
 	compactLatencyHist = obs.NewSyncHistogram(obs.StoreCompactLatencyHistogram())
+	// The hit/miss split of get latency: cacheHitHist sees reads served
+	// from resident summary lines, cacheMissHist the disk fallthrough.
+	// Both also feed getLatencyHist, which stays the all-reads view.
+	cacheHitHist  = obs.NewSyncHistogram(obs.CacheHitLatencyHistogram())
+	cacheMissHist = obs.NewSyncHistogram(obs.CacheMissLatencyHistogram())
 )
 
 func init() {
@@ -37,6 +42,12 @@ func init() {
 	}))
 	expvar.Publish("avr.store_compact_latency", expvar.Func(func() any {
 		return compactLatencyHist.Summary()
+	}))
+	expvar.Publish("avr.cache_hit_latency", expvar.Func(func() any {
+		return cacheHitHist.Summary()
+	}))
+	expvar.Publish("avr.cache_miss_latency", expvar.Func(func() any {
+		return cacheMissHist.Summary()
 	}))
 }
 

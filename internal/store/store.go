@@ -33,6 +33,7 @@ import (
 	"avr"
 	"avr/internal/compress"
 	"avr/internal/obs"
+	"avr/internal/readcache"
 	"avr/internal/trace"
 )
 
@@ -73,6 +74,15 @@ type Config struct {
 	// keeps encoding on the caller's goroutine (the default; also the
 	// only allocation-free mode).
 	EncodeWorkers int
+	// CacheBytes is the byte budget of the in-memory summary-line read
+	// cache (internal/readcache). 0 disables the cache entirely: reads
+	// take the disk path exactly as before.
+	CacheBytes int64
+	// Prefetch enables the stride prefetcher on the read cache: on
+	// sequential key patterns (base-0003, base-0004, ...) predicted next
+	// keys' summary lines are pulled in by the background fill workers.
+	// Ignored when CacheBytes is 0.
+	Prefetch bool
 }
 
 // withDefaults fills unset fields.
@@ -202,10 +212,16 @@ type Store struct {
 	// is not concurrency-safe; see the avr.Codec doc).
 	codecs sync.Pool
 	// puts, gets and queries pool the scratch state that keeps the hot
-	// paths allocation-free across calls.
+	// paths allocation-free across calls; hits pools the cache-hit
+	// reconstruction scratch (see cache.go).
 	puts    sync.Pool
 	gets    sync.Pool
 	queries sync.Pool
+	hits    sync.Pool
+
+	// cache holds resident summary lines keyed by store key (nil when
+	// Config.CacheBytes is 0; every readcache method is nil-safe).
+	cache *readcache.Cache
 	// encSem bounds in-flight compaction retry precomputation (nil when
 	// EncodeWorkers is 1); put encoding uses the persistent pool below.
 	encSem chan struct{}
@@ -249,6 +265,18 @@ func Open(cfg Config) (*Store, error) {
 	// blocks written at any t1.
 	s.queries.New = func() any {
 		return &queryScratch{comp: compress.NewCompressor(compress.DefaultThresholds())}
+	}
+	// Like the query scratch: decompression never consults thresholds,
+	// so default-threshold compressors serve lines written at any t1.
+	s.hits.New = func() any {
+		return &hitScratch{comp: compress.NewCompressor(compress.DefaultThresholds())}
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = readcache.New(readcache.Config{
+			MaxBytes: cfg.CacheBytes,
+			Load:     s.loadCacheLine,
+			Prefetch: cfg.Prefetch,
+		})
 	}
 	if cfg.EncodeWorkers > 1 {
 		s.encSem = make(chan struct{}, cfg.EncodeWorkers)
@@ -745,6 +773,9 @@ func (s *Store) commitPut(key string, width uint8, totalVals uint64, rawBytes in
 	e.refs = e.refs[:len(refs)]
 	copy(e.refs, refs)
 	s.index[key] = e
+	// The superseded value's summary line (if resident) is now stale;
+	// dropping it under the write lock orders strictly against fills.
+	s.invalidateCacheLocked(key)
 	s.rawBytes += int64(rawBytes)
 	res.RawBytes = int64(rawBytes)
 	if res.StoredBytes > 0 {
@@ -844,34 +875,11 @@ func (s *Store) Get32Into(dst []float32, key string) ([]float32, error) {
 }
 
 // Get32IntoTraced is Get32Into with GetTraced's per-stage attribution.
+// Reads go through the summary-line cache when one is configured (the
+// CacheSource-reporting variant is Get32IntoCached).
 func (s *Store) Get32IntoTraced(dst []float32, key string, sp *trace.Span) ([]float32, error) {
-	t0 := time.Now()
-	lt := sp.Begin()
-	s.mu.RLock()
-	sp.End(trace.StageLock, lt)
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	e, ok := s.index[key]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	if e.width != 32 {
-		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, e.width)
-	}
-	base := len(dst)
-	dst, complete, err := s.read32Locked(dst, key, e, sp)
-	if err != nil {
-		return nil, err
-	}
-	obs.StoreGets.Add(1)
-	obs.StoreGetBytes.Add(4 * int64(len(dst)-base))
-	getLatencyHist.Observe(float64(time.Since(t0).Microseconds()))
-	if !complete {
-		return dst, ErrIncomplete
-	}
-	return dst, nil
+	dst, _, err := s.Get32IntoCached(dst, key, sp)
+	return dst, err
 }
 
 // Get64Into is Get32Into for fp64 vectors.
@@ -881,33 +889,8 @@ func (s *Store) Get64Into(dst []float64, key string) ([]float64, error) {
 
 // Get64IntoTraced is Get32IntoTraced for fp64 vectors.
 func (s *Store) Get64IntoTraced(dst []float64, key string, sp *trace.Span) ([]float64, error) {
-	t0 := time.Now()
-	lt := sp.Begin()
-	s.mu.RLock()
-	sp.End(trace.StageLock, lt)
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	e, ok := s.index[key]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	if e.width != 64 {
-		return nil, fmt.Errorf("%w: key %q holds fp%d", ErrWidth, key, e.width)
-	}
-	base := len(dst)
-	dst, complete, err := s.read64Locked(dst, key, e, sp)
-	if err != nil {
-		return nil, err
-	}
-	obs.StoreGets.Add(1)
-	obs.StoreGetBytes.Add(8 * int64(len(dst)-base))
-	getLatencyHist.Observe(float64(time.Since(t0).Microseconds()))
-	if !complete {
-		return dst, ErrIncomplete
-	}
-	return dst, nil
+	dst, _, err := s.Get64IntoCached(dst, key, sp)
+	return dst, err
 }
 
 // getScratch is the pooled read-path state: the frame read-back buffer.
@@ -1051,6 +1034,7 @@ func (s *Store) Delete(key string) error {
 		s.markDead(old.seg, old.frameLen)
 	}
 	s.tombs[key] = tombRef{seq: rec.Seq, seg: segID, off: off, frameLen: frameLen}
+	s.invalidateCacheLocked(key)
 	obs.StoreDeletes.Add(1)
 	return nil
 }
@@ -1132,6 +1116,9 @@ func (s *Store) Close() error {
 		s.encMu.Unlock()
 		s.encWG.Wait()
 	}
+	// Stop the cache fill workers before taking the write lock: an
+	// in-flight fill holds the read lock for its whole run.
+	s.cache.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -75,9 +75,13 @@ const (
 	// leg, including replica fallbacks and retries, from first byte out
 	// to last byte back.
 	StageFanout
+	// StageCacheHit is read-cache reconstruction time: interpolating
+	// resident summary lines and patching exact outliers back in, in
+	// place of a segment read + full decode.
+	StageCacheHit
 
 	// NumStages is the number of traced stages.
-	NumStages = int(StageFanout) + 1
+	NumStages = int(StageCacheHit) + 1
 )
 
 // stageNames are the wire names: JSONL keys, header suffixes, expvar
@@ -85,7 +89,7 @@ const (
 var stageNames = [NumStages]string{
 	"queue", "pool", "encode", "decode",
 	"segread", "segwrite", "lockwait", "query",
-	"route", "fanout",
+	"route", "fanout", "cachehit",
 }
 
 // String returns the stage's wire name.

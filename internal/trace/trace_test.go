@@ -50,6 +50,7 @@ func TestStageNamesAndHeaders(t *testing.T) {
 		StageQuery:    "query",
 		StageRoute:    "route",
 		StageFanout:   "fanout",
+		StageCacheHit: "cachehit",
 	}
 	if len(want) != NumStages {
 		t.Fatalf("test covers %d stages, NumStages = %d", len(want), NumStages)

@@ -26,7 +26,7 @@ OUT="${1:-BENCH_sim.json}"
 STORE_OUT="${2:-BENCH_store.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCHFILTER="${BENCHFILTER:-CacheAccess|CacheFill|CMTLookup|Compress$|CompressNoisy|Decompress$|DRAMAccess|SystemAccess|PresetSmallStep|Recorder|Histogram}"
-STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|StoreQuery|CodecPool|Traced|SpanPool|RingOwners|RouterPlan}"
+STOREFILTER="${STOREFILTER:-StorePut|StoreGet|StoreScan|StoreCompact|StoreQuery|CodecPool|Traced|SpanPool|RingOwners|RouterPlan|CacheHitGet|CacheLookup}"
 
 PKGS="./internal/cache ./internal/cmt ./internal/compress ./internal/dram ./internal/obs ./internal/sim ./internal/workloads"
 STORE_PKGS="./internal/store ./internal/server ./internal/trace ./internal/cluster"
@@ -49,7 +49,10 @@ GATED="BenchmarkCacheAccess BenchmarkCacheFill BenchmarkCMTLookup BenchmarkCMTLo
 # itself). The router hot path — ring owner lookup plus batch fan-out
 # planning — is held to the same bar: both sit on every proxied
 # request, so the router adds network hops but no allocator pressure.
-STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64 BenchmarkStoreQueryAggregate32 BenchmarkStoreQueryAggregate64 BenchmarkStoreQueryFilter32 BenchmarkTracedPut32 BenchmarkTracedGet32 BenchmarkTracedQueryAggregate BenchmarkSpanPool BenchmarkRingOwners BenchmarkRouterPlanMget"
+# The read-cache hit path and the bare cache lookup join the gate: a
+# cache hit that allocates would trade the disk read it saves for GC
+# pressure on every hot read.
+STORE_GATED="BenchmarkCodecPoolGetPut BenchmarkStorePut32 BenchmarkStorePut32Noise BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64 BenchmarkStoreQueryAggregate32 BenchmarkStoreQueryAggregate64 BenchmarkStoreQueryFilter32 BenchmarkTracedPut32 BenchmarkTracedGet32 BenchmarkTracedQueryAggregate BenchmarkSpanPool BenchmarkRingOwners BenchmarkRouterPlanMget BenchmarkCacheHitGet32 BenchmarkCacheLookup"
 
 RAW="$(mktemp)"
 RAW_STORE="$(mktemp)"
@@ -121,6 +124,20 @@ perf_gate() {
         fail=1
     else
         echo "perf gate ok: BenchmarkStorePut32 $cur MB/s (floor $PUT32_FLOOR)"
+    fi
+    # The whole point of the read cache: a hit must beat the disk read
+    # path by at least 5× in reconstruction throughput (same machine,
+    # same run, so machine speed cancels out).
+    local hit disk
+    hit="$(mbs_raw "$raw" BenchmarkCacheHitGet32)"
+    disk="$(mbs_raw "$raw" BenchmarkStoreGet32)"
+    if [ -n "$hit" ] && [ -n "$disk" ]; then
+        if awk -v h="$hit" -v d="$disk" 'BEGIN { exit !(h < 5 * d) }'; then
+            echo "PERF GATE: CacheHitGet32 at $hit MB/s is under 5x StoreGet32 ($disk MB/s)" >&2
+            fail=1
+        else
+            echo "perf gate ok: BenchmarkCacheHitGet32 $hit MB/s >= 5x BenchmarkStoreGet32 $disk MB/s"
+        fi
     fi
     [ -f "$base" ] || return $fail
     for b in BenchmarkStorePut32 BenchmarkStorePut64 BenchmarkStoreGet32 BenchmarkStoreGet64; do

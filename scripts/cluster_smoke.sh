@@ -68,7 +68,8 @@ cat > "$TMP/topology.json" <<EOF
 EOF
 
 "$TMP/avrrouter" -addr 127.0.0.1:0 -addr-file "$TMP/router.addr" \
-    -topology "$TMP/topology.json" -probe-interval 200ms &
+    -topology "$TMP/topology.json" -probe-interval 200ms \
+    -cache-bytes $((32<<20)) &
 ROUTER_PID=$!
 PIDS+=("$ROUTER_PID")
 wait_addr "$TMP/router.addr"
@@ -122,9 +123,23 @@ poll_stat node_readmits 1
 "$TMP/avrload" -addr "$ROUTER" -mode cluster -c "$CONC" -duration 2s \
     -values 2000 -batch 8
 
+# --- Act 5: hot re-reads through the router's response cache ----------
+# avrload exits non-zero on any out-of-bound value, so a passing run
+# means the cached responses are as correct as the proxied ones.
+"$TMP/avrload" -addr "$ROUTER" -mode storehot -c "$CONC" -duration 2s \
+    -values 2000 -hotkeys 16 -json > "$TMP/hot.json"
+grep -q '"corrupt": 0' "$TMP/hot.json"
+HITS="$(grep -o '"cache_hits": [0-9]*' "$TMP/hot.json" | tr -dc 0-9)"
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || { echo "router hot phase produced no cache hits"; exit 1; }
+RATE="$(grep -o '"cache_hit_rate": [0-9.]*' "$TMP/hot.json" | grep -o '[0-9.]*$')"
+awk -v r="${RATE:-0}" 'BEGIN{exit !(r>=0.5)}' \
+    || { echo "router hot hit rate ${RATE:-0} below 0.5"; exit 1; }
+echo "router hot re-read phase: $HITS cache hits (rate $RATE), all within bound"
+
 # --- Exposition lint ---------------------------------------------------
 curl -sf "http://$ROUTER/metrics" > "$TMP/metrics.txt"
 "$TMP/promlint" "$TMP/metrics.txt"
 grep -q '^avr_router_fanouts ' "$TMP/metrics.txt"
+grep -q '^avr_cache_hits ' "$TMP/metrics.txt"
 
-echo "cluster smoke OK (router pack/verify, kill -9 failover with zero out-of-bound reads, eject/readmit)"
+echo "cluster smoke OK (router pack/verify, kill -9 failover with zero out-of-bound reads, eject/readmit, hot cache phase)"

@@ -27,6 +27,7 @@ go build -o "$TMP/avrload" ./cmd/avrload
 go build -o "$TMP/promlint" ./cmd/promlint
 
 "$TMP/avrd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+    -store-dir "$TMP/store" -cache-bytes $((64<<20)) \
     -trace-file "$TMP/traces.jsonl" -trace-sample 4 &
 AVRD_PID=$!
 
@@ -42,6 +43,19 @@ curl -sf "http://$ADDR/healthz" > /dev/null
 curl -sf "http://$ADDR/readyz" > /dev/null
 
 "$TMP/avrload" -addr "$ADDR" -c "$CONC" -duration "$DURATION" -values 4096 -dist heat
+
+# Hot re-read phase: the summary-first read cache must serve repeat
+# reads from memory. avrload exits non-zero on any out-of-bound value,
+# so reaching the hit-rate check below already proves zero corruption.
+"$TMP/avrload" -addr "$ADDR" -mode storehot -c "$CONC" -duration "$DURATION" \
+    -values 4096 -hotkeys 16 -json > "$TMP/hot.json"
+grep -q '"corrupt": 0' "$TMP/hot.json"
+HITS="$(grep -o '"cache_hits": [0-9]*' "$TMP/hot.json" | tr -dc 0-9)"
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] || { echo "hot phase produced no cache hits"; exit 1; }
+RATE="$(grep -o '"cache_hit_rate": [0-9.]*' "$TMP/hot.json" | grep -o '[0-9.]*$')"
+awk -v r="${RATE:-0}" 'BEGIN{exit !(r>=0.5)}' \
+    || { echo "hot phase hit rate ${RATE:-0} below 0.5"; exit 1; }
+echo "hot re-read phase: $HITS cache hits (rate $RATE), all within bound"
 
 # expvar counters must be visible on the service's own stats endpoint,
 # including the per-stage tracing breakdown.
@@ -65,6 +79,7 @@ curl -sf "http://$ADDR/metrics" > "$TMP/metrics.txt"
 "$TMP/promlint" "$TMP/metrics.txt"
 grep -q '^avr_server_requests ' "$TMP/metrics.txt"
 grep -q '^avr_trace_stage_queue_bucket' "$TMP/metrics.txt"
+grep -q '^avr_cache_hits ' "$TMP/metrics.txt"
 
 # Sampled spans must have landed in the JSONL export as parseable lines.
 [ -s "$TMP/traces.jsonl" ] || { echo "trace export file empty"; exit 1; }
